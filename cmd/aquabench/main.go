@@ -1,0 +1,172 @@
+// Command aquabench regenerates every table and figure of the paper's
+// evaluation on the deterministic simulator. See EXPERIMENTS.md for the
+// mapping from experiment IDs to the paper's figures.
+//
+// Usage:
+//
+//	aquabench -experiment fig3|fig4a|fig4b|lui|reqdelay|baselines|hotspot|failover|all
+//	aquabench -experiment fig4a -requests 200   # faster, noisier
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aqua/internal/experiment"
+)
+
+func main() {
+	var (
+		which    = flag.String("experiment", "all", "experiment id: fig3, fig4a, fig4b, lui, reqdelay, baselines, hotspot, failover, calibration, groupsplit, window, estimator, scalability, loss, arrivals, all")
+		requests = flag.Int("requests", 1000, "requests per client per run (paper: 1000)")
+		seed     = flag.Int64("seed", 2002, "base random seed")
+		iters    = flag.Int("iters", 2000, "iterations per fig3 measurement point")
+	)
+	flag.Parse()
+
+	if err := run(*which, *requests, *seed, *iters); err != nil {
+		fmt.Fprintln(os.Stderr, "aquabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string, requests int, seed int64, iters int) error {
+	base := experiment.Fig4Config{
+		Seed:     seed,
+		Deadline: 140 * time.Millisecond,
+		MinProb:  0.9,
+		LUI:      2 * time.Second,
+		Requests: requests,
+	}
+
+	out := os.Stdout
+	ran := false
+	runFig4 := func() []experiment.Fig4Result {
+		sw := experiment.DefaultFig4Sweep()
+		sw.Base = base
+		return sw.Run()
+	}
+
+	var fig4Cache []experiment.Fig4Result
+	fig4 := func() []experiment.Fig4Result {
+		if fig4Cache == nil {
+			fig4Cache = runFig4()
+		}
+		return fig4Cache
+	}
+
+	if which == "fig3" || which == "all" {
+		ran = true
+		points := experiment.RunFig3(
+			experiment.DefaultFig3ReplicaCounts(),
+			experiment.DefaultFig3Windows(),
+			iters, seed)
+		experiment.WriteFig3Table(out, points)
+		fmt.Fprintln(out)
+	}
+	if which == "fig4a" || which == "all" {
+		ran = true
+		experiment.WriteFig4aTable(out, fig4())
+		fmt.Fprintln(out)
+	}
+	if which == "fig4b" || which == "all" {
+		ran = true
+		experiment.WriteFig4bTable(out, fig4())
+		fmt.Fprintln(out)
+	}
+	if which == "lui" || which == "all" {
+		ran = true
+		luis := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second}
+		res := experiment.RunLUISweep(base, luis)
+		experiment.WriteSweepTable(out,
+			"Extension (§7) — varying the lazy update interval (d=140ms, Pc=0.9)",
+			"LUI", luis, res)
+		fmt.Fprintln(out)
+	}
+	if which == "reqdelay" || which == "all" {
+		ran = true
+		delays := []time.Duration{250 * time.Millisecond, 500 * time.Millisecond, time.Second, 2 * time.Second}
+		res := experiment.RunRequestDelaySweep(base, delays)
+		experiment.WriteSweepTable(out,
+			"Extension (§7) — varying the request delay (d=140ms, Pc=0.9, LUI=2s)",
+			"reqDelay", delays, res)
+		fmt.Fprintln(out)
+	}
+	if which == "baselines" || which == "all" {
+		ran = true
+		res := experiment.RunBaselines(base)
+		experiment.WriteSelectorTable(out,
+			"Ablation — Algorithm 1 vs baseline selectors (d=140ms, Pc=0.9, LUI=2s)", res)
+		fmt.Fprintln(out)
+	}
+	if which == "hotspot" || which == "all" {
+		ran = true
+		res := experiment.RunHotspot(base)
+		experiment.WriteSelectorTable(out,
+			"Ablation — anti-hot-spot (ert) ordering vs greedy best-CDF ordering", res)
+		fmt.Fprintln(out)
+	}
+	if which == "failover" || which == "all" {
+		ran = true
+		res := experiment.RunFailover(base)
+		experiment.WriteFailoverTable(out, res)
+		fmt.Fprintln(out)
+	}
+	if which == "calibration" || which == "all" {
+		ran = true
+		res := experiment.RunCalibration(base, 10)
+		experiment.WriteCalibrationTable(out, res)
+		fmt.Fprintln(out)
+	}
+	if which == "groupsplit" || which == "all" {
+		ran = true
+		res := experiment.RunGroupSplitSweep(base, [][2]int{{2, 8}, {4, 6}, {6, 4}, {8, 2}})
+		experiment.WriteGroupSplitTable(out, res)
+		fmt.Fprintln(out)
+	}
+	if which == "window" || which == "all" {
+		ran = true
+		res := experiment.RunWindowSweep(base, []int{5, 10, 20, 40})
+		experiment.WriteWindowTable(out, res)
+		fmt.Fprintln(out)
+	}
+	if which == "estimator" || which == "all" {
+		ran = true
+		// Stress staleness: long lazy interval, fast clients (high λu) so
+		// the estimators actually diverge.
+		stress := base
+		stress.LUI = 4 * time.Second
+		stress.RequestDelay = 250 * time.Millisecond
+		res := experiment.RunEstimatorAblation(stress)
+		experiment.WriteEstimatorTable(out, res)
+		fmt.Fprintln(out)
+	}
+	if which == "scalability" || which == "all" {
+		ran = true
+		scaled := base
+		if scaled.Requests > 300 {
+			scaled.Requests = 300 // N clients × N requests grows fast
+		}
+		res := experiment.RunScalability(scaled, []int{2, 4, 8, 12, 16})
+		experiment.WriteScalabilityTable(out, res)
+		fmt.Fprintln(out)
+	}
+	if which == "loss" || which == "all" {
+		ran = true
+		res := experiment.RunLossSweep(base, []float64{0, 0.01, 0.05, 0.10})
+		experiment.WriteLossTable(out, res)
+		fmt.Fprintln(out)
+	}
+	if which == "arrivals" || which == "all" {
+		ran = true
+		res := experiment.RunArrivals(seed, requests/2, requests/2)
+		experiment.WriteArrivalsTable(out, res)
+		fmt.Fprintln(out)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+// Command aquacli is the interactive client for an aquad cluster: it hosts
+// one client gateway, connects over TCP, and executes a small scripted
+// workload (or single operations) against the replicated key-value service
+// under a QoS specification.
+//
+//	aquacli -cluster ... -primaries ... -clients c00 -id c00 \
+//	        -listen 127.0.0.1:7300 -op set -key lang -value go
+//	aquacli ... -op get -key lang -staleness 2 -deadline 200ms -prob 0.9
+//	aquacli ... -op bench -n 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aqua/internal/client"
+	"aqua/internal/cluster"
+	"aqua/internal/live"
+	"aqua/internal/node"
+	"aqua/internal/qos"
+	"aqua/internal/tcpnet"
+)
+
+func main() {
+	var (
+		clusterSpec = flag.String("cluster", "", "comma-separated id=host:port for every replica and client process")
+		primaries   = flag.String("primaries", "", "comma-separated primary group IDs")
+		clients     = flag.String("clients", "", "comma-separated client IDs")
+		id          = flag.String("id", "c00", "this client's node ID")
+		listen      = flag.String("listen", "127.0.0.1:7300", "TCP listen address of this process")
+		lazy        = flag.Duration("lazy", 2*time.Second, "lazy update interval T_L (must match aquad)")
+		op          = flag.String("op", "bench", "operation: set, get, version, bench")
+		key         = flag.String("key", "k", "key for set/get")
+		value       = flag.String("value", "v", "value for set")
+		n           = flag.Int("n", 20, "bench: number of alternating set/get requests")
+		staleness   = flag.Int("staleness", 2, "QoS staleness threshold (versions)")
+		deadline    = flag.Duration("deadline", 200*time.Millisecond, "QoS response-time deadline")
+		prob        = flag.Float64("prob", 0.9, "QoS minimum probability of timely response")
+	)
+	flag.Parse()
+
+	if err := run(*clusterSpec, *primaries, *clients, *id, *listen, *lazy,
+		*op, *key, *value, *n,
+		qos.Spec{Staleness: *staleness, Deadline: *deadline, MinProb: *prob}); err != nil {
+		fmt.Fprintln(os.Stderr, "aquacli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(clusterSpec, primaries, clients, id, listen string, lazy time.Duration,
+	op, key, value string, n int, spec qos.Spec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	cs, err := cluster.Parse(clusterSpec, primaries, clients)
+	if err != nil {
+		return err
+	}
+
+	rt := live.NewRuntime(live.WithSeed(time.Now().UnixNano()))
+	tr, err := tcpnet.New(rt, listen, cs.PeersFor(cluster.IDList{node.ID(id)}))
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	rt.SetRemote(tr.Send)
+
+	gw, err := cs.NewClient(node.ID(id), spec, qos.NewMethods("Get", "Version"), lazy)
+	if err != nil {
+		return err
+	}
+
+	done := make(chan error, 1)
+	driver := func(ctx node.Context, gw *client.Gateway) {
+		report := func(label string, r client.Result) {
+			fmt.Printf("%-8s -> %q from %s in %v (late=%v, selected=%d, err=%q)\n",
+				label, r.Payload, r.Replica, r.ResponseTime.Round(time.Microsecond),
+				r.TimingFailure, r.Selected, r.Err)
+		}
+		switch op {
+		case "set":
+			gw.Invoke("Set", []byte(key+"="+value), func(r client.Result) {
+				report("set", r)
+				done <- nil
+			})
+		case "get":
+			gw.Invoke("Get", []byte(key), func(r client.Result) {
+				report("get", r)
+				done <- nil
+			})
+		case "version":
+			gw.Invoke("Version", nil, func(r client.Result) {
+				report("version", r)
+				done <- nil
+			})
+		case "bench":
+			var issue func(i int)
+			issue = func(i int) {
+				if i >= n {
+					m := gw.Metrics()
+					fmt.Printf("\nbench: %d updates, %d reads, %d timing failures (rate %.3f)\n",
+						m.Updates, m.Reads, m.TimingFailures, gw.FailureRate())
+					done <- nil
+					return
+				}
+				next := func(r client.Result) {
+					if r.Err != "" {
+						fmt.Printf("request %d error: %s\n", i, r.Err)
+					}
+					ctx.SetTimer(50*time.Millisecond, func() { issue(i + 1) })
+				}
+				if i%2 == 0 {
+					gw.Invoke("Set", []byte(fmt.Sprintf("%s=%d", key, i)), next)
+				} else {
+					gw.Invoke("Get", []byte(key), func(r client.Result) {
+						report(fmt.Sprintf("get#%d", i), r)
+						next(r)
+					})
+				}
+			}
+			issue(0)
+		default:
+			done <- fmt.Errorf("unknown -op %q", op)
+		}
+	}
+
+	rt.Register(node.ID(id), &drivenGateway{gw: gw, driver: driver})
+	rt.Start()
+	defer rt.Stop()
+
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(2 * time.Minute):
+		return fmt.Errorf("timed out")
+	}
+}
+
+// drivenGateway runs the workload driver inside the gateway's node context.
+type drivenGateway struct {
+	gw     *client.Gateway
+	driver func(node.Context, *client.Gateway)
+}
+
+func (d *drivenGateway) Init(ctx node.Context) {
+	d.gw.Init(ctx)
+	ctx.SetTimer(100*time.Millisecond, func() { d.driver(ctx, d.gw) })
+}
+
+func (d *drivenGateway) Recv(from node.ID, m node.Message) { d.gw.Recv(from, m) }

@@ -1,0 +1,114 @@
+// Command aquad hosts one or more replica gateways of a replicated service
+// in a single OS process, speaking the protocol over TCP. Several aquad
+// processes plus aquacli form a real distributed deployment of the
+// framework — the same gateways the simulator runs, on real sockets.
+//
+// Topology is described by a flag-friendly cluster spec shared by every
+// process:
+//
+//	-cluster "p00=127.0.0.1:7100,p01=127.0.0.1:7101,p02=127.0.0.1:7102,s00=127.0.0.1:7103"
+//	-primaries "p00,p01,p02"        # p00 (lowest ID) is the sequencer
+//	-clients "c00"                  # client IDs that will connect
+//	-host "p01,p02"                 # which replicas THIS process hosts
+//	-listen "127.0.0.1:7101"        # this process's TCP endpoint
+//
+// Example (three terminals):
+//
+//	aquad -listen 127.0.0.1:7100 -host p00,p01 ...
+//	aquad -listen 127.0.0.1:7200 -host p02,s00 ...
+//	aquacli -id c00 -listen 127.0.0.1:7300 ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"aqua/internal/app"
+	"aqua/internal/apps"
+	"aqua/internal/cluster"
+	"aqua/internal/live"
+	"aqua/internal/tcpnet"
+)
+
+func main() {
+	var (
+		clusterSpec = flag.String("cluster", "", "comma-separated id=host:port for every replica and client process")
+		primaries   = flag.String("primaries", "", "comma-separated primary group IDs (lowest is the sequencer)")
+		clients     = flag.String("clients", "", "comma-separated client IDs")
+		host        = flag.String("host", "", "comma-separated replica IDs hosted by this process")
+		listen      = flag.String("listen", "127.0.0.1:7100", "TCP listen address of this process")
+		lazy        = flag.Duration("lazy", 2*time.Second, "lazy update interval T_L")
+		appName     = flag.String("app", "kv", "replicated application: kv, document, ticker")
+		verbose     = flag.Bool("v", false, "log gateway diagnostics")
+	)
+	flag.Parse()
+
+	if err := run(*clusterSpec, *primaries, *clients, *host, *listen, *lazy, *appName, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "aquad:", err)
+		os.Exit(1)
+	}
+}
+
+func newApp(name string) (func() app.Application, error) {
+	switch name {
+	case "kv":
+		return func() app.Application { return apps.NewKVStore() }, nil
+	case "document":
+		return func() app.Application { return apps.NewDocument() }, nil
+	case "ticker":
+		return func() app.Application { return apps.NewTicker() }, nil
+	default:
+		return nil, fmt.Errorf("unknown -app %q (want kv, document, or ticker)", name)
+	}
+}
+
+func run(clusterSpec, primaries, clients, host, listen string, lazy time.Duration, appName string, verbose bool) error {
+	spec, err := cluster.Parse(clusterSpec, primaries, clients)
+	if err != nil {
+		return err
+	}
+	mkApp, err := newApp(appName)
+	if err != nil {
+		return err
+	}
+	hosted := cluster.SplitIDs(host)
+	if len(hosted) == 0 {
+		return fmt.Errorf("-host must name at least one replica")
+	}
+
+	opts := []live.Option{live.WithSeed(time.Now().UnixNano())}
+	if verbose {
+		opts = append(opts, live.WithLog(os.Stderr))
+	}
+	rt := live.NewRuntime(opts...)
+
+	tr, err := tcpnet.New(rt, listen, spec.PeersFor(hosted))
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	rt.SetRemote(tr.Send)
+
+	for _, id := range hosted {
+		gw, err := spec.NewReplica(id, lazy, mkApp())
+		if err != nil {
+			return err
+		}
+		rt.Register(id, gw)
+	}
+	rt.Start()
+	defer rt.Stop()
+
+	fmt.Printf("aquad: hosting %s on %s (sequencer %s)\n",
+		strings.Join(hosted.Strings(), ","), listen, spec.Sequencer)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("aquad: shutting down")
+	return nil
+}

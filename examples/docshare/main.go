@@ -1,0 +1,173 @@
+// Docshare reproduces the paper's Section 2 motivating scenario: "a
+// document-sharing application in which multiple readers and writers
+// concurrently access a document that is updated in sequential mode", where
+// a reader asks for "a copy of the document that is not more than 5
+// versions old within 2.0 seconds with a probability of at least 0.7".
+//
+// Two writers stream edits while three readers with that QoS fetch the
+// document; the run executes on the deterministic simulator, so thousands
+// of virtual seconds finish instantly.
+//
+//	go run ./examples/docshare
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"aqua/internal/app"
+	"aqua/internal/apps"
+	"aqua/internal/client"
+	"aqua/internal/core"
+	"aqua/internal/group"
+	"aqua/internal/netsim"
+	"aqua/internal/node"
+	"aqua/internal/qos"
+	"aqua/internal/sim"
+	"aqua/internal/stats"
+)
+
+const (
+	writers      = 2
+	readers      = 3
+	editsEach    = 120
+	fetchesEach  = 150
+	lazyInterval = 1 * time.Second
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "docshare:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	s := sim.NewScheduler(2002)
+	rt := sim.NewRuntime(s, sim.WithDelay(netsim.UniformDelay{Min: time.Millisecond, Max: 4 * time.Millisecond}))
+
+	svc := core.ServiceConfig{
+		Primaries:    4,
+		Secondaries:  5,
+		LazyInterval: lazyInterval,
+		Group:        group.DefaultConfig(),
+		NewApp:       func() app.Application { return apps.NewDocument() },
+		// Editing servers carry background load: ~40ms per request.
+		ServiceDelay: func(r *rand.Rand) time.Duration {
+			return stats.TruncNormalDuration(r, 40*time.Millisecond, 15*time.Millisecond, 0)
+		},
+	}
+
+	// The paper's example QoS, verbatim.
+	readerSpec := qos.Spec{Staleness: 5, Deadline: 2 * time.Second, MinProb: 0.7}
+	fmt.Printf("reader QoS: %s\n\n", readerSpec)
+
+	var clients []core.ClientConfig
+	writersDone := 0
+	for w := 0; w < writers; w++ {
+		w := w
+		clients = append(clients, core.ClientConfig{
+			ID:      node.ID(fmt.Sprintf("writer-%d", w)),
+			Spec:    qos.Spec{Staleness: 0, Deadline: 5 * time.Second, MinProb: 0.1},
+			Methods: qos.NewMethods("Fetch", "Line", "Version"),
+			Driver: func(ctx node.Context, gw *client.Gateway) {
+				var edit func(i int)
+				edit = func(i int) {
+					if i >= editsEach {
+						writersDone++
+						return
+					}
+					line := fmt.Sprintf("writer %d, edit %d", w, i)
+					gw.Invoke("Append", []byte(line), func(client.Result) {
+						ctx.SetTimer(400*time.Millisecond, func() { edit(i + 1) })
+					})
+				}
+				ctx.SetTimer(time.Duration(w)*50*time.Millisecond, func() { edit(0) })
+			},
+		})
+	}
+
+	type readerStats struct {
+		fetches  int
+		failures int
+		respSum  time.Duration
+	}
+	rstats := make([]*readerStats, readers)
+	readersDone := 0
+	for r := 0; r < readers; r++ {
+		r := r
+		rstats[r] = &readerStats{}
+		clients = append(clients, core.ClientConfig{
+			ID:      node.ID(fmt.Sprintf("reader-%d", r)),
+			Spec:    readerSpec,
+			Methods: qos.NewMethods("Fetch", "Line", "Version"),
+			Driver: func(ctx node.Context, gw *client.Gateway) {
+				var fetch func(i int)
+				fetch = func(i int) {
+					if i >= fetchesEach {
+						readersDone++
+						return
+					}
+					gw.Invoke("Version", nil, func(res client.Result) {
+						rstats[r].fetches++
+						rstats[r].respSum += res.ResponseTime
+						if res.TimingFailure {
+							rstats[r].failures++
+						}
+						ctx.SetTimer(300*time.Millisecond, func() { fetch(i + 1) })
+					})
+				}
+				ctx.SetTimer(time.Duration(r)*70*time.Millisecond, func() { fetch(0) })
+			},
+		})
+	}
+
+	d, err := core.Deploy(rt, svc, clients)
+	if err != nil {
+		return err
+	}
+	rt.Start()
+	for i := 0; i < 600 && (writersDone < writers || readersDone < readers); i++ {
+		s.RunFor(time.Second)
+	}
+
+	virtual := s.Now().Sub(sim.Epoch)
+	fmt.Printf("simulated %v of document sharing (%d edits, %d fetches per reader)\n\n",
+		virtual.Round(time.Second), writers*editsEach, fetchesEach)
+
+	for r := 0; r < readers; r++ {
+		st := rstats[r]
+		mean := time.Duration(0)
+		if st.fetches > 0 {
+			mean = st.respSum / time.Duration(st.fetches)
+		}
+		rate := float64(st.failures) / float64(max(st.fetches, 1))
+		verdict := "met"
+		if rate > 1-readerSpec.MinProb {
+			verdict = "VIOLATED"
+		}
+		fmt.Printf("reader-%d: %3d fetches, %2d late (%.3f), mean response %8v  -> QoS %s\n",
+			r, st.fetches, st.failures, rate, mean.Round(time.Millisecond), verdict)
+	}
+
+	// Show the final document version converging across the groups.
+	fmt.Println()
+	for _, id := range []node.ID{"p01", "s00"} {
+		v, err := d.Replicas[id].App().Read("Version", nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replica %s final document version: %s (applied %d updates)\n",
+			id, v, d.Replicas[id].Applied())
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,151 @@
+// Priority demonstrates the paper's Section 7 extensions: clients specify
+// a *priority* instead of a raw probability (the middleware maps it through
+// a PriorityMap), and an admission controller evaluates — against observed
+// replica performance — whether a prospective client's QoS is currently
+// satisfiable before it is admitted.
+//
+//	go run ./examples/priority
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"aqua/internal/app"
+	"aqua/internal/apps"
+	"aqua/internal/client"
+	"aqua/internal/core"
+	"aqua/internal/group"
+	"aqua/internal/netsim"
+	"aqua/internal/node"
+	"aqua/internal/qos"
+	"aqua/internal/selection"
+	"aqua/internal/sim"
+	"aqua/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "priority:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	s := sim.NewScheduler(77)
+	rt := sim.NewRuntime(s, sim.WithDelay(netsim.UniformDelay{Min: time.Millisecond, Max: 3 * time.Millisecond}))
+
+	const lazy = 2 * time.Second
+	svc := core.ServiceConfig{
+		Primaries:    4,
+		Secondaries:  6,
+		LazyInterval: lazy,
+		Group:        group.DefaultConfig(),
+		NewApp:       func() app.Application { return apps.NewKVStore() },
+		ServiceDelay: func(r *rand.Rand) time.Duration {
+			return stats.TruncNormalDuration(r, 100*time.Millisecond, 50*time.Millisecond, 0)
+		},
+	}
+
+	// Priority levels → minimum probability of timely response.
+	prio := core.DefaultPriorityMap()
+	fmt.Println("priority map: bronze=0.50  silver=0.70  gold=0.90  platinum=0.99")
+	fmt.Println()
+
+	// One pilot client warms the repository and runs a gold workload.
+	type tally struct {
+		reads, failures int
+	}
+	tallies := map[string]*tally{}
+	mkDriver := func(name string, total int) func(node.Context, *client.Gateway) {
+		tallies[name] = &tally{}
+		return func(ctx node.Context, gw *client.Gateway) {
+			var issue func(i int)
+			issue = func(i int) {
+				if i >= total {
+					return
+				}
+				next := func(r client.Result) {
+					ctx.SetTimer(150*time.Millisecond, func() { issue(i + 1) })
+				}
+				if i%2 == 0 {
+					gw.Invoke("Set", []byte(fmt.Sprintf("%s=%d", name, i)), next)
+				} else {
+					gw.Invoke("Get", []byte(name), func(r client.Result) {
+						tallies[name].reads++
+						if r.TimingFailure {
+							tallies[name].failures++
+						}
+						next(r)
+					})
+				}
+			}
+			ctx.SetTimer(0, func() { issue(0) })
+		}
+	}
+
+	clients := []core.ClientConfig{
+		{
+			ID:      "gold-1",
+			Spec:    prio.SpecFor(2 /* gold */, 2, 200*time.Millisecond),
+			Methods: qos.NewMethods("Get", "Version"),
+			Driver:  mkDriver("gold-1", 200),
+		},
+		{
+			ID:      "bronze-1",
+			Spec:    prio.SpecFor(0 /* bronze */, 4, 150*time.Millisecond),
+			Methods: qos.NewMethods("Get", "Version"),
+			Driver:  mkDriver("bronze-1", 200),
+		},
+	}
+	d, err := core.Deploy(rt, svc, clients)
+	if err != nil {
+		return err
+	}
+	rt.Start()
+	s.RunFor(60 * time.Second) // warm-up + workload
+
+	for _, name := range []string{"gold-1", "bronze-1"} {
+		tl := tallies[name]
+		spec := clients[0].Spec
+		if name == "bronze-1" {
+			spec = clients[1].Spec
+		}
+		rate := 0.0
+		if tl.reads > 0 {
+			rate = float64(tl.failures) / float64(tl.reads)
+		}
+		fmt.Printf("%-9s %-44s reads=%3d late=%2d rate=%.3f\n", name, spec, tl.reads, tl.failures, rate)
+	}
+
+	// Admission control: evaluate prospective clients against the warmed
+	// repository of gold-1 (a monitoring probe in a real deployment).
+	fmt.Println("\nadmission control against observed performance:")
+	ac := core.AdmissionController{Model: selection.Model{
+		BinWidth:     2 * time.Millisecond,
+		LazyInterval: lazy,
+	}}
+	repo := d.Clients["gold-1"].Repository()
+	now := s.Now()
+	candidates := []struct {
+		label string
+		spec  qos.Spec
+	}{
+		{"platinum, 300ms", prio.SpecFor(3, 2, 300*time.Millisecond)},
+		{"gold, 150ms", prio.SpecFor(2, 2, 150*time.Millisecond)},
+		{"platinum, 60ms", prio.SpecFor(3, 2, 60*time.Millisecond)},
+		{"platinum, 20ms (hopeless)", prio.SpecFor(3, 2, 20*time.Millisecond)},
+	}
+	for _, c := range candidates {
+		dec := ac.Evaluate(repo, d.Info, c.spec, now)
+		verdict := "REJECT"
+		if dec.Admit {
+			verdict = "admit "
+		}
+		fmt.Printf("  %-28s -> %s (predicted PK=%.3f with %d replicas)\n",
+			c.label, verdict, dec.PredictedPK, dec.ReplicasNeeded)
+	}
+	return nil
+}

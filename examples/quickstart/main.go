@@ -1,0 +1,97 @@
+// Quickstart: deploy a replicated key-value service on the live runtime
+// (real goroutines, real timers), attach a client with a QoS specification,
+// and issue a handful of writes and reads.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"aqua/internal/app"
+	"aqua/internal/apps"
+	"aqua/internal/client"
+	"aqua/internal/core"
+	"aqua/internal/group"
+	"aqua/internal/live"
+	"aqua/internal/node"
+	"aqua/internal/qos"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rt := live.NewRuntime(live.WithSeed(7))
+	done := make(chan struct{})
+
+	// The service: a sequencer + 2 serving primaries + 2 secondaries, with
+	// lazy updates every 500ms.
+	svc := core.ServiceConfig{
+		Primaries:    3,
+		Secondaries:  2,
+		LazyInterval: 500 * time.Millisecond,
+		Group:        group.DefaultConfig(),
+		NewApp:       func() app.Application { return apps.NewKVStore() },
+	}
+
+	// The client wants responses at most 1 version stale, within 250ms,
+	// with probability at least 0.8.
+	spec := qos.Spec{Staleness: 1, Deadline: 250 * time.Millisecond, MinProb: 0.8}
+	fmt.Printf("client QoS: %s\n\n", spec)
+
+	clientCfg := core.ClientConfig{
+		ID:      "alice",
+		Spec:    spec,
+		Methods: qos.NewMethods("Get", "Version"),
+		OnBreach: func(rate float64) {
+			fmt.Printf("!! QoS breach callback: observed failure rate %.2f\n", rate)
+		},
+		Driver: func(ctx node.Context, gw *client.Gateway) {
+			keys := []string{"lang=go", "paper=DSN2002", "middleware=aqua"}
+			var step func(i int)
+			step = func(i int) {
+				if i >= len(keys) {
+					gw.Invoke("Get", []byte("middleware"), func(r client.Result) {
+						fmt.Printf("read  middleware -> %q from %s in %v (timing failure: %v, %d replicas selected)\n",
+							r.Payload, r.Replica, r.ResponseTime.Round(time.Microsecond), r.TimingFailure, r.Selected)
+						m := gw.Metrics()
+						fmt.Printf("\nmetrics: %d updates, %d reads, %d timing failures\n",
+							m.Updates, m.Reads, m.TimingFailures)
+						close(done)
+					})
+					return
+				}
+				gw.Invoke("Set", []byte(keys[i]), func(r client.Result) {
+					fmt.Printf("write %-16s -> %s from %s in %v\n",
+						keys[i], r.Payload, r.Replica, r.ResponseTime.Round(time.Microsecond))
+					step(i + 1)
+				})
+			}
+			ctx.SetTimer(50*time.Millisecond, func() { step(0) })
+		},
+	}
+
+	d, err := core.Deploy(rt, svc, []core.ClientConfig{clientCfg})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deployed: sequencer=%s serving=%v secondaries=%v\n\n",
+		d.Sequencer, d.ServingPrimaries, d.Secondaries)
+
+	rt.Start()
+	defer rt.Stop()
+
+	select {
+	case <-done:
+		return nil
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("timed out waiting for the workload")
+	}
+}

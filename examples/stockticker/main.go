@@ -1,0 +1,176 @@
+// Stockticker reproduces the paper's Section 1 example of a real-time
+// database application: online stock trading. A market feed streams price
+// updates; two consumer profiles read the board:
+//
+//   - a dashboard that tolerates stale quotes (staleness 20) in exchange
+//     for a tight deadline, and
+//   - a trader that insists on nearly-fresh prices (staleness 1) and
+//     therefore accepts more timing risk.
+//
+// The run demonstrates the consistency/timeliness trade-off the QoS model
+// exposes: same service, different <staleness, deadline, probability>
+// specifications, different observed behaviour.
+//
+//	go run ./examples/stockticker
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"aqua/internal/app"
+	"aqua/internal/apps"
+	"aqua/internal/client"
+	"aqua/internal/core"
+	"aqua/internal/group"
+	"aqua/internal/netsim"
+	"aqua/internal/node"
+	"aqua/internal/qos"
+	"aqua/internal/sim"
+	"aqua/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stockticker:", err)
+		os.Exit(1)
+	}
+}
+
+type consumer struct {
+	name     string
+	spec     qos.Spec
+	reads    int
+	failures int
+	selected int
+	respSum  time.Duration
+	done     bool
+}
+
+func run() error {
+	s := sim.NewScheduler(42)
+	rt := sim.NewRuntime(s, sim.WithDelay(netsim.UniformDelay{Min: time.Millisecond, Max: 3 * time.Millisecond}))
+
+	const (
+		feedUpdates   = 400
+		consumerReads = 250
+	)
+
+	svc := core.ServiceConfig{
+		Primaries:    4,
+		Secondaries:  6,
+		LazyInterval: 2 * time.Second,
+		Group:        group.DefaultConfig(),
+		NewApp:       func() app.Application { return apps.NewTicker() },
+		ServiceDelay: func(r *rand.Rand) time.Duration {
+			return stats.TruncNormalDuration(r, 60*time.Millisecond, 25*time.Millisecond, 0)
+		},
+	}
+
+	consumers := []*consumer{
+		{name: "dashboard", spec: qos.Spec{Staleness: 20, Deadline: 120 * time.Millisecond, MinProb: 0.9}},
+		{name: "trader", spec: qos.Spec{Staleness: 1, Deadline: 120 * time.Millisecond, MinProb: 0.9}},
+	}
+
+	feedDone := false
+	clients := []core.ClientConfig{{
+		ID:      "feed",
+		Spec:    qos.Spec{Staleness: 0, Deadline: 5 * time.Second, MinProb: 0.1},
+		Methods: qos.NewMethods("Price", "Board", "Version"),
+		Driver: func(ctx node.Context, gw *client.Gateway) {
+			symbols := []string{"ACME", "GLOBEX", "INITECH", "HOOLI"}
+			var tick func(i int)
+			tick = func(i int) {
+				if i >= feedUpdates {
+					feedDone = true
+					return
+				}
+				sym := symbols[i%len(symbols)]
+				delta := ctx.Rand().Int63n(200) - 100
+				gw.Invoke("Trade", []byte(fmt.Sprintf("%s:%+d", sym, delta)), func(client.Result) {
+					ctx.SetTimer(150*time.Millisecond, func() { tick(i + 1) })
+				})
+			}
+			ctx.SetTimer(0, func() {
+				// Seed the board first.
+				var seed func(j int)
+				seed = func(j int) {
+					if j >= len(symbols) {
+						tick(0)
+						return
+					}
+					gw.Invoke("Quote", []byte(fmt.Sprintf("%s=%d", symbols[j], 10000+j)), func(client.Result) {
+						seed(j + 1)
+					})
+				}
+				seed(0)
+			})
+		},
+	}}
+
+	for _, c := range consumers {
+		c := c
+		clients = append(clients, core.ClientConfig{
+			ID:      node.ID(c.name),
+			Spec:    c.spec,
+			Methods: qos.NewMethods("Price", "Board", "Version"),
+			Driver: func(ctx node.Context, gw *client.Gateway) {
+				var look func(i int)
+				look = func(i int) {
+					if i >= consumerReads {
+						c.done = true
+						return
+					}
+					gw.Invoke("Price", []byte("ACME"), func(r client.Result) {
+						c.reads++
+						c.respSum += r.ResponseTime
+						c.selected += r.Selected
+						if r.TimingFailure {
+							c.failures++
+						}
+						ctx.SetTimer(200*time.Millisecond, func() { look(i + 1) })
+					})
+				}
+				ctx.SetTimer(500*time.Millisecond, func() { look(0) })
+			},
+		})
+	}
+
+	if _, err := core.Deploy(rt, svc, clients); err != nil {
+		return err
+	}
+	rt.Start()
+	allDone := func() bool {
+		if !feedDone {
+			return false
+		}
+		for _, c := range consumers {
+			if !c.done {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < 600 && !allDone(); i++ {
+		s.RunFor(time.Second)
+	}
+
+	fmt.Printf("market feed: %d trades streamed; consumers: %d price reads each\n\n", feedUpdates, consumerReads)
+	fmt.Printf("%-10s %-42s %8s %8s %12s %12s\n", "consumer", "QoS", "late", "rate", "avg resp", "avg #repl")
+	for _, c := range consumers {
+		mean := time.Duration(0)
+		if c.reads > 0 {
+			mean = c.respSum / time.Duration(c.reads)
+		}
+		rate := float64(c.failures) / float64(c.reads)
+		fmt.Printf("%-10s %-42s %8d %8.3f %12v %12.2f\n",
+			c.name, c.spec, c.failures, rate, mean.Round(time.Millisecond),
+			float64(c.selected)/float64(c.reads))
+	}
+	fmt.Println("\nThe dashboard's relaxed staleness lets the whole secondary group serve")
+	fmt.Println("it; the trader's staleness 1 leans on the primaries and deferred reads,")
+	fmt.Println("so it selects more replicas to hold the same deadline probability.")
+	return nil
+}

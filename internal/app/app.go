@@ -1,0 +1,31 @@
+// Package app defines the replicated-application contract. A server object
+// in the paper is a CORBA servant behind the AQuA gateway; here it is any
+// type implementing Application. The gateway guarantees that ApplyUpdate is
+// invoked in the same global order at every primary replica and that
+// secondary state only ever moves forward through Restore snapshots taken
+// by the lazy publisher.
+package app
+
+// Application is a deterministic replicated state machine.
+//
+// Implementations need no internal locking: each replica gateway invokes
+// its application from a single logical thread.
+type Application interface {
+	// ApplyUpdate executes a state-modifying operation and returns its
+	// reply. Implementations must be deterministic: replicas applying the
+	// same updates in the same order must reach identical states.
+	ApplyUpdate(method string, payload []byte) ([]byte, error)
+
+	// Read executes a read-only operation against current state.
+	Read(method string, payload []byte) ([]byte, error)
+
+	// Snapshot serializes the full application state for lazy propagation
+	// and recovery. The encoding must be canonical: two replicas holding
+	// identical logical state must produce identical bytes (sort map keys;
+	// never gob-encode a map directly), because the anti-entropy layer
+	// compares state digests.
+	Snapshot() ([]byte, error)
+
+	// Restore replaces the application state with a snapshot.
+	Restore(snapshot []byte) error
+}

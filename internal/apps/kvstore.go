@@ -1,0 +1,115 @@
+// Package apps provides replicated applications built on the app contract:
+// a versioned key-value store (the experiment workload), a shared document
+// (the Section 2 motivating example), and a stock ticker (the Section 1
+// real-time database example).
+package apps
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"aqua/internal/app"
+)
+
+// KVStore is a deterministic string key-value store with a version counter.
+//
+// Methods:
+//
+//	"Set"  payload "key=value" → reply "v<N>"
+//	"Del"  payload "key"       → reply "v<N>"
+//	"Get"  payload "key"       → reply "value" (read-only)
+//	"Version" payload ""       → reply "v<N>" (read-only)
+type KVStore struct {
+	data    map[string]string
+	version uint64
+}
+
+var _ app.Application = (*KVStore)(nil)
+
+// NewKVStore returns an empty store.
+func NewKVStore() *KVStore {
+	return &KVStore{data: make(map[string]string)}
+}
+
+// kvState is the gob snapshot form. Pairs are sorted by key so snapshots
+// are canonical: replicas with identical state produce identical bytes,
+// which the anti-entropy digest comparison depends on (gob map encoding is
+// iteration-order-dependent and therefore unusable here).
+type kvState struct {
+	Keys    []string
+	Values  []string
+	Version uint64
+}
+
+// ApplyUpdate implements app.Application.
+func (k *KVStore) ApplyUpdate(method string, payload []byte) ([]byte, error) {
+	switch method {
+	case "Set":
+		key, value, ok := bytes.Cut(payload, []byte{'='})
+		if !ok {
+			return nil, fmt.Errorf("kvstore: Set payload %q lacks '='", payload)
+		}
+		k.data[string(key)] = string(value)
+	case "Del":
+		delete(k.data, string(payload))
+	default:
+		return nil, fmt.Errorf("kvstore: unknown update method %q", method)
+	}
+	k.version++
+	return []byte(fmt.Sprintf("v%d", k.version)), nil
+}
+
+// Read implements app.Application.
+func (k *KVStore) Read(method string, payload []byte) ([]byte, error) {
+	switch method {
+	case "Get":
+		return []byte(k.data[string(payload)]), nil
+	case "Version":
+		return []byte(fmt.Sprintf("v%d", k.version)), nil
+	default:
+		return nil, fmt.Errorf("kvstore: unknown read method %q", method)
+	}
+}
+
+// Version returns the number of updates applied.
+func (k *KVStore) Version() uint64 { return k.version }
+
+// Snapshot implements app.Application; the encoding is canonical (sorted).
+func (k *KVStore) Snapshot() ([]byte, error) {
+	st := kvState{
+		Keys:    make([]string, 0, len(k.data)),
+		Values:  make([]string, 0, len(k.data)),
+		Version: k.version,
+	}
+	for key := range k.data {
+		st.Keys = append(st.Keys, key)
+	}
+	sort.Strings(st.Keys)
+	for _, key := range st.Keys {
+		st.Values = append(st.Values, k.data[key])
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("kvstore snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements app.Application.
+func (k *KVStore) Restore(snapshot []byte) error {
+	var st kvState
+	if err := gob.NewDecoder(bytes.NewReader(snapshot)).Decode(&st); err != nil {
+		return fmt.Errorf("kvstore restore: %w", err)
+	}
+	if len(st.Keys) != len(st.Values) {
+		return fmt.Errorf("kvstore restore: %d keys vs %d values", len(st.Keys), len(st.Values))
+	}
+	k.data = make(map[string]string, len(st.Keys))
+	for i, key := range st.Keys {
+		k.data[key] = st.Values[i]
+	}
+	k.version = st.Version
+	return nil
+}

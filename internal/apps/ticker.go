@@ -1,0 +1,145 @@
+package apps
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strconv"
+
+	"aqua/internal/app"
+)
+
+// Ticker is the paper's online stock-trading example (Section 1): a
+// real-time quote board where traders tolerate slightly stale quotes in
+// exchange for timely answers. Prices are fixed-point cents to keep replica
+// state bit-identical.
+//
+// Methods:
+//
+//	"Quote"  payload "SYM=12345"  → reply "ok" (price in cents)
+//	"Trade"  payload "SYM:+50"    → reply new price (relative adjustment)
+//	"Price"  payload "SYM"        → reply price in cents (read-only)
+//	"Board"  payload ""           → reply "SYM1=...;SYM2=..." (read-only)
+type Ticker struct {
+	cents   map[string]int64
+	symbols []string // insertion order, for a deterministic Board
+	version uint64
+}
+
+var _ app.Application = (*Ticker)(nil)
+
+// NewTicker returns an empty quote board.
+func NewTicker() *Ticker {
+	return &Ticker{cents: make(map[string]int64)}
+}
+
+// tickerState is the canonical (deterministic-bytes) snapshot form:
+// prices ride in Symbols order rather than as a gob map.
+type tickerState struct {
+	Symbols []string
+	Prices  []int64
+	Version uint64
+}
+
+// ApplyUpdate implements app.Application.
+func (t *Ticker) ApplyUpdate(method string, payload []byte) ([]byte, error) {
+	switch method {
+	case "Quote":
+		sym, raw, ok := bytes.Cut(payload, []byte{'='})
+		if !ok {
+			return nil, fmt.Errorf("ticker: Quote payload %q lacks '='", payload)
+		}
+		cents, err := strconv.ParseInt(string(raw), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("ticker: bad price %q: %w", raw, err)
+		}
+		t.set(string(sym), cents)
+		t.version++
+		return []byte("ok"), nil
+	case "Trade":
+		sym, raw, ok := bytes.Cut(payload, []byte{':'})
+		if !ok {
+			return nil, fmt.Errorf("ticker: Trade payload %q lacks ':'", payload)
+		}
+		delta, err := strconv.ParseInt(string(raw), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("ticker: bad delta %q: %w", raw, err)
+		}
+		next := t.cents[string(sym)] + delta
+		t.set(string(sym), next)
+		t.version++
+		return []byte(strconv.FormatInt(next, 10)), nil
+	default:
+		return nil, fmt.Errorf("ticker: unknown update method %q", method)
+	}
+}
+
+func (t *Ticker) set(sym string, cents int64) {
+	if _, ok := t.cents[sym]; !ok {
+		t.symbols = append(t.symbols, sym)
+	}
+	t.cents[sym] = cents
+}
+
+// Read implements app.Application.
+func (t *Ticker) Read(method string, payload []byte) ([]byte, error) {
+	switch method {
+	case "Price":
+		cents, ok := t.cents[string(payload)]
+		if !ok {
+			return nil, fmt.Errorf("ticker: unknown symbol %q", payload)
+		}
+		return []byte(strconv.FormatInt(cents, 10)), nil
+	case "Board":
+		var buf bytes.Buffer
+		for i, sym := range t.symbols {
+			if i > 0 {
+				buf.WriteByte(';')
+			}
+			fmt.Fprintf(&buf, "%s=%d", sym, t.cents[sym])
+		}
+		return buf.Bytes(), nil
+	case "Version":
+		return []byte(fmt.Sprintf("v%d", t.version)), nil
+	default:
+		return nil, fmt.Errorf("ticker: unknown read method %q", method)
+	}
+}
+
+// Version returns the number of updates applied.
+func (t *Ticker) Version() uint64 { return t.version }
+
+// Snapshot implements app.Application; the encoding is canonical.
+func (t *Ticker) Snapshot() ([]byte, error) {
+	st := tickerState{
+		Symbols: t.symbols,
+		Prices:  make([]int64, len(t.symbols)),
+		Version: t.version,
+	}
+	for i, sym := range t.symbols {
+		st.Prices[i] = t.cents[sym]
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("ticker snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements app.Application.
+func (t *Ticker) Restore(snapshot []byte) error {
+	var st tickerState
+	if err := gob.NewDecoder(bytes.NewReader(snapshot)).Decode(&st); err != nil {
+		return fmt.Errorf("ticker restore: %w", err)
+	}
+	if len(st.Symbols) != len(st.Prices) {
+		return fmt.Errorf("ticker restore: %d symbols vs %d prices", len(st.Symbols), len(st.Prices))
+	}
+	t.cents = make(map[string]int64, len(st.Symbols))
+	for i, sym := range st.Symbols {
+		t.cents[sym] = st.Prices[i]
+	}
+	t.symbols = st.Symbols
+	t.version = st.Version
+	return nil
+}

@@ -1,0 +1,358 @@
+// Package causal implements the framework's causal ordering handler — the
+// third of the "well-known ordering guarantees" Section 2 names (sequential,
+// causal, FIFO). Where the sequential handler totally orders updates through
+// the sequencer, the causal handler guarantees only that causally related
+// updates are applied in dependency order at every replica; concurrent
+// updates may interleave differently.
+//
+// The design is the classic dependency-vector scheme: each client gateway
+// maintains a vector clock over clients recording the writes it has
+// observed (its own, plus those reflected in values it has read). An update
+// carries the client's dependency vector; a replica buffers the update
+// until its applied-vector dominates those dependencies, then applies it.
+// Reads return the replica's applied vector, which the reading client merges
+// into its own — so a subsequent write by the reader causally follows
+// everything it has seen.
+package causal
+
+import (
+	"math/rand"
+	"time"
+
+	"aqua/internal/app"
+	"aqua/internal/consistency"
+	"aqua/internal/group"
+	"aqua/internal/node"
+)
+
+// Vector is a vector clock over client IDs: the number of writes observed
+// per client.
+type Vector map[node.ID]uint64
+
+// Copy returns an independent copy.
+func (v Vector) Copy() Vector {
+	out := make(Vector, len(v))
+	for k, x := range v {
+		out[k] = x
+	}
+	return out
+}
+
+// Merge folds other into v, taking per-entry maxima.
+func (v Vector) Merge(other Vector) {
+	for k, x := range other {
+		if x > v[k] {
+			v[k] = x
+		}
+	}
+}
+
+// Dominates reports whether v ≥ other entry-wise.
+func (v Vector) Dominates(other Vector) bool {
+	for k, x := range other {
+		if v[k] < x {
+			return false
+		}
+	}
+	return true
+}
+
+// Wire messages of the causal handler.
+type (
+	// Update is a client write with its causal dependencies.
+	Update struct {
+		ID      consistency.RequestID
+		Method  string
+		Payload []byte
+		// Writer is the issuing client; Seq its per-client write number.
+		Writer node.ID
+		Seq    uint64
+		// Deps is the writer's observed vector before this write.
+		Deps Vector
+	}
+	// UpdateAck confirms an update applied at one replica, carrying the
+	// replica's applied vector.
+	UpdateAck struct {
+		ID      consistency.RequestID
+		Payload []byte
+		Err     string
+		Applied Vector
+		Replica node.ID
+	}
+	// ReadReq is a client read.
+	ReadReq struct {
+		ID      consistency.RequestID
+		Method  string
+		Payload []byte
+	}
+	// ReadReply returns the value plus the replica's applied vector.
+	ReadReply struct {
+		ID      consistency.RequestID
+		Payload []byte
+		Err     string
+		Applied Vector
+		Replica node.ID
+	}
+)
+
+// ReplicaConfig describes one causal replica.
+type ReplicaConfig struct {
+	Replicas []node.ID
+	Group    group.Config
+	// ServiceDelay simulates background load (nil for none).
+	ServiceDelay func(r *rand.Rand) time.Duration
+	App          app.Application
+}
+
+// Replica is a causal-ordering server gateway.
+type Replica struct {
+	cfg   ReplicaConfig
+	ctx   node.Context
+	stack *group.Stack
+
+	applied Vector
+	// waiting holds updates whose dependencies are not yet satisfied.
+	waiting []Update
+	// seen deduplicates updates by (writer, seq).
+	seen map[node.ID]uint64 // highest applied seq per writer
+}
+
+var _ node.Node = (*Replica)(nil)
+
+// NewReplica creates a causal replica gateway.
+func NewReplica(cfg ReplicaConfig) *Replica {
+	if cfg.App == nil {
+		panic("causal: ReplicaConfig.App is required")
+	}
+	return &Replica{cfg: cfg, applied: make(Vector), seen: make(map[node.ID]uint64)}
+}
+
+// Applied returns a copy of the replica's applied vector.
+func (r *Replica) Applied() Vector { return r.applied.Copy() }
+
+// App exposes the application.
+func (r *Replica) App() app.Application { return r.cfg.App }
+
+// Init implements node.Node.
+func (r *Replica) Init(ctx node.Context) {
+	r.ctx = ctx
+	r.stack = group.NewStack(ctx, r.cfg.Group, r.deliver)
+}
+
+// Recv implements node.Node.
+func (r *Replica) Recv(from node.ID, m node.Message) {
+	if r.stack.Handle(from, m) {
+		return
+	}
+	r.ctx.Logf("causal: unexpected raw message %T from %s", m, from)
+}
+
+func (r *Replica) deliver(from node.ID, m node.Message) {
+	switch msg := m.(type) {
+	case Update:
+		r.onUpdate(from, msg)
+	case ReadReq:
+		r.onRead(from, msg)
+	default:
+		r.ctx.Logf("causal: unhandled payload %T from %s", m, from)
+	}
+}
+
+func (r *Replica) onUpdate(from node.ID, u Update) {
+	if r.seen[u.Writer] >= u.Seq {
+		return // duplicate
+	}
+	r.waiting = append(r.waiting, u)
+	r.drain(from)
+}
+
+// drain applies every waiting update whose dependencies are satisfied,
+// repeating until a fixed point (one application may unblock others).
+// Updates from the same writer additionally apply in seq order, which the
+// dependency vectors enforce (write n+1 depends on write n).
+func (r *Replica) drain(ackTo node.ID) {
+	for {
+		progressed := false
+		var still []Update
+		for _, u := range r.waiting {
+			if r.canApply(u) {
+				r.apply(ackTo, u)
+				progressed = true
+			} else if r.seen[u.Writer] < u.Seq {
+				still = append(still, u)
+			}
+		}
+		r.waiting = still
+		if !progressed {
+			return
+		}
+	}
+}
+
+func (r *Replica) canApply(u Update) bool {
+	if r.seen[u.Writer] != u.Seq-1 {
+		return false // a prior write by the same client is missing
+	}
+	return r.applied.Dominates(u.Deps)
+}
+
+func (r *Replica) apply(ackTo node.ID, u Update) {
+	payload, err := r.cfg.App.ApplyUpdate(u.Method, u.Payload)
+	r.seen[u.Writer] = u.Seq
+	if u.Seq > r.applied[u.Writer] {
+		r.applied[u.Writer] = u.Seq
+	}
+	errStr := ""
+	if err != nil {
+		errStr = err.Error()
+	}
+	r.stack.Send(u.Writer, UpdateAck{
+		ID:      u.ID,
+		Payload: payload,
+		Err:     errStr,
+		Applied: r.applied.Copy(),
+		Replica: r.ctx.ID(),
+	})
+	_ = ackTo
+}
+
+func (r *Replica) onRead(from node.ID, req ReadReq) {
+	serve := func() {
+		payload, err := r.cfg.App.Read(req.Method, req.Payload)
+		errStr := ""
+		if err != nil {
+			errStr = err.Error()
+		}
+		r.stack.Send(from, ReadReply{
+			ID:      req.ID,
+			Payload: payload,
+			Err:     errStr,
+			Applied: r.applied.Copy(),
+			Replica: r.ctx.ID(),
+		})
+	}
+	if r.cfg.ServiceDelay != nil {
+		r.ctx.SetTimer(r.cfg.ServiceDelay(r.ctx.Rand()), serve)
+		return
+	}
+	serve()
+}
+
+// ClientConfig describes a causal client gateway.
+type ClientConfig struct {
+	Replicas []node.ID
+	Group    group.Config
+}
+
+// Client is the causal handler's client gateway. Writes go to every
+// replica; reads round-robin and merge the returned applied vector so
+// later writes depend on everything read.
+type Client struct {
+	cfg ClientConfig
+	ctx node.Context
+
+	stack    *group.Stack
+	observed Vector
+	writeSeq uint64
+	nextReq  uint64
+	rr       int
+	pending  map[consistency.RequestID]func(payload []byte, errStr string, applied Vector, replica node.ID)
+}
+
+var _ node.Node = (*Client)(nil)
+
+// NewClient creates a causal client gateway.
+func NewClient(cfg ClientConfig) *Client {
+	return &Client{
+		cfg:      cfg,
+		observed: make(Vector),
+		pending:  make(map[consistency.RequestID]func([]byte, string, Vector, node.ID)),
+	}
+}
+
+// Observed returns a copy of the client's observed vector.
+func (c *Client) Observed() Vector { return c.observed.Copy() }
+
+// Init implements node.Node.
+func (c *Client) Init(ctx node.Context) {
+	c.ctx = ctx
+	c.stack = group.NewStack(ctx, c.cfg.Group, c.deliver)
+}
+
+// Recv implements node.Node.
+func (c *Client) Recv(from node.ID, m node.Message) {
+	if c.stack.Handle(from, m) {
+		return
+	}
+	c.ctx.Logf("causal client: unexpected raw message %T from %s", m, from)
+}
+
+func (c *Client) deliver(from node.ID, m node.Message) {
+	switch msg := m.(type) {
+	case UpdateAck:
+		if cb, ok := c.pending[msg.ID]; ok {
+			delete(c.pending, msg.ID)
+			c.observed.Merge(msg.Applied)
+			if cb != nil {
+				cb(msg.Payload, msg.Err, msg.Applied, msg.Replica)
+			}
+		}
+	case ReadReply:
+		if cb, ok := c.pending[msg.ID]; ok {
+			delete(c.pending, msg.ID)
+			// Reading a value makes everything it reflects a causal
+			// dependency of this client's future writes.
+			c.observed.Merge(msg.Applied)
+			if cb != nil {
+				cb(msg.Payload, msg.Err, msg.Applied, msg.Replica)
+			}
+		}
+	}
+}
+
+// Write issues a causally ordered update to every replica. cb (optional)
+// fires on the first acknowledgment.
+func (c *Client) Write(method string, payload []byte, cb func(payload []byte, errStr string)) {
+	deps := c.observed.Copy()
+	c.writeSeq++
+	c.nextReq++
+	// The client's own previous write is always a dependency; encode it by
+	// advancing observed immediately.
+	c.observed[c.ctx.ID()] = c.writeSeq
+	id := consistency.RequestID{Client: c.ctx.ID(), Seq: c.nextReq}
+	var once bool
+	c.pending[id] = func(p []byte, e string, _ Vector, _ node.ID) {
+		if once {
+			return
+		}
+		once = true
+		if cb != nil {
+			cb(p, e)
+		}
+	}
+	u := Update{
+		ID:      id,
+		Method:  method,
+		Payload: payload,
+		Writer:  c.ctx.ID(),
+		Seq:     c.writeSeq,
+		Deps:    deps,
+	}
+	for _, r := range c.cfg.Replicas {
+		c.stack.Send(r, u)
+	}
+}
+
+// Read issues a read to one replica (round-robin); cb fires on the reply.
+func (c *Client) Read(method string, payload []byte, cb func(payload []byte, errStr string, replica node.ID)) {
+	c.nextReq++
+	id := consistency.RequestID{Client: c.ctx.ID(), Seq: c.nextReq}
+	c.pending[id] = func(p []byte, e string, _ Vector, rep node.ID) {
+		if cb != nil {
+			cb(p, e, rep)
+		}
+	}
+	target := c.cfg.Replicas[c.rr%len(c.cfg.Replicas)]
+	c.rr++
+	c.stack.Send(target, ReadReq{ID: id, Method: method, Payload: payload})
+}

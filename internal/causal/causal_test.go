@@ -1,0 +1,226 @@
+package causal
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"aqua/internal/apps"
+	"aqua/internal/group"
+	"aqua/internal/netsim"
+	"aqua/internal/node"
+	"aqua/internal/sim"
+)
+
+const ms = time.Millisecond
+
+func TestVectorOps(t *testing.T) {
+	a := Vector{"x": 2, "y": 1}
+	b := Vector{"x": 1, "z": 3}
+	c := a.Copy()
+	c.Merge(b)
+	if c["x"] != 2 || c["y"] != 1 || c["z"] != 3 {
+		t.Fatalf("merge = %v", c)
+	}
+	if a["z"] != 0 {
+		t.Fatal("merge mutated source copy origin")
+	}
+	if !c.Dominates(a) || !c.Dominates(b) {
+		t.Fatal("merged vector must dominate both")
+	}
+	if a.Dominates(b) {
+		t.Fatal("incomparable vectors reported dominance")
+	}
+	if !a.Dominates(Vector{}) {
+		t.Fatal("everything dominates the empty vector")
+	}
+}
+
+// Property: Merge is an upper bound and is commutative.
+func TestVectorMergeProperty(t *testing.T) {
+	prop := func(xs, ys []uint8) bool {
+		a, b := make(Vector), make(Vector)
+		for i, x := range xs {
+			a[node.ID(rune('a'+i%8))] = uint64(x)
+		}
+		for i, y := range ys {
+			b[node.ID(rune('a'+i%8))] = uint64(y)
+		}
+		m1 := a.Copy()
+		m1.Merge(b)
+		m2 := b.Copy()
+		m2.Merge(a)
+		if !m1.Dominates(a) || !m1.Dominates(b) {
+			return false
+		}
+		return m1.Dominates(m2) && m2.Dominates(m1) // equality
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type bed struct {
+	s        *sim.Scheduler
+	rt       *sim.Runtime
+	replicas map[node.ID]*Replica
+	clients  map[node.ID]*Client
+}
+
+func newBed(seed int64, nReplicas, nClients int, jitter time.Duration) *bed {
+	s := sim.NewScheduler(seed)
+	rt := sim.NewRuntime(s, sim.WithDelay(netsim.UniformDelay{Min: 0, Max: jitter}))
+	b := &bed{s: s, rt: rt, replicas: make(map[node.ID]*Replica), clients: make(map[node.ID]*Client)}
+	var rids []node.ID
+	for i := 0; i < nReplicas; i++ {
+		rids = append(rids, node.ID(fmt.Sprintf("r%d", i)))
+	}
+	gcfg := group.DefaultConfig()
+	gcfg.HeartbeatInterval = 0
+	for _, id := range rids {
+		r := NewReplica(ReplicaConfig{Replicas: rids, Group: gcfg, App: apps.NewKVStore()})
+		b.replicas[id] = r
+		rt.Register(id, r)
+	}
+	for i := 0; i < nClients; i++ {
+		id := node.ID(fmt.Sprintf("c%d", i))
+		c := NewClient(ClientConfig{Replicas: rids, Group: gcfg})
+		b.clients[id] = c
+		rt.Register(id, c)
+	}
+	return b
+}
+
+func TestCausalWriteAppliesEverywhere(t *testing.T) {
+	b := newBed(1, 3, 1, ms)
+	b.rt.Start()
+	var ackPayload string
+	b.s.After(0, func() {
+		b.clients["c0"].Write("Set", []byte("a=1"), func(p []byte, e string) {
+			ackPayload = string(p)
+		})
+	})
+	b.s.RunFor(time.Second)
+	if ackPayload != "v1" {
+		t.Fatalf("ack payload = %q", ackPayload)
+	}
+	for id, r := range b.replicas {
+		if got := r.Applied()["c0"]; got != 1 {
+			t.Fatalf("%s applied vector = %v", id, r.Applied())
+		}
+	}
+}
+
+func TestCausalSameWriterOrderHolds(t *testing.T) {
+	b := newBed(2, 3, 1, 25*ms) // heavy reordering
+	b.rt.Start()
+	const n = 20
+	b.s.After(0, func() {
+		for i := 0; i < n; i++ {
+			b.clients["c0"].Write("Set", []byte(fmt.Sprintf("k=%d", i)), nil)
+		}
+	})
+	b.s.RunFor(5 * time.Second)
+	for id, r := range b.replicas {
+		got, _ := r.App().Read("Get", []byte("k"))
+		if string(got) != fmt.Sprintf("%d", n-1) {
+			t.Fatalf("%s final k = %q, want %d (writer order broken)", id, got, n-1)
+		}
+	}
+}
+
+func TestCausalReadThenWriteOrdering(t *testing.T) {
+	// The causal litmus test: c0 writes x; c1 reads x, then writes y.
+	// Every replica must apply y only after x (y causally depends on x via
+	// c1's read), even with network jitter.
+	b := newBed(3, 3, 2, 15*ms)
+	b.rt.Start()
+	b.s.After(0, func() {
+		b.clients["c0"].Write("Set", []byte("x=1"), func([]byte, string) {
+			// c1 reads after c0's write is acked somewhere.
+			b.clients["c1"].Read("Get", []byte("x"), func(p []byte, e string, _ node.ID) {
+				b.clients["c1"].Write("Set", []byte("y=saw-"+string(p)), nil)
+			})
+		})
+	})
+	b.s.RunFor(5 * time.Second)
+	for id, r := range b.replicas {
+		y, _ := r.App().Read("Get", []byte("y"))
+		if len(y) == 0 {
+			t.Fatalf("%s never applied y", id)
+		}
+		x, _ := r.App().Read("Get", []byte("x"))
+		// Causality: wherever y exists, x must exist (y depends on x).
+		if string(x) != "1" {
+			t.Fatalf("%s has y=%q without x (causal violation)", id, y)
+		}
+		if string(y) != "saw-1" {
+			t.Fatalf("%s y = %q, want saw-1", id, y)
+		}
+	}
+}
+
+func TestCausalDependencyBuffering(t *testing.T) {
+	// Drive a replica directly: deliver a dependent update before its
+	// dependency; it must buffer, then apply both in order.
+	b := newBed(4, 1, 2, 0)
+	b.rt.Start()
+	b.s.RunFor(10 * ms)
+
+	r := b.replicas["r0"]
+	dep := Update{Writer: "c0", Seq: 1, Method: "Set", Payload: []byte("a=first"), Deps: Vector{}}
+	dependent := Update{Writer: "c1", Seq: 1, Method: "Set", Payload: []byte("a=second"), Deps: Vector{"c0": 1}}
+
+	b.s.After(0, func() { r.onUpdate("c1", dependent) })
+	b.s.RunFor(10 * ms)
+	if got := r.Applied()["c1"]; got != 0 {
+		t.Fatal("dependent update applied before its dependency")
+	}
+	b.s.After(0, func() { r.onUpdate("c0", dep) })
+	b.s.RunFor(10 * ms)
+	if r.Applied()["c0"] != 1 || r.Applied()["c1"] != 1 {
+		t.Fatalf("applied = %v", r.Applied())
+	}
+	got, _ := r.App().Read("Get", []byte("a"))
+	if string(got) != "second" {
+		t.Fatalf("a = %q, want second (dependency order)", got)
+	}
+}
+
+func TestCausalDuplicateUpdateIgnored(t *testing.T) {
+	b := newBed(5, 1, 1, 0)
+	b.rt.Start()
+	b.s.RunFor(10 * ms)
+	r := b.replicas["r0"]
+	u := Update{Writer: "c0", Seq: 1, Method: "Set", Payload: []byte("a=1"), Deps: Vector{}}
+	b.s.After(0, func() {
+		r.onUpdate("c0", u)
+		r.onUpdate("c0", u)
+	})
+	b.s.RunFor(10 * ms)
+	if kv := r.App().(*apps.KVStore); kv.Version() != 1 {
+		t.Fatalf("version = %d, duplicate applied", kv.Version())
+	}
+}
+
+func TestCausalClientObservedGrows(t *testing.T) {
+	b := newBed(6, 2, 1, ms)
+	b.rt.Start()
+	b.s.After(0, func() {
+		b.clients["c0"].Write("Set", []byte("a=1"), nil)
+	})
+	b.s.RunFor(time.Second)
+	if got := b.clients["c0"].Observed()["c0"]; got != 1 {
+		t.Fatalf("observed = %v", b.clients["c0"].Observed())
+	}
+}
+
+func TestCausalNewReplicaPanicsWithoutApp(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewReplica(ReplicaConfig{})
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"aqua/internal/apps"
+	"aqua/internal/qos"
+)
+
+const spec = "p00=h1:1,p01=h1:2,p02=h2:1,s00=h2:2,s01=h3:1,c00=h4:1"
+
+func TestParseBasic(t *testing.T) {
+	s, err := Parse(spec, "p00,p01,p02", "c00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Sequencer != "p00" {
+		t.Fatalf("sequencer = %s", s.Sequencer)
+	}
+	if len(s.Primaries) != 3 || len(s.Secondaries) != 2 || len(s.Clients) != 1 {
+		t.Fatalf("spec = %+v", s)
+	}
+	if s.Secondaries[0] != "s00" || s.Secondaries[1] != "s01" {
+		t.Fatalf("secondaries = %v", s.Secondaries)
+	}
+	if s.Addresses["p02"] != "h2:1" {
+		t.Fatalf("addresses = %v", s.Addresses)
+	}
+}
+
+func TestParseSortsPrimariesForSequencer(t *testing.T) {
+	s, err := Parse(spec, "p02,p00,p01", "c00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Sequencer != "p00" {
+		t.Fatalf("sequencer = %s, want lowest ID", s.Sequencer)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name                string
+		cluster, prim, clis string
+	}{
+		{"empty cluster", "", "a,b", ""},
+		{"bad entry", "p00", "p00,p01", ""},
+		{"duplicate id", "p00=h:1,p00=h:2", "p00,p01", ""},
+		{"one primary", spec, "p00", "c00"},
+		{"primary not in cluster", spec, "p00,zz", "c00"},
+		{"client not in cluster", spec, "p00,p01", "nope"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(tt.cluster, tt.prim, tt.clis); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestSplitIDs(t *testing.T) {
+	got := SplitIDs(" a, b ,,c ")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("SplitIDs = %v", got)
+	}
+	if len(SplitIDs("")) != 0 {
+		t.Fatal("empty split should be empty")
+	}
+	if !got.Contains("b") || got.Contains("z") {
+		t.Fatal("Contains wrong")
+	}
+	if s := got.Strings(); len(s) != 3 || s[0] != "a" {
+		t.Fatalf("Strings = %v", s)
+	}
+}
+
+func TestPeersForExcludesHosted(t *testing.T) {
+	s, _ := Parse(spec, "p00,p01,p02", "c00")
+	peers := s.PeersFor(IDList{"p00", "p01"})
+	if _, ok := peers["p00"]; ok {
+		t.Fatal("hosted node in peer map")
+	}
+	if len(peers) != 4 {
+		t.Fatalf("peers = %v", peers)
+	}
+}
+
+func TestServiceInfo(t *testing.T) {
+	s, _ := Parse(spec, "p00,p01,p02", "c00")
+	info := s.ServiceInfo(3 * time.Second)
+	if info.Sequencer != "p00" || info.LazyInterval != 3*time.Second || len(info.Secondaries) != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestNewReplicaValidation(t *testing.T) {
+	s, _ := Parse(spec, "p00,p01,p02", "c00")
+	if _, err := s.NewReplica("zz", time.Second, apps.NewKVStore()); err == nil {
+		t.Fatal("unknown replica accepted")
+	}
+	if _, err := s.NewReplica("c00", time.Second, apps.NewKVStore()); err == nil {
+		t.Fatal("client accepted as replica")
+	}
+	gw, err := s.NewReplica("s00", time.Second, apps.NewKVStore())
+	if err != nil || gw == nil {
+		t.Fatalf("NewReplica(s00) = %v", err)
+	}
+}
+
+func TestNewClientValidation(t *testing.T) {
+	s, _ := Parse(spec, "p00,p01,p02", "c00")
+	qspec := qos.Spec{Staleness: 1, Deadline: time.Second, MinProb: 0.5}
+	if _, err := s.NewClient("p00", qspec, qos.NewMethods("Get"), time.Second); err == nil {
+		t.Fatal("replica accepted as client")
+	}
+	gw, err := s.NewClient("c00", qspec, qos.NewMethods("Get"), time.Second)
+	if err != nil || gw == nil {
+		t.Fatalf("NewClient = %v", err)
+	}
+}

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aqua/internal/apps"
+	"aqua/internal/client"
+	"aqua/internal/live"
+	"aqua/internal/node"
+	"aqua/internal/qos"
+	"aqua/internal/tcpnet"
+)
+
+// TestClusterEndToEndOverTCP exercises the exact code path the aquad and
+// aquacli binaries run: parse a cluster spec, build replica and client
+// gateways from it, host them in separate live runtimes bridged by real
+// TCP, and complete a write+read under a QoS spec.
+func TestClusterEndToEndOverTCP(t *testing.T) {
+	// Three "processes": two replica hosts and one client host, with
+	// ephemeral ports discovered after listen.
+	type proc struct {
+		rt *live.Runtime
+		tr *tcpnet.Transport
+	}
+	mkProc := func() *proc {
+		rt := live.NewRuntime()
+		tr, err := tcpnet.New(rt, "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.SetRemote(tr.Send)
+		return &proc{rt: rt, tr: tr}
+	}
+	procA, procB, procC := mkProc(), mkProc(), mkProc()
+	defer func() {
+		procA.tr.Close()
+		procB.tr.Close()
+		procC.tr.Close()
+	}()
+
+	// Cluster spec written exactly as the -cluster flag would be.
+	hostOf := map[string]*proc{
+		"p00": procA, "p01": procA,
+		"p02": procB, "s00": procB,
+		"c00": procC,
+	}
+	specStr := ""
+	for id, p := range hostOf {
+		if specStr != "" {
+			specStr += ","
+		}
+		specStr += fmt.Sprintf("%s=%s", id, p.tr.Addr())
+	}
+	spec, err := Parse(specStr, "p00,p01,p02", "c00")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every process maps all non-local peers.
+	for idStr, p := range hostOf {
+		id := node.ID(idStr)
+		for otherStr, other := range hostOf {
+			if other != p {
+				p.tr.AddPeer(node.ID(otherStr), other.tr.Addr())
+			}
+		}
+		_ = id
+	}
+
+	const lazy = 500 * time.Millisecond
+	for _, idStr := range []string{"p00", "p01", "p02", "s00"} {
+		id := node.ID(idStr)
+		gw, err := spec.NewReplica(id, lazy, apps.NewKVStore())
+		if err != nil {
+			t.Fatal(err)
+		}
+		hostOf[idStr].rt.Register(id, gw)
+	}
+
+	qspec := qos.Spec{Staleness: 0, Deadline: time.Second, MinProb: 0.5}
+	cgw, err := spec.NewClient("c00", qspec, qos.NewMethods("Get", "Version"), lazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got atomic.Value
+	procC.rt.Register("c00", &drivenClient{gw: cgw, run: func(ctx node.Context) {
+		ctx.SetTimer(50*time.Millisecond, func() {
+			cgw.Invoke("Set", []byte("k=over-tcp"), func(client.Result) {
+				cgw.Invoke("Get", []byte("k"), func(r client.Result) {
+					got.Store(r)
+				})
+			})
+		})
+	}})
+
+	procA.rt.Start()
+	procB.rt.Start()
+	procC.rt.Start()
+	defer procA.rt.Stop()
+	defer procB.rt.Stop()
+	defer procC.rt.Stop()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && got.Load() == nil {
+		time.Sleep(5 * time.Millisecond)
+	}
+	r, ok := got.Load().(client.Result)
+	if !ok {
+		t.Fatal("read never completed over TCP")
+	}
+	if r.Err != "" || string(r.Payload) != "over-tcp" {
+		t.Fatalf("read = %+v", r)
+	}
+}
+
+// drivenClient mirrors the cmd binaries' pattern of running the workload in
+// the gateway's node context.
+type drivenClient struct {
+	gw  *client.Gateway
+	run func(node.Context)
+}
+
+func (d *drivenClient) Init(ctx node.Context) {
+	d.gw.Init(ctx)
+	d.run(ctx)
+}
+
+func (d *drivenClient) Recv(from node.ID, m node.Message) { d.gw.Recv(from, m) }

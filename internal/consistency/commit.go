@@ -1,0 +1,160 @@
+package consistency
+
+// CommitBuffer implements the primary replica's commit-in-GSN-order logic
+// from Section 4.1.1. A replica holds two pieces of state, my_GSN and
+// my_CSN; an update may be delivered to the application only when both the
+// request body (from the client) and its GSN assignment (from the
+// sequencer) have arrived, and only in strictly increasing GSN order. The
+// buffer pairs up bodies and assignments arriving in either order and emits
+// commits as they become sequential.
+type CommitBuffer struct {
+	myGSN uint64
+	myCSN uint64
+
+	// pendingGSN maps request IDs to assigned GSNs received before (or
+	// with) their bodies.
+	pendingGSN map[RequestID]uint64
+	// pendingBody holds update bodies awaiting their GSN assignment.
+	pendingBody map[RequestID]Request
+	// ready holds fully-paired updates keyed by GSN, awaiting their turn.
+	ready map[uint64]Request
+}
+
+// NewCommitBuffer creates an empty buffer with my_GSN = my_CSN = 0.
+func NewCommitBuffer() *CommitBuffer {
+	return &CommitBuffer{
+		pendingGSN:  make(map[RequestID]uint64),
+		pendingBody: make(map[RequestID]Request),
+		ready:       make(map[uint64]Request),
+	}
+}
+
+// MyGSN returns the replica's local view of the highest GSN it has seen.
+func (b *CommitBuffer) MyGSN() uint64 { return b.myGSN }
+
+// MyCSN returns the commit sequence number: the GSN of the most recent
+// update committed. Every update with GSN <= MyCSN has been committed.
+func (b *CommitBuffer) MyCSN() uint64 { return b.myCSN }
+
+// Staleness returns my_GSN − my_CSN, the replica's staleness measure from
+// Section 4.1.2.
+func (b *CommitBuffer) Staleness() int { return int(b.myGSN - b.myCSN) }
+
+// ObserveGSN folds any externally learned GSN (e.g. from a read's GSNAssign
+// broadcast) into my_GSN.
+func (b *CommitBuffer) ObserveGSN(gsn uint64) {
+	if gsn > b.myGSN {
+		b.myGSN = gsn
+	}
+}
+
+// AddBody records an update request body. It returns the requests that
+// become committable, in commit order.
+func (b *CommitBuffer) AddBody(req Request) []Request {
+	if gsn, ok := b.pendingGSN[req.ID]; ok {
+		delete(b.pendingGSN, req.ID)
+		return b.stage(gsn, req)
+	}
+	if _, dup := b.pendingBody[req.ID]; dup {
+		return nil
+	}
+	b.pendingBody[req.ID] = req
+	return nil
+}
+
+// AddAssign records a GSN assignment. It returns the requests that become
+// committable, in commit order.
+func (b *CommitBuffer) AddAssign(a GSNAssign) []Request {
+	b.ObserveGSN(a.GSN)
+	if !a.Update {
+		return nil
+	}
+	if a.GSN <= b.myCSN {
+		// Already committed (duplicate assignment after failover).
+		delete(b.pendingBody, a.ID)
+		return nil
+	}
+	if req, ok := b.pendingBody[a.ID]; ok {
+		delete(b.pendingBody, a.ID)
+		return b.stage(a.GSN, req)
+	}
+	if _, dup := b.pendingGSN[a.ID]; !dup {
+		b.pendingGSN[a.ID] = a.GSN
+	}
+	return nil
+}
+
+// HasBody reports whether an update body is still waiting for its GSN.
+func (b *CommitBuffer) HasBody(id RequestID) bool {
+	_, ok := b.pendingBody[id]
+	return ok
+}
+
+// PendingBodies returns the IDs of update bodies still awaiting a GSN
+// assignment; the replica gateway uses it to chase lost assignments after a
+// sequencer failover.
+func (b *CommitBuffer) PendingBodies() []RequestID {
+	out := make([]RequestID, 0, len(b.pendingBody))
+	for id := range b.pendingBody {
+		out = append(out, id)
+	}
+	return out
+}
+
+// PendingAssignments returns the IDs of GSN assignments whose update bodies
+// have not arrived. A body that reached only part of the primary group
+// stalls everyone else's commit stream at that GSN; the gateway chases
+// these with BodyRequests to its peers.
+func (b *CommitBuffer) PendingAssignments() []RequestID {
+	out := make([]RequestID, 0, len(b.pendingGSN))
+	for id := range b.pendingGSN {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Body returns the buffered body for id, if this replica still holds one.
+func (b *CommitBuffer) Body(id RequestID) (Request, bool) {
+	req, ok := b.pendingBody[id]
+	return req, ok
+}
+
+// SkipTo advances my_CSN without emitting commits. A secondary applying a
+// lazy state update uses it: the snapshot already contains the effect of
+// every update up to the publisher's CSN.
+func (b *CommitBuffer) SkipTo(csn uint64) []Request {
+	if csn <= b.myCSN {
+		return nil
+	}
+	b.myCSN = csn
+	b.ObserveGSN(csn)
+	// Drop staged updates the snapshot already covers, then emit any that
+	// became sequential.
+	for gsn := range b.ready {
+		if gsn <= csn {
+			delete(b.ready, gsn)
+		}
+	}
+	return b.drain()
+}
+
+func (b *CommitBuffer) stage(gsn uint64, req Request) []Request {
+	if gsn <= b.myCSN {
+		return nil // stale duplicate
+	}
+	b.ready[gsn] = req
+	return b.drain()
+}
+
+func (b *CommitBuffer) drain() []Request {
+	var out []Request
+	for {
+		req, ok := b.ready[b.myCSN+1]
+		if !ok {
+			return out
+		}
+		delete(b.ready, b.myCSN+1)
+		b.myCSN++
+		out = append(out, req)
+	}
+}

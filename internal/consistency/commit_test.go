@@ -1,0 +1,207 @@
+package consistency
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func upd(seq uint64) Request {
+	return Request{ID: rid("w", seq), Method: "Set"}
+}
+
+func assign(seq, gsn uint64) GSNAssign {
+	return GSNAssign{ID: rid("w", seq), GSN: gsn, Update: true}
+}
+
+func TestCommitBufferBodyThenAssign(t *testing.T) {
+	b := NewCommitBuffer()
+	if got := b.AddBody(upd(1)); got != nil {
+		t.Fatalf("committed before assignment: %v", got)
+	}
+	got := b.AddAssign(assign(1, 1))
+	if len(got) != 1 || got[0].ID != rid("w", 1) {
+		t.Fatalf("commit = %v", got)
+	}
+	if b.MyCSN() != 1 || b.MyGSN() != 1 {
+		t.Fatalf("CSN/GSN = %d/%d", b.MyCSN(), b.MyGSN())
+	}
+}
+
+func TestCommitBufferAssignThenBody(t *testing.T) {
+	b := NewCommitBuffer()
+	if got := b.AddAssign(assign(1, 1)); got != nil {
+		t.Fatalf("committed before body: %v", got)
+	}
+	got := b.AddBody(upd(1))
+	if len(got) != 1 {
+		t.Fatalf("commit = %v", got)
+	}
+}
+
+func TestCommitBufferOutOfOrderCommitsSequentially(t *testing.T) {
+	b := NewCommitBuffer()
+	// GSN 2 fully arrives first; it must wait for GSN 1.
+	b.AddBody(upd(2))
+	if got := b.AddAssign(assign(2, 2)); got != nil {
+		t.Fatalf("out-of-order commit: %v", got)
+	}
+	if b.Staleness() != 2 {
+		t.Fatalf("staleness = %d, want 2", b.Staleness())
+	}
+	b.AddBody(upd(1))
+	got := b.AddAssign(assign(1, 1))
+	if len(got) != 2 || got[0].ID != rid("w", 1) || got[1].ID != rid("w", 2) {
+		t.Fatalf("drain = %v, want updates 1 then 2", got)
+	}
+	if b.MyCSN() != 2 || b.Staleness() != 0 {
+		t.Fatalf("CSN = %d staleness = %d", b.MyCSN(), b.Staleness())
+	}
+}
+
+func TestCommitBufferDuplicateBodyIgnored(t *testing.T) {
+	b := NewCommitBuffer()
+	b.AddBody(upd(1))
+	b.AddBody(upd(1))
+	got := b.AddAssign(assign(1, 1))
+	if len(got) != 1 {
+		t.Fatalf("duplicate body caused %d commits", len(got))
+	}
+}
+
+func TestCommitBufferDuplicateAssignAfterCommitIgnored(t *testing.T) {
+	b := NewCommitBuffer()
+	b.AddBody(upd(1))
+	b.AddAssign(assign(1, 1))
+	if got := b.AddAssign(assign(1, 1)); got != nil {
+		t.Fatalf("re-commit on duplicate assign: %v", got)
+	}
+	// A late duplicate body for a committed GSN must also be dropped.
+	if got := b.AddBody(upd(1)); got != nil {
+		t.Fatalf("late body recommitted: %v", got)
+	}
+	if got := b.AddAssign(assign(1, 1)); got != nil {
+		t.Fatalf("stale pair recommitted: %v", got)
+	}
+}
+
+func TestCommitBufferObserveGSNTracksReads(t *testing.T) {
+	b := NewCommitBuffer()
+	b.ObserveGSN(7)
+	if b.MyGSN() != 7 || b.Staleness() != 7 {
+		t.Fatalf("GSN/staleness = %d/%d", b.MyGSN(), b.Staleness())
+	}
+	b.ObserveGSN(3) // never regresses
+	if b.MyGSN() != 7 {
+		t.Fatal("ObserveGSN regressed")
+	}
+}
+
+func TestCommitBufferSkipTo(t *testing.T) {
+	b := NewCommitBuffer()
+	// Updates 1..3 staged but only 2 and 3 fully arrive.
+	b.AddBody(upd(2))
+	b.AddAssign(assign(2, 2))
+	b.AddBody(upd(3))
+	b.AddAssign(assign(3, 3))
+	// State transfer covers through CSN 2: update 2 is subsumed, update 3
+	// becomes sequential and commits.
+	got := b.SkipTo(2)
+	if len(got) != 1 || got[0].ID != rid("w", 3) {
+		t.Fatalf("SkipTo drained %v, want update 3", got)
+	}
+	if b.MyCSN() != 3 {
+		t.Fatalf("CSN = %d, want 3", b.MyCSN())
+	}
+	if got := b.SkipTo(1); got != nil || b.MyCSN() != 3 {
+		t.Fatal("SkipTo regressed")
+	}
+}
+
+func TestCommitBufferPendingBodies(t *testing.T) {
+	b := NewCommitBuffer()
+	b.AddBody(upd(1))
+	b.AddBody(upd(2))
+	if !b.HasBody(rid("w", 1)) {
+		t.Fatal("HasBody false for pending body")
+	}
+	if got := b.PendingBodies(); len(got) != 2 {
+		t.Fatalf("PendingBodies = %v", got)
+	}
+	b.AddAssign(assign(1, 1))
+	if b.HasBody(rid("w", 1)) {
+		t.Fatal("HasBody true after commit")
+	}
+}
+
+// Property: for any interleaving where bodies and assignments of updates
+// 1..n arrive in arbitrary (permuted) order, commits come out exactly
+// 1..n in GSN order.
+func TestCommitBufferPermutationProperty(t *testing.T) {
+	prop := func(bodyOrder, assignOrder []uint8, interleave []bool) bool {
+		const n = 8
+		permute := func(raw []uint8) []uint64 {
+			p := make([]uint64, n)
+			for i := range p {
+				p[i] = uint64(i + 1)
+			}
+			for i, b := range raw {
+				j, k := int(b)%n, i%n
+				p[j], p[k] = p[k], p[j]
+			}
+			return p
+		}
+		bodies, assigns := permute(bodyOrder), permute(assignOrder)
+		b := NewCommitBuffer()
+		var committed []uint64
+		take := func(reqs []Request) {
+			for _, r := range reqs {
+				committed = append(committed, r.ID.Seq)
+			}
+		}
+		bi, ai := 0, 0
+		for bi < n || ai < n {
+			useBody := bi < n && (ai >= n || (len(interleave) > 0 && interleave[(bi+ai)%len(interleave)]))
+			if useBody {
+				take(b.AddBody(upd(bodies[bi])))
+				bi++
+			} else {
+				g := assigns[ai]
+				take(b.AddAssign(assign(g, g)))
+				ai++
+			}
+		}
+		if len(committed) != n || b.MyCSN() != n {
+			return false
+		}
+		for i, g := range committed {
+			if g != uint64(i+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommitBufferPendingAssignmentsAndBody(t *testing.T) {
+	b := NewCommitBuffer()
+	b.AddAssign(assign(1, 1)) // assignment without body
+	got := b.PendingAssignments()
+	if len(got) != 1 || got[0] != rid("w", 1) {
+		t.Fatalf("PendingAssignments = %v", got)
+	}
+	if _, ok := b.Body(rid("w", 1)); ok {
+		t.Fatal("Body reported a body that never arrived")
+	}
+	b.AddBody(upd(2)) // body without assignment
+	if req, ok := b.Body(rid("w", 2)); !ok || req.ID != rid("w", 2) {
+		t.Fatalf("Body = %+v, %v", req, ok)
+	}
+	// Completing update 1 clears its pending assignment.
+	b.AddBody(upd(1))
+	if len(b.PendingAssignments()) != 0 {
+		t.Fatalf("PendingAssignments after commit = %v", b.PendingAssignments())
+	}
+}

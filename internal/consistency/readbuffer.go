@@ -1,0 +1,147 @@
+package consistency
+
+import (
+	"time"
+
+	"aqua/internal/node"
+)
+
+// PendingRead tracks a read-only request while it moves through the
+// server-side pipeline of Section 4.1.2: buffered until the sequencer's GSN
+// broadcast arrives, then possibly deferred until the next lazy update.
+type PendingRead struct {
+	Req  Request
+	From node.ID
+	// ArrivedAt is when the request reached this gateway (starts tq).
+	ArrivedAt time.Time
+	// GSN is the sequencer's snapshot for this read, valid once assigned.
+	GSN uint64
+	// DeferredAt is when the replica decided to defer (starts tb); zero if
+	// the read was never deferred.
+	DeferredAt time.Time
+}
+
+// ReadBuffer pairs read request bodies with their GSN broadcasts, arriving
+// in either order, and holds deferred reads until a state update.
+//
+// The sequencer broadcasts every read's GSN to all replicas, but only the
+// selected subset holds the body, so unclaimed assignments (and the dedup
+// memory of served requests) are bounded FIFO memos: oldest entries are
+// pruned past maxMemo.
+type ReadBuffer struct {
+	waitingBody   map[RequestID]PendingRead // have body, waiting for GSN
+	waitingAssign map[RequestID]uint64      // have GSN, waiting for body
+	assignOrder   []RequestID
+	deferred      []PendingRead
+	seen          map[RequestID]bool // delivered or in-flight, for dedup
+	seenOrder     []RequestID
+	maxMemo       int
+}
+
+// NewReadBuffer creates an empty buffer. maxMemo bounds the unclaimed
+// assignment and dedup memos; <=0 selects a default.
+func NewReadBuffer(maxMemo int) *ReadBuffer {
+	if maxMemo <= 0 {
+		maxMemo = 4096
+	}
+	return &ReadBuffer{
+		waitingBody:   make(map[RequestID]PendingRead),
+		waitingAssign: make(map[RequestID]uint64),
+		seen:          make(map[RequestID]bool),
+		maxMemo:       maxMemo,
+	}
+}
+
+// AddRead records an arriving read body. If its GSN broadcast already
+// arrived the read is returned ready=true with GSN filled in; otherwise it
+// is buffered. Duplicate bodies are dropped (ready=false).
+func (b *ReadBuffer) AddRead(req Request, from node.ID, now time.Time) (pr PendingRead, ready bool) {
+	if b.seen[req.ID] {
+		return PendingRead{}, false
+	}
+	pr = PendingRead{Req: req, From: from, ArrivedAt: now}
+	if gsn, ok := b.waitingAssign[req.ID]; ok {
+		delete(b.waitingAssign, req.ID)
+		b.markSeen(req.ID)
+		pr.GSN = gsn
+		return pr, true
+	}
+	b.waitingBody[req.ID] = pr
+	return PendingRead{}, false
+}
+
+// AddAssign records a GSN broadcast for a read. If the body is waiting, the
+// read is returned ready=true. Duplicate assignments for unseen bodies are
+// memoized once.
+func (b *ReadBuffer) AddAssign(id RequestID, gsn uint64) (pr PendingRead, ready bool) {
+	if pr, ok := b.waitingBody[id]; ok {
+		delete(b.waitingBody, id)
+		b.markSeen(id)
+		pr.GSN = gsn
+		return pr, true
+	}
+	if !b.seen[id] {
+		if _, dup := b.waitingAssign[id]; !dup {
+			b.waitingAssign[id] = gsn
+			b.assignOrder = append(b.assignOrder, id)
+			if len(b.assignOrder) > b.maxMemo {
+				victim := b.assignOrder[0]
+				b.assignOrder = b.assignOrder[1:]
+				delete(b.waitingAssign, victim)
+			}
+		}
+	}
+	return PendingRead{}, false
+}
+
+func (b *ReadBuffer) markSeen(id RequestID) {
+	if b.seen[id] {
+		return
+	}
+	b.seen[id] = true
+	b.seenOrder = append(b.seenOrder, id)
+	if len(b.seenOrder) > b.maxMemo {
+		victim := b.seenOrder[0]
+		b.seenOrder = b.seenOrder[1:]
+		delete(b.seen, victim)
+	}
+}
+
+// Defer parks a read that is too stale to serve until the next state
+// update; now starts its tb clock.
+func (b *ReadBuffer) Defer(pr PendingRead, now time.Time) {
+	pr.DeferredAt = now
+	b.deferred = append(b.deferred, pr)
+}
+
+// DrainDeferred removes and returns all deferred reads, oldest first. The
+// caller re-checks staleness and may re-defer individual reads.
+func (b *ReadBuffer) DrainDeferred() []PendingRead {
+	out := b.deferred
+	b.deferred = nil
+	return out
+}
+
+// DeferredLen returns the number of parked deferred reads.
+func (b *ReadBuffer) DeferredLen() int { return len(b.deferred) }
+
+// AwaitingGSN returns the IDs of reads that have waited for a GSN broadcast
+// since before cutoff — candidates for a GSNRequest chase after sequencer
+// failover.
+func (b *ReadBuffer) AwaitingGSN(cutoff time.Time) []RequestID {
+	var out []RequestID
+	for id, pr := range b.waitingBody {
+		if pr.ArrivedAt.Before(cutoff) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Forget drops memory of a request ID (bounded-state hygiene for very long
+// runs; the gateway prunes IDs whose replies are long sent).
+func (b *ReadBuffer) Forget(id RequestID) {
+	delete(b.seen, id)
+	delete(b.waitingAssign, id)
+	delete(b.waitingBody, id)
+}

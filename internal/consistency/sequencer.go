@@ -1,0 +1,71 @@
+package consistency
+
+// SequencerState is the pure state machine of the GSN sequencer: it assigns
+// strictly increasing Global Sequence Numbers to update requests and
+// snapshots the current GSN for read requests. Assignments are memoized so
+// duplicate requests (client retransmissions, post-failover GSNRequests)
+// re-receive their original number — assigning a fresh GSN to a duplicate
+// would violate sequential consistency.
+type SequencerState struct {
+	gsn      uint64
+	assigned map[RequestID]uint64
+	order    []RequestID // FIFO of memoized IDs, for pruning
+	maxMemo  int
+}
+
+// NewSequencerState creates a sequencer state. maxMemo bounds the
+// assignment memo (oldest entries are pruned); <=0 selects a default large
+// enough that only long-gone requests are forgotten.
+func NewSequencerState(maxMemo int) *SequencerState {
+	if maxMemo <= 0 {
+		maxMemo = 4096
+	}
+	return &SequencerState{
+		assigned: make(map[RequestID]uint64),
+		maxMemo:  maxMemo,
+	}
+}
+
+// GSN returns the current (highest assigned) global sequence number.
+func (s *SequencerState) GSN() uint64 { return s.gsn }
+
+// Resume installs a starting GSN after failover; the new sequencer calls it
+// with the highest GSN discovered by its GSNQuery round. It never moves the
+// counter backwards.
+func (s *SequencerState) Resume(gsn uint64) {
+	if gsn > s.gsn {
+		s.gsn = gsn
+	}
+}
+
+// AssignUpdate returns the GSN for an update request, advancing the counter
+// exactly once per distinct request ID.
+func (s *SequencerState) AssignUpdate(id RequestID) uint64 {
+	if g, ok := s.assigned[id]; ok {
+		return g
+	}
+	s.gsn++
+	s.memoize(id, s.gsn)
+	return s.gsn
+}
+
+// SnapshotRead returns the current GSN for a read request without advancing
+// it. Reads are memoized too: a deferred GSNRequest for a read must observe
+// the GSN the read was originally ordered against, not a later one.
+func (s *SequencerState) SnapshotRead(id RequestID) uint64 {
+	if g, ok := s.assigned[id]; ok {
+		return g
+	}
+	s.memoize(id, s.gsn)
+	return s.gsn
+}
+
+func (s *SequencerState) memoize(id RequestID, gsn uint64) {
+	s.assigned[id] = gsn
+	s.order = append(s.order, id)
+	if len(s.order) > s.maxMemo {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		delete(s.assigned, victim)
+	}
+}

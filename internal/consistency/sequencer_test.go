@@ -1,0 +1,108 @@
+package consistency
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aqua/internal/node"
+)
+
+func rid(client string, seq uint64) RequestID {
+	return RequestID{Client: node.ID("c-" + client), Seq: seq}
+}
+
+func TestSequencerAssignsMonotonically(t *testing.T) {
+	s := NewSequencerState(0)
+	for i := uint64(1); i <= 5; i++ {
+		if got := s.AssignUpdate(rid("a", i)); got != i {
+			t.Fatalf("assignment %d = %d", i, got)
+		}
+	}
+	if s.GSN() != 5 {
+		t.Fatalf("GSN = %d, want 5", s.GSN())
+	}
+}
+
+func TestSequencerDuplicateUpdateKeepsGSN(t *testing.T) {
+	s := NewSequencerState(0)
+	id := rid("a", 1)
+	g1 := s.AssignUpdate(id)
+	s.AssignUpdate(rid("a", 2))
+	g2 := s.AssignUpdate(id) // retransmission
+	if g1 != g2 {
+		t.Fatalf("duplicate got %d, original %d", g2, g1)
+	}
+	if s.GSN() != 2 {
+		t.Fatalf("duplicate advanced GSN to %d", s.GSN())
+	}
+}
+
+func TestSequencerReadDoesNotAdvance(t *testing.T) {
+	s := NewSequencerState(0)
+	s.AssignUpdate(rid("a", 1))
+	if got := s.SnapshotRead(rid("b", 1)); got != 1 {
+		t.Fatalf("read snapshot = %d, want 1", got)
+	}
+	if s.GSN() != 1 {
+		t.Fatal("read advanced the GSN")
+	}
+}
+
+func TestSequencerReadSnapshotIsStable(t *testing.T) {
+	s := NewSequencerState(0)
+	s.AssignUpdate(rid("a", 1))
+	readID := rid("b", 1)
+	g1 := s.SnapshotRead(readID)
+	s.AssignUpdate(rid("a", 2)) // GSN moves on
+	g2 := s.SnapshotRead(readID)
+	if g1 != g2 {
+		t.Fatalf("re-requested read snapshot changed: %d -> %d", g1, g2)
+	}
+}
+
+func TestSequencerResumeNeverRegresses(t *testing.T) {
+	s := NewSequencerState(0)
+	s.Resume(10)
+	if s.GSN() != 10 {
+		t.Fatalf("GSN after resume = %d", s.GSN())
+	}
+	s.Resume(5)
+	if s.GSN() != 10 {
+		t.Fatal("Resume moved GSN backwards")
+	}
+	if got := s.AssignUpdate(rid("a", 1)); got != 11 {
+		t.Fatalf("assignment after resume = %d, want 11", got)
+	}
+}
+
+func TestSequencerMemoPruning(t *testing.T) {
+	s := NewSequencerState(3)
+	ids := []RequestID{rid("a", 1), rid("a", 2), rid("a", 3), rid("a", 4)}
+	for _, id := range ids {
+		s.AssignUpdate(id)
+	}
+	// The oldest memo (a,1) was pruned; re-assigning gives a fresh number.
+	if got := s.AssignUpdate(ids[0]); got != 5 {
+		t.Fatalf("pruned duplicate = %d, want fresh 5", got)
+	}
+	// Recent ones are still memoized.
+	if got := s.AssignUpdate(ids[3]); got != 4 {
+		t.Fatalf("recent duplicate = %d, want 4", got)
+	}
+}
+
+// Property: assigned GSNs for distinct IDs are exactly 1..n in order.
+func TestSequencerDenseAssignmentProperty(t *testing.T) {
+	prop := func(n uint8) bool {
+		s := NewSequencerState(0)
+		for i := uint64(0); i < uint64(n); i++ {
+			if s.AssignUpdate(rid("x", i)) != i+1 {
+				return false
+			}
+		}
+		return s.GSN() == uint64(n)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,278 @@
+// Package core is the framework's top-level API: it deploys a replicated
+// service — sequencer, primary group, secondary group, lazy publisher, and
+// client gateways with QoS specifications — onto any runtime (the
+// deterministic simulator or the live goroutine runtime), mirroring the
+// replica organization of Figure 1.
+//
+// It also hosts the paper's Section 7 extensions: admission control and the
+// priority-to-probability mapping.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"aqua/internal/app"
+	"aqua/internal/client"
+	"aqua/internal/consistency"
+	"aqua/internal/group"
+	"aqua/internal/node"
+	"aqua/internal/qos"
+	"aqua/internal/replica"
+	"aqua/internal/selection"
+)
+
+// Runtime is the minimal registration surface both runtimes expose.
+type Runtime interface {
+	Register(id node.ID, n node.Node)
+}
+
+// ServiceConfig describes a replicated service deployment.
+type ServiceConfig struct {
+	// Primaries is the primary group size, including the sequencer.
+	// Must be at least 2 (the sequencer never serves requests).
+	Primaries int
+	// Secondaries is the secondary group size.
+	Secondaries int
+	// LazyInterval is T_L.
+	LazyInterval time.Duration
+	// ServiceDelay simulates background load per request (nil for none).
+	ServiceDelay replica.DelayModel
+	// Group tunes the communication substrate for replicas.
+	Group group.Config
+	// NewApp builds one application instance per replica.
+	NewApp func() app.Application
+	// ChaseInterval and TakeoverTimeout tune failover handling (0 =
+	// defaults).
+	ChaseInterval   time.Duration
+	TakeoverTimeout time.Duration
+	// OnApply, if set, observes every (replica, gsn, request) application —
+	// the ordering-invariant hook used by the protocol fuzzer.
+	OnApply func(replica node.ID, gsn uint64, id consistency.RequestID)
+}
+
+// ClientConfig describes one client gateway and its workload driver.
+type ClientConfig struct {
+	ID   node.ID
+	Spec qos.Spec
+	// Methods names the service's read-only methods.
+	Methods *qos.Methods
+	// Selector defaults to the paper's Algorithm 1.
+	Selector selection.Selector
+	// WindowSize is the repository sliding-window length l (default 20).
+	WindowSize int
+	// BinWidth coarsens model pmfs (0 = default 2ms, negative = none).
+	BinWidth time.Duration
+	// Group tunes the client's substrate (heartbeats are unnecessary for
+	// clients; the zero value disables them but keeps retransmission on
+	// via DefaultsForClient).
+	Group *group.Config
+	// OnBreach is the QoS-violation callback.
+	OnBreach func(float64)
+	// CountedEstimator selects the n_L-anchored staleness estimator.
+	CountedEstimator bool
+	// OnSelect observes every read's predicted success probability and
+	// selection size (model-calibration experiments).
+	OnSelect func(predicted float64, selected int)
+	// RetryInterval/MaxRetries tune the client's retransmission machinery
+	// (0 = defaults). Experiments without failure injection set a very
+	// large interval: the paper's clients never retransmit, and retries
+	// would mask the deferred-read latency tail the evaluation measures.
+	RetryInterval time.Duration
+	MaxRetries    int
+	// Driver, if set, runs once at Init in the client's node context —
+	// the workload generator's entry point.
+	Driver func(ctx node.Context, gw *client.Gateway)
+}
+
+// Deployment is a wired service: every gateway, addressed by node ID.
+type Deployment struct {
+	// Sequencer is the initial sequencer (leader of the primary group).
+	Sequencer node.ID
+	// PrimaryGroup lists all primary members, sequencer included.
+	PrimaryGroup []node.ID
+	// ServingPrimaries lists primaries that answer requests (no sequencer).
+	ServingPrimaries []node.ID
+	// Secondaries lists the secondary group.
+	Secondaries []node.ID
+	// ClientIDs lists client gateways in deployment order.
+	ClientIDs []node.ID
+
+	Replicas map[node.ID]*replica.Gateway
+	Clients  map[node.ID]*client.Gateway
+
+	// Info is what each client was told about the service.
+	Info client.ServiceInfo
+
+	svc ServiceConfig
+}
+
+// NewReplicaGateway builds a fresh gateway for a deployed replica ID — the
+// replacement instance for a process restart (pass it to the runtime's
+// Restart). The new instance starts empty and recovers state through the
+// replica recovery protocol (startup SyncRequest, commit-gap chase).
+func (d *Deployment) NewReplicaGateway(id node.ID) (*replica.Gateway, error) {
+	primary := false
+	for _, p := range d.PrimaryGroup {
+		if p == id {
+			primary = true
+		}
+	}
+	if !primary {
+		found := false
+		for _, s := range d.Secondaries {
+			if s == id {
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: %q is not a replica of this deployment", id)
+		}
+	}
+	gw := replica.New(replica.Config{
+		Primary:         primary,
+		PrimaryGroup:    d.PrimaryGroup,
+		Secondaries:     d.Secondaries,
+		Clients:         d.ClientIDs,
+		Group:           d.svc.Group,
+		LazyInterval:    d.svc.LazyInterval,
+		ServiceDelay:    d.svc.ServiceDelay,
+		ChaseInterval:   d.svc.ChaseInterval,
+		TakeoverTimeout: d.svc.TakeoverTimeout,
+		App:             d.svc.NewApp(),
+	})
+	d.Replicas[id] = gw
+	return gw, nil
+}
+
+// DefaultsForClient returns substrate settings for client gateways:
+// reliable FIFO links with retransmission, no heartbeats (clients join no
+// groups).
+func DefaultsForClient() group.Config {
+	cfg := group.DefaultConfig()
+	cfg.HeartbeatInterval = 0
+	cfg.FailTimeout = 0
+	return cfg
+}
+
+// Deploy registers a full service and its clients with rt. Node IDs are
+// generated: the sequencer and primaries are p00, p01, ...; secondaries
+// s00, s01, ...; p00 is the initial sequencer.
+func Deploy(rt Runtime, svc ServiceConfig, clients []ClientConfig) (*Deployment, error) {
+	if svc.Primaries < 2 {
+		return nil, errors.New("core: need at least 2 primaries (sequencer + 1 serving member)")
+	}
+	if svc.NewApp == nil {
+		return nil, errors.New("core: ServiceConfig.NewApp is required")
+	}
+	if svc.LazyInterval <= 0 {
+		return nil, errors.New("core: LazyInterval must be positive")
+	}
+	for _, c := range clients {
+		if err := c.Spec.Validate(); err != nil {
+			return nil, fmt.Errorf("core: client %s: %w", c.ID, err)
+		}
+		if c.ID == "" {
+			return nil, errors.New("core: client ID required")
+		}
+	}
+
+	d := &Deployment{
+		Replicas: make(map[node.ID]*replica.Gateway),
+		Clients:  make(map[node.ID]*client.Gateway),
+		svc:      svc,
+	}
+	for i := 0; i < svc.Primaries; i++ {
+		d.PrimaryGroup = append(d.PrimaryGroup, node.ID(fmt.Sprintf("p%02d", i)))
+	}
+	d.Sequencer = d.PrimaryGroup[0]
+	d.ServingPrimaries = d.PrimaryGroup[1:]
+	for i := 0; i < svc.Secondaries; i++ {
+		d.Secondaries = append(d.Secondaries, node.ID(fmt.Sprintf("s%02d", i)))
+	}
+	for _, c := range clients {
+		d.ClientIDs = append(d.ClientIDs, c.ID)
+	}
+
+	d.Info = client.ServiceInfo{
+		Primaries:    d.PrimaryGroup,
+		Secondaries:  d.Secondaries,
+		Sequencer:    d.Sequencer,
+		LazyInterval: svc.LazyInterval,
+	}
+
+	replicaCfg := func(id node.ID, primary bool) replica.Config {
+		var onApply func(uint64, consistency.RequestID)
+		if svc.OnApply != nil {
+			onApply = func(gsn uint64, rid consistency.RequestID) { svc.OnApply(id, gsn, rid) }
+		}
+		return replica.Config{
+			OnApply:         onApply,
+			Primary:         primary,
+			PrimaryGroup:    d.PrimaryGroup,
+			Secondaries:     d.Secondaries,
+			Clients:         d.ClientIDs,
+			Group:           svc.Group,
+			LazyInterval:    svc.LazyInterval,
+			ServiceDelay:    svc.ServiceDelay,
+			ChaseInterval:   svc.ChaseInterval,
+			TakeoverTimeout: svc.TakeoverTimeout,
+			App:             svc.NewApp(),
+		}
+	}
+	for _, id := range d.PrimaryGroup {
+		gw := replica.New(replicaCfg(id, true))
+		d.Replicas[id] = gw
+		rt.Register(id, gw)
+	}
+	for _, id := range d.Secondaries {
+		gw := replica.New(replicaCfg(id, false))
+		d.Replicas[id] = gw
+		rt.Register(id, gw)
+	}
+
+	for _, c := range clients {
+		gcfg := DefaultsForClient()
+		if c.Group != nil {
+			gcfg = *c.Group
+		}
+		gw := client.New(client.Config{
+			Service:          d.Info,
+			Spec:             c.Spec,
+			Methods:          c.Methods,
+			WindowSize:       c.WindowSize,
+			BinWidth:         c.BinWidth,
+			Selector:         c.Selector,
+			Group:            gcfg,
+			OnBreach:         c.OnBreach,
+			CountedEstimator: c.CountedEstimator,
+			OnSelect:         c.OnSelect,
+			RetryInterval:    c.RetryInterval,
+			MaxRetries:       c.MaxRetries,
+		})
+		d.Clients[c.ID] = gw
+		var n node.Node = gw
+		if c.Driver != nil {
+			n = &drivenClient{gw: gw, driver: c.Driver}
+		}
+		rt.Register(c.ID, n)
+	}
+	return d, nil
+}
+
+// drivenClient wraps a client gateway with a workload driver that runs in
+// the node's own context at Init.
+type drivenClient struct {
+	gw     *client.Gateway
+	driver func(ctx node.Context, gw *client.Gateway)
+}
+
+func (d *drivenClient) Init(ctx node.Context) {
+	d.gw.Init(ctx)
+	d.driver(ctx, d.gw)
+}
+
+func (d *drivenClient) Recv(from node.ID, m node.Message) {
+	d.gw.Recv(from, m)
+}

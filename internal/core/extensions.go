@@ -1,0 +1,141 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"aqua/internal/client"
+	"aqua/internal/node"
+	"aqua/internal/qos"
+	"aqua/internal/repository"
+	"aqua/internal/selection"
+)
+
+// This file implements the extensions sketched in the paper's conclusions
+// (Section 7): "with some modifications, we can also use our framework to
+// perform admission control" and "the clients can replace the probability
+// of timely response with a higher-level specification, such as priority
+// ... the middleware can then internally map these higher level inputs to
+// an appropriate probability value".
+
+// PriorityMap translates client priority levels into minimum probabilities
+// of timely response. Index 0 is the lowest priority.
+type PriorityMap struct {
+	levels []float64
+}
+
+// NewPriorityMap builds a map from ascending probability levels. It panics
+// on an empty or non-monotone level list — a static configuration bug.
+func NewPriorityMap(levels ...float64) PriorityMap {
+	if len(levels) == 0 {
+		panic("core: priority map needs at least one level")
+	}
+	if !sort.Float64sAreSorted(levels) {
+		panic("core: priority levels must ascend")
+	}
+	for _, l := range levels {
+		if l < 0 || l > 1 {
+			panic("core: priority levels must be probabilities")
+		}
+	}
+	return PriorityMap{levels: append([]float64(nil), levels...)}
+}
+
+// DefaultPriorityMap offers four levels: bronze 0.5, silver 0.7, gold 0.9,
+// platinum 0.99.
+func DefaultPriorityMap() PriorityMap {
+	return NewPriorityMap(0.5, 0.7, 0.9, 0.99)
+}
+
+// Levels returns the number of priority levels.
+func (p PriorityMap) Levels() int { return len(p.levels) }
+
+// MinProb maps a priority (0 = lowest) to its probability, clamping
+// out-of-range priorities to the nearest level.
+func (p PriorityMap) MinProb(priority int) float64 {
+	if priority < 0 {
+		priority = 0
+	}
+	if priority >= len(p.levels) {
+		priority = len(p.levels) - 1
+	}
+	return p.levels[priority]
+}
+
+// SpecFor builds a full QoS specification from a priority level plus the
+// client's consistency and deadline requirements.
+func (p PriorityMap) SpecFor(priority, staleness int, deadline time.Duration) qos.Spec {
+	return qos.Spec{
+		Staleness: staleness,
+		Deadline:  deadline,
+		MinProb:   p.MinProb(priority),
+	}
+}
+
+// AdmissionDecision reports whether a prospective client's QoS is currently
+// satisfiable, and with what margin.
+type AdmissionDecision struct {
+	// Admit is true when the selection model predicts the spec can be met
+	// by a strict subset of the replicas (so one replica of headroom
+	// remains even under the algorithm's crash-exclusion rule).
+	Admit bool
+	// PredictedPK is P_K(d) of the set Algorithm 1 would choose, with its
+	// best member excluded (the value the stopping rule tests).
+	PredictedPK float64
+	// ReplicasNeeded is the number of serving replicas that set uses.
+	ReplicasNeeded int
+}
+
+// AdmissionController evaluates prospective client specs against observed
+// replica performance. The paper's deployment admits all clients and
+// reports violations after the fact; this controller performs the a-priori
+// check the conclusions propose, reusing the same probabilistic model.
+type AdmissionController struct {
+	Model selection.Model
+}
+
+// Evaluate decides whether a client with spec could be admitted now, given
+// a repository of observed performance (typically a snapshot from an
+// existing client gateway or a monitoring probe).
+func (a AdmissionController) Evaluate(
+	repo *repository.Repository,
+	info client.ServiceInfo,
+	spec qos.Spec,
+	now time.Time,
+) AdmissionDecision {
+	serving := make([]node.ID, 0, len(info.Primaries))
+	for _, id := range info.Primaries {
+		if id != info.Sequencer {
+			serving = append(serving, id)
+		}
+	}
+	in := a.Model.Evaluate(repo, serving, info.Secondaries, info.Sequencer, spec, now)
+	sel := selection.Algorithm1{}.Select(in)
+
+	// Count serving replicas in the selection and rebuild the candidate
+	// subset to evaluate the stopping-rule probability.
+	byID := make(map[node.ID]selection.Candidate, len(in.Candidates))
+	for _, c := range in.Candidates {
+		byID[c.ID] = c
+	}
+	var chosen []selection.Candidate
+	for _, id := range sel {
+		if c, ok := byID[id]; ok {
+			chosen = append(chosen, c)
+		}
+	}
+	d := AdmissionDecision{ReplicasNeeded: len(chosen)}
+	if len(chosen) == 0 {
+		return d
+	}
+	best := 0
+	for i, c := range chosen {
+		if c.ImmedCDF > chosen[best].ImmedCDF {
+			best = i
+		}
+	}
+	surviving := append(append([]selection.Candidate{}, chosen[:best]...), chosen[best+1:]...)
+	d.PredictedPK = selection.PK(surviving, in.StaleFactor)
+	d.Admit = len(chosen) < len(in.Candidates) && d.PredictedPK >= spec.MinProb
+	return d
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"aqua/internal/client"
+	"aqua/internal/node"
+	"aqua/internal/qos"
+	"aqua/internal/repository"
+	"aqua/internal/selection"
+)
+
+func TestPriorityMapLevels(t *testing.T) {
+	p := DefaultPriorityMap()
+	if p.Levels() != 4 {
+		t.Fatalf("levels = %d", p.Levels())
+	}
+	if p.MinProb(0) != 0.5 || p.MinProb(3) != 0.99 {
+		t.Fatal("level probabilities wrong")
+	}
+	// Clamping.
+	if p.MinProb(-5) != 0.5 || p.MinProb(99) != 0.99 {
+		t.Fatal("clamping wrong")
+	}
+}
+
+func TestPriorityMapSpecFor(t *testing.T) {
+	p := DefaultPriorityMap()
+	spec := p.SpecFor(2, 3, 150*ms)
+	if spec.MinProb != 0.9 || spec.Staleness != 3 || spec.Deadline != 150*ms {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPriorityMapValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty", func() { NewPriorityMap() })
+	mustPanic("descending", func() { NewPriorityMap(0.9, 0.5) })
+	mustPanic("out of range", func() { NewPriorityMap(0.5, 1.5) })
+}
+
+func admissionFixture() (*repository.Repository, client.ServiceInfo) {
+	info := client.ServiceInfo{
+		Primaries:    []node.ID{"p00", "p01", "p02"},
+		Secondaries:  []node.ID{"s00", "s01"},
+		Sequencer:    "p00",
+		LazyInterval: 2 * time.Second,
+	}
+	repo := repository.New(20)
+	return repo, info
+}
+
+func TestAdmissionRejectsColdStart(t *testing.T) {
+	repo, info := admissionFixture()
+	ac := AdmissionController{Model: selection.Model{BinWidth: 2 * ms, LazyInterval: info.LazyInterval}}
+	spec := qos.Spec{Staleness: 2, Deadline: 150 * ms, MinProb: 0.9}
+	d := ac.Evaluate(repo, info, spec, time.Now())
+	if d.Admit {
+		t.Fatalf("admitted with no performance history: %+v", d)
+	}
+}
+
+func TestAdmissionAcceptsFastReplicas(t *testing.T) {
+	repo, info := admissionFixture()
+	now := time.Date(2002, 6, 23, 0, 0, 0, 0, time.UTC)
+	for _, id := range []node.ID{"p01", "p02", "s00", "s01"} {
+		for i := 0; i < 20; i++ {
+			repo.RecordPerf(id, 20*ms, 2*ms)
+		}
+		repo.RecordReply(id, ms, now)
+	}
+	repo.RecordPublisherRates(1, 10*time.Second) // λu = 0.1/s: rarely stale
+	repo.RecordLazyInfo(0, 0, now)
+
+	ac := AdmissionController{Model: selection.Model{BinWidth: 2 * ms, LazyInterval: info.LazyInterval}}
+	spec := qos.Spec{Staleness: 2, Deadline: 150 * ms, MinProb: 0.9}
+	d := ac.Evaluate(repo, info, spec, now)
+	if !d.Admit {
+		t.Fatalf("rejected despite fast replicas: %+v", d)
+	}
+	if d.PredictedPK < 0.9 {
+		t.Fatalf("PredictedPK = %v", d.PredictedPK)
+	}
+	if d.ReplicasNeeded <= 0 || d.ReplicasNeeded >= 4 {
+		t.Fatalf("ReplicasNeeded = %d, want a strict subset", d.ReplicasNeeded)
+	}
+}
+
+func TestAdmissionRejectsSlowReplicas(t *testing.T) {
+	repo, info := admissionFixture()
+	now := time.Date(2002, 6, 23, 0, 0, 0, 0, time.UTC)
+	for _, id := range []node.ID{"p01", "p02", "s00", "s01"} {
+		for i := 0; i < 20; i++ {
+			repo.RecordPerf(id, 500*ms, 50*ms) // far beyond the deadline
+		}
+		repo.RecordReply(id, ms, now)
+	}
+	ac := AdmissionController{Model: selection.Model{BinWidth: 2 * ms, LazyInterval: info.LazyInterval}}
+	spec := qos.Spec{Staleness: 2, Deadline: 150 * ms, MinProb: 0.9}
+	d := ac.Evaluate(repo, info, spec, now)
+	if d.Admit {
+		t.Fatalf("admitted despite hopeless replicas: %+v", d)
+	}
+}

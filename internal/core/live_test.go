@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aqua/internal/client"
+	"aqua/internal/live"
+	"aqua/internal/node"
+	"aqua/internal/qos"
+	"aqua/internal/tcpnet"
+)
+
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("timeout waiting for: " + msg)
+}
+
+func TestLiveRuntimeEndToEnd(t *testing.T) {
+	rt := live.NewRuntime(live.WithSeed(42))
+	var gotWrite, gotRead atomic.Value
+	clients := []ClientConfig{{
+		ID:      "c00",
+		Spec:    qos.Spec{Staleness: 0, Deadline: 500 * ms, MinProb: 0.5},
+		Methods: kvMethods(),
+		Driver: func(ctx node.Context, gw *client.Gateway) {
+			ctx.SetTimer(10*ms, func() {
+				gw.Invoke("Set", []byte("a=live"), func(w client.Result) {
+					gotWrite.Store(w)
+					gw.Invoke("Get", []byte("a"), func(r client.Result) {
+						gotRead.Store(r)
+					})
+				})
+			})
+		},
+	}}
+	svc := testService(3, 2, 500*ms)
+	if _, err := Deploy(rt, svc, clients); err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	defer rt.Stop()
+
+	waitFor(t, func() bool { return gotRead.Load() != nil }, "live read")
+	w := gotWrite.Load().(client.Result)
+	r := gotRead.Load().(client.Result)
+	if w.Err != "" || string(w.Payload) != "v1" {
+		t.Fatalf("write = %+v", w)
+	}
+	if r.Err != "" || string(r.Payload) != "live" {
+		t.Fatalf("read = %+v", r)
+	}
+}
+
+// TestLiveTCPEndToEnd splits the deployment across two "processes" (two
+// live runtimes bridged by real TCP): replicas in one, the client in the
+// other.
+func TestLiveTCPEndToEnd(t *testing.T) {
+	serverRT := live.NewRuntime(live.WithSeed(1))
+	clientRT := live.NewRuntime(live.WithSeed(2))
+
+	serverTR, err := tcpnet.New(serverRT, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serverTR.Close()
+	clientTR, err := tcpnet.New(clientRT, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientTR.Close()
+	serverRT.SetRemote(serverTR.Send)
+	clientRT.SetRemote(clientTR.Send)
+
+	// Replica nodes live in serverRT; the client gateway in clientRT. Each
+	// transport maps the other side's node IDs.
+	serverTR.AddPeer("c00", clientTR.Addr())
+	for _, id := range []node.ID{"p00", "p01", "p02", "s00", "s01"} {
+		clientTR.AddPeer(id, serverTR.Addr())
+	}
+
+	// Deploy replicas on the server runtime and the client on the client
+	// runtime by using a split registrar.
+	var gotRead atomic.Value
+	split := splitRuntime{
+		pick: func(id node.ID) Runtime {
+			if id[0] == 'c' {
+				return clientRT
+			}
+			return serverRT
+		},
+	}
+	clients := []ClientConfig{{
+		ID:      "c00",
+		Spec:    qos.Spec{Staleness: 0, Deadline: time.Second, MinProb: 0.5},
+		Methods: kvMethods(),
+		Driver: func(ctx node.Context, gw *client.Gateway) {
+			ctx.SetTimer(20*ms, func() {
+				gw.Invoke("Set", []byte("a=tcp"), func(client.Result) {
+					gw.Invoke("Get", []byte("a"), func(r client.Result) {
+						gotRead.Store(r)
+					})
+				})
+			})
+		},
+	}}
+	if _, err := Deploy(&split, testService(3, 2, 500*ms), clients); err != nil {
+		t.Fatal(err)
+	}
+	serverRT.Start()
+	clientRT.Start()
+	defer serverRT.Stop()
+	defer clientRT.Stop()
+
+	waitFor(t, func() bool { return gotRead.Load() != nil }, "read over TCP")
+	r := gotRead.Load().(client.Result)
+	if r.Err != "" || string(r.Payload) != "tcp" {
+		t.Fatalf("read = %+v", r)
+	}
+}
+
+// splitRuntime routes registrations to different runtimes by node ID.
+type splitRuntime struct {
+	pick func(node.ID) Runtime
+}
+
+func (s *splitRuntime) Register(id node.ID, n node.Node) {
+	s.pick(id).Register(id, n)
+}
+
+func TestLiveRuntimeSequencerFailover(t *testing.T) {
+	rt := live.NewRuntime(live.WithSeed(99))
+	var completed atomic.Int64
+	clients := []ClientConfig{{
+		ID:      "c00",
+		Spec:    qos.Spec{Staleness: 2, Deadline: time.Second, MinProb: 0.5},
+		Methods: kvMethods(),
+		Driver: func(ctx node.Context, gw *client.Gateway) {
+			var issue func(i int)
+			issue = func(i int) {
+				if i >= 30 {
+					return
+				}
+				gw.Invoke("Set", []byte(fmt.Sprintf("k=%d", i)), func(client.Result) {
+					completed.Add(1)
+					ctx.SetTimer(20*time.Millisecond, func() { issue(i + 1) })
+				})
+			}
+			ctx.SetTimer(10*time.Millisecond, func() { issue(0) })
+		},
+	}}
+	svc := testService(3, 2, 300*ms)
+	d, err := Deploy(rt, svc, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	defer rt.Stop()
+
+	waitFor(t, func() bool { return completed.Load() >= 5 }, "first updates")
+	rt.StopNode("p00") // crash the sequencer, in real time
+	waitFor(t, func() bool { return completed.Load() == 30 }, "updates across live failover")
+
+	waitFor(t, func() bool { return d.Replicas["p01"].IsLeader() }, "p01 leadership")
+	if got := d.Replicas["p02"].Applied(); got != 30 {
+		t.Fatalf("p02 applied %d, want 30", got)
+	}
+}

@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"aqua/internal/selection"
+)
+
+// SelectorResult is one row of the baseline-selector comparison.
+type SelectorResult struct {
+	Name string
+	Fig4Result
+	// LoadCV is the coefficient of variation of per-replica selection
+	// counts: 0 means perfectly balanced load, larger means hotter spots.
+	LoadCV float64
+}
+
+func cv(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(xs))) / mean
+}
+
+// RunBaselines compares Algorithm 1 against the baseline selectors at one
+// operating point (the middle of the Figure 4 deadline range).
+func RunBaselines(base Fig4Config) []SelectorResult {
+	selectors := []selection.Selector{
+		selection.Algorithm1{},
+		selection.Stateless{},
+		selection.All{},
+		selection.Single{},
+		&selection.RandomK{K: 3, Rand: rand.New(rand.NewSource(base.Seed + 77))},
+	}
+	var out []SelectorResult
+	for _, sel := range selectors {
+		cfg := base
+		cfg.Selector = sel
+		r := RunFig4Point(cfg)
+		out = append(out, SelectorResult{
+			Name:       sel.Name(),
+			Fig4Result: r,
+			LoadCV:     selectionCV(r),
+		})
+	}
+	return out
+}
+
+// RunHotspot compares Algorithm 1's LRU (ert) ordering against the greedy
+// best-CDF-first ablation: same stopping rule, no load spreading.
+func RunHotspot(base Fig4Config) []SelectorResult {
+	var out []SelectorResult
+	for _, sel := range []selection.Selector{selection.Algorithm1{}, selection.CDFGreedy{}} {
+		cfg := base
+		cfg.Selector = sel
+		r := RunFig4Point(cfg)
+		out = append(out, SelectorResult{
+			Name:       sel.Name(),
+			Fig4Result: r,
+			LoadCV:     selectionCV(r),
+		})
+	}
+	return out
+}
+
+func selectionCV(r Fig4Result) float64 {
+	var xs []float64
+	for _, v := range r.Selections {
+		xs = append(xs, float64(v))
+	}
+	return cv(xs)
+}
+
+// FailoverResult is one row of the crash-injection experiment.
+type FailoverResult struct {
+	Crash string
+	Fig4Result
+}
+
+// RunFailover verifies the crash-tolerance claims: the selected sets (and
+// the sequencer/publisher failover machinery) keep the observed failure
+// probability within the client's spec when a replica crashes mid-run.
+func RunFailover(base Fig4Config) []FailoverResult {
+	runLen := time.Duration(base.Requests) * (base.RequestDelay + 300*time.Millisecond)
+	scenarios := []string{"none", "p01", "sequencer", "publisher"}
+	var out []FailoverResult
+	for _, sc := range scenarios {
+		cfg := base
+		if sc != "none" {
+			cfg.Crash = sc
+			cfg.CrashAt = runLen / 3
+		}
+		out = append(out, FailoverResult{Crash: sc, Fig4Result: RunFig4Point(cfg)})
+	}
+	return out
+}
+
+// RunLUISweep reproduces the conclusions' "varying the lazy update
+// interval" study at a fixed deadline.
+func RunLUISweep(base Fig4Config, luis []time.Duration) []Fig4Result {
+	var out []Fig4Result
+	for _, lui := range luis {
+		cfg := base
+		cfg.LUI = lui
+		cfg.Seed = base.Seed + int64(lui/time.Millisecond)
+		out = append(out, RunFig4Point(cfg))
+	}
+	return out
+}
+
+// RunRequestDelaySweep reproduces the conclusions' "varying the request
+// delay" study: faster clients mean higher update rates and staler
+// secondaries.
+func RunRequestDelaySweep(base Fig4Config, delays []time.Duration) []Fig4Result {
+	var out []Fig4Result
+	for _, d := range delays {
+		cfg := base
+		cfg.RequestDelay = d
+		cfg.Seed = base.Seed + int64(d/time.Millisecond)
+		out = append(out, RunFig4Point(cfg))
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+func ablationBase() Fig4Config {
+	return Fig4Config{
+		Seed:         9,
+		Deadline:     160 * time.Millisecond,
+		MinProb:      0.9,
+		LUI:          2 * time.Second,
+		Requests:     40,
+		RequestDelay: 150 * time.Millisecond,
+	}
+}
+
+func TestRunBaselinesCoversAllSelectors(t *testing.T) {
+	res := RunBaselines(ablationBase())
+	if len(res) != 5 {
+		t.Fatalf("rows = %d", len(res))
+	}
+	names := map[string]bool{}
+	for _, r := range res {
+		names[r.Name] = true
+		if !r.Done {
+			t.Fatalf("%s run did not complete", r.Name)
+		}
+	}
+	for _, want := range []string{"algorithm1", "stateless", "all", "single", "randomk"} {
+		if !names[want] {
+			t.Fatalf("missing selector %s", want)
+		}
+	}
+	// All selects everything; Single selects one.
+	for _, r := range res {
+		switch r.Name {
+		case "all":
+			if r.AvgSelected != 10 {
+				t.Fatalf("all avg selected = %v", r.AvgSelected)
+			}
+		case "single":
+			if r.AvgSelected != 1 {
+				t.Fatalf("single avg selected = %v", r.AvgSelected)
+			}
+		}
+	}
+}
+
+func TestRunHotspotPair(t *testing.T) {
+	res := RunHotspot(ablationBase())
+	if len(res) != 2 || res[0].Name != "algorithm1" || res[1].Name != "cdfgreedy" {
+		t.Fatalf("rows = %+v", res)
+	}
+}
+
+func TestRunFailoverScenarios(t *testing.T) {
+	base := ablationBase()
+	res := RunFailover(base)
+	if len(res) != 4 {
+		t.Fatalf("rows = %d", len(res))
+	}
+	for _, r := range res {
+		if !r.Done {
+			t.Fatalf("crash=%s run did not complete its workload", r.Crash)
+		}
+		// The dependability claim: QoS held despite the crash (generous
+		// slack for the small sample).
+		if r.FailureProb > (1-base.MinProb)+0.15 {
+			t.Fatalf("crash=%s failure prob %.3f grossly out of spec", r.Crash, r.FailureProb)
+		}
+	}
+}
+
+func TestRunLUISweepShape(t *testing.T) {
+	luis := []time.Duration{500 * time.Millisecond, 4 * time.Second}
+	res := RunLUISweep(ablationBase(), luis)
+	if len(res) != 2 {
+		t.Fatalf("rows = %d", len(res))
+	}
+	// Figure 4a's LUI effect: a longer lazy interval means staler
+	// secondaries, so more replicas are needed.
+	if res[1].AvgSelected <= res[0].AvgSelected {
+		t.Fatalf("LUI 4s selected %.2f <= LUI 0.5s %.2f", res[1].AvgSelected, res[0].AvgSelected)
+	}
+}
+
+func TestRunRequestDelaySweep(t *testing.T) {
+	delays := []time.Duration{100 * time.Millisecond, time.Second}
+	res := RunRequestDelaySweep(ablationBase(), delays)
+	if len(res) != 2 {
+		t.Fatalf("rows = %d", len(res))
+	}
+	for i, r := range res {
+		if r.Reads == 0 {
+			t.Fatalf("row %d has no reads", i)
+		}
+	}
+}

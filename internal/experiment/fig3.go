@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"aqua/internal/node"
+	"aqua/internal/qos"
+	"aqua/internal/repository"
+	"aqua/internal/selection"
+	"aqua/internal/stats"
+)
+
+// Fig3Point is one bar of Figure 3: the wall-clock overhead of one
+// selection (distribution computation + Algorithm 1) for a given number of
+// available replicas and sliding-window size.
+type Fig3Point struct {
+	Replicas int
+	Window   int
+	// Overhead is the mean time per selection.
+	Overhead time.Duration
+	// ModelShare is the fraction of the overhead spent computing the
+	// response-time distributions (the paper reports ≈90%).
+	ModelShare float64
+}
+
+// SeedRepository fills a repository with plausible measurement history for
+// n replicas (half primary, half secondary), mimicking a warmed-up client.
+// It returns the primary and secondary ID lists.
+func SeedRepository(repo *repository.Repository, n int, windowSize int, rng *rand.Rand, now time.Time) (primaries, secondaries []node.ID) {
+	nPrim := n / 2
+	for i := 0; i < n; i++ {
+		id := node.ID(fmt.Sprintf("r%02d", i))
+		if i < nPrim {
+			primaries = append(primaries, id)
+		} else {
+			secondaries = append(secondaries, id)
+		}
+		for k := 0; k < windowSize; k++ {
+			ts := stats.TruncNormalDuration(rng, 100*time.Millisecond, 50*time.Millisecond, 0)
+			tq := stats.TruncNormalDuration(rng, 10*time.Millisecond, 5*time.Millisecond, 0)
+			repo.RecordPerf(id, ts, tq)
+			if i >= nPrim {
+				tb := stats.TruncNormalDuration(rng, 2*time.Second, time.Second, 0)
+				repo.RecordDeferWait(id, tb)
+			}
+		}
+		tg := stats.TruncNormalDuration(rng, 2*time.Millisecond, 500*time.Microsecond, 0)
+		repo.RecordReply(id, tg, now.Add(-time.Duration(i)*time.Second))
+	}
+	for k := 0; k < windowSize; k++ {
+		repo.RecordPublisherRates(2+rng.Intn(3), 2*time.Second)
+	}
+	repo.RecordLazyInfo(1, time.Second, now.Add(-500*time.Millisecond))
+	return primaries, secondaries
+}
+
+// RunFig3Point measures the selection overhead for one (replicas, window)
+// configuration by timing iters selections against a warmed repository.
+func RunFig3Point(replicas, windowSize, iters int, seed int64) Fig3Point {
+	rng := rand.New(rand.NewSource(seed))
+	now := time.Date(2002, 6, 23, 0, 0, 0, 0, time.UTC)
+	repo := repository.New(windowSize)
+	prim, sec := SeedRepository(repo, replicas, windowSize, rng, now)
+
+	model := selection.Model{BinWidth: 2 * time.Millisecond, LazyInterval: 4 * time.Second}
+	spec := qos.Spec{Staleness: 2, Deadline: 150 * time.Millisecond, MinProb: 0.9}
+	selector := selection.Algorithm1{}
+
+	// Time the full selection (model evaluation + Algorithm 1).
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		in := model.Evaluate(repo, prim, sec, "seq", spec, now)
+		selector.Select(in)
+	}
+	full := time.Since(start)
+
+	// Time the model evaluation alone to attribute the overhead.
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		model.Evaluate(repo, prim, sec, "seq", spec, now)
+	}
+	modelOnly := time.Since(start)
+
+	p := Fig3Point{
+		Replicas: replicas,
+		Window:   windowSize,
+		Overhead: full / time.Duration(iters),
+	}
+	if full > 0 {
+		share := float64(modelOnly) / float64(full)
+		if share > 1 {
+			share = 1
+		}
+		p.ModelShare = share
+	}
+	return p
+}
+
+// RunFig3 regenerates the Figure 3 series: overhead vs available replicas
+// for each window size.
+func RunFig3(replicaCounts, windows []int, iters int, seed int64) []Fig3Point {
+	var out []Fig3Point
+	for _, w := range windows {
+		for _, n := range replicaCounts {
+			out = append(out, RunFig3Point(n, w, iters, seed))
+		}
+	}
+	return out
+}
+
+// DefaultFig3ReplicaCounts is the paper's x-axis: 2 through 10 replicas.
+func DefaultFig3ReplicaCounts() []int { return []int{2, 3, 4, 5, 6, 7, 8, 9, 10} }
+
+// DefaultFig3Windows is the paper's two series: sliding windows of 10, 20.
+func DefaultFig3Windows() []int { return []int{10, 20} }

@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// smallFig4 keeps unit-test runs fast: 60 requests, short think time.
+func smallFig4() Fig4Config {
+	return Fig4Config{
+		Seed:         1,
+		Deadline:     160 * time.Millisecond,
+		MinProb:      0.9,
+		LUI:          2 * time.Second,
+		Requests:     60,
+		RequestDelay: 200 * time.Millisecond,
+	}
+}
+
+func TestRunFig4PointCompletes(t *testing.T) {
+	r := RunFig4Point(smallFig4())
+	if !r.Done {
+		t.Fatal("run did not complete its request quota")
+	}
+	if r.Reads != 30 {
+		t.Fatalf("reads = %d, want 30 (half of 60 alternating)", r.Reads)
+	}
+	if r.AvgSelected <= 0 {
+		t.Fatalf("avg selected = %v", r.AvgSelected)
+	}
+	if r.MeanResponse <= 0 {
+		t.Fatal("mean response not measured")
+	}
+	if r.CI.Hi < r.CI.Lo {
+		t.Fatalf("CI = %+v", r.CI)
+	}
+}
+
+func TestRunFig4PointMeetsQoS(t *testing.T) {
+	cfg := smallFig4()
+	cfg.Deadline = 200 * time.Millisecond
+	r := RunFig4Point(cfg)
+	// The core claim of Figure 4b: observed failure probability stays
+	// within 1 − Pc. With a small sample allow CI slack.
+	if r.FailureProb > (1-cfg.MinProb)+0.1 {
+		t.Fatalf("failure prob %.3f grossly exceeds 1-Pc = %.3f", r.FailureProb, 1-cfg.MinProb)
+	}
+}
+
+func TestRunFig4PointDeterministicForSeed(t *testing.T) {
+	a := RunFig4Point(smallFig4())
+	b := RunFig4Point(smallFig4())
+	if a.TimingFailures != b.TimingFailures || a.AvgSelected != b.AvgSelected || a.MeanResponse != b.MeanResponse {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestFig4TighterDeadlineSelectsMoreReplicas(t *testing.T) {
+	loose := smallFig4()
+	loose.Deadline = 220 * time.Millisecond
+	tight := smallFig4()
+	tight.Deadline = 90 * time.Millisecond
+	rl := RunFig4Point(loose)
+	rt := RunFig4Point(tight)
+	// Figure 4a's shape: stricter deadlines need more replicas.
+	if rt.AvgSelected <= rl.AvgSelected {
+		t.Fatalf("tight %.2f <= loose %.2f replicas selected", rt.AvgSelected, rl.AvgSelected)
+	}
+}
+
+func TestDefaultFig4Sweep(t *testing.T) {
+	sw := DefaultFig4Sweep()
+	if len(sw.Deadlines) != 8 || len(sw.Configs) != 4 {
+		t.Fatalf("sweep = %d deadlines, %d configs", len(sw.Deadlines), len(sw.Configs))
+	}
+}

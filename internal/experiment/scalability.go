@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"aqua/internal/selection"
+)
+
+// ScalabilityResult is one row of the client-scaling experiment.
+type ScalabilityResult struct {
+	Clients  int // total clients sharing the service
+	Selector string
+	Fig4Result
+}
+
+// RunScalability quantifies §5's scalability argument — "allocating all the
+// available replicas to service a single client ... is not scalable, as it
+// increases the load on all the replicas and results in higher response
+// times for the remaining clients" — by growing the number of concurrent
+// clients and comparing Algorithm 1 against the select-all baseline for the
+// measured client.
+func RunScalability(base Fig4Config, clientCounts []int) []ScalabilityResult {
+	var out []ScalabilityResult
+	for _, sel := range []selection.Selector{selection.Algorithm1{}, selection.All{}} {
+		for _, n := range clientCounts {
+			if n < 2 {
+				n = 2
+			}
+			cfg := base
+			cfg.Selector = sel
+			cfg.SelectorForAll = true
+			cfg.ExtraClients = n - 2
+			cfg.Seed = base.Seed + int64(n*10)
+			out = append(out, ScalabilityResult{
+				Clients:    n,
+				Selector:   sel.Name(),
+				Fig4Result: RunFig4Point(cfg),
+			})
+		}
+	}
+	return out
+}
+
+// WriteScalabilityTable renders the client-scaling experiment.
+func WriteScalabilityTable(w io.Writer, results []ScalabilityResult) {
+	fmt.Fprintln(w, "Scalability — measured client vs growing client population")
+	fmt.Fprintln(w, "(Algorithm 1 keeps per-request load bounded; select-all floods every replica)")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-12s %8s %8s %12s %12s %14s\n",
+		"selector", "clients", "reads", "failureProb", "avgSelected", "meanResp(ms)")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-12s %8d %8d %12.3f %12.2f %14.1f\n",
+			r.Selector, r.Clients, r.Reads, r.FailureProb, r.AvgSelected,
+			float64(r.MeanResponse.Microseconds())/1000)
+	}
+}
+
+// LossResult is one row of the loss-tolerance experiment.
+type LossResult struct {
+	Loss float64
+	Fig4Result
+}
+
+// RunLossSweep subjects the whole deployment to uniform message loss: the
+// substrate's ack/retransmit recovery (the role Ensemble's reliable
+// channels play in the paper) must keep the protocol correct, trading
+// latency for delivery.
+func RunLossSweep(base Fig4Config, rates []float64) []LossResult {
+	var out []LossResult
+	for _, p := range rates {
+		cfg := base
+		cfg.Loss = p
+		cfg.Seed = base.Seed + int64(p*10000)
+		out = append(out, LossResult{Loss: p, Fig4Result: RunFig4Point(cfg)})
+	}
+	return out
+}
+
+// WriteLossTable renders the loss sweep.
+func WriteLossTable(w io.Writer, results []LossResult) {
+	fmt.Fprintln(w, "Message loss — QoS under uniform network loss (substrate ARQ recovery)")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-8s %8s %12s %12s %14s %8s\n",
+		"loss", "reads", "failureProb", "avgSelected", "meanResp(ms)", "done")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-8.2f %8d %12.3f %12.2f %14.1f %8v\n",
+			r.Loss, r.Reads, r.FailureProb, r.AvgSelected,
+			float64(r.MeanResponse.Microseconds())/1000, r.Done)
+	}
+}

@@ -1,0 +1,216 @@
+// Package fifo implements the framework's FIFO ordering handler — the
+// "service B" of Figure 2. The paper's gateway architecture lets a service
+// choose its ordering guarantee; where the sequential handler routes every
+// update through the sequencer for a total order, the FIFO handler
+// guarantees only that each client's operations are applied in that
+// client's issue order at every replica.
+//
+// The guarantee falls directly out of the substrate: the link layer
+// sequences every (sender, receiver) pair, so a client's multicast updates
+// arrive at each replica in issue order. Replicas apply them immediately.
+// Cross-client interleavings may differ between replicas — that is FIFO
+// consistency; applications using this handler must tolerate it (e.g.
+// per-account banking operations where each account has one writer).
+package fifo
+
+import (
+	"math/rand"
+	"time"
+
+	"aqua/internal/app"
+	"aqua/internal/consistency"
+	"aqua/internal/group"
+	"aqua/internal/node"
+)
+
+// ReplicaConfig describes one FIFO replica.
+type ReplicaConfig struct {
+	// Replicas lists the whole replica set (including this node).
+	Replicas []node.ID
+	// Group tunes the substrate.
+	Group group.Config
+	// ServiceDelay simulates background load (nil for none).
+	ServiceDelay func(r *rand.Rand) time.Duration
+	// App is this replica's application instance.
+	App app.Application
+}
+
+// Replica is a FIFO-ordering server gateway. Far simpler than the
+// sequential gateway: no sequencer, no GSNs, no lazy propagation — every
+// replica applies every client's stream in arrival (= issue) order.
+type Replica struct {
+	cfg   ReplicaConfig
+	ctx   node.Context
+	stack *group.Stack
+
+	queue   []fifoJob
+	busy    bool
+	applied uint64
+}
+
+type fifoJob struct {
+	req          consistency.Request
+	from         node.ID
+	arrivedAt    time.Time
+	serviceStart time.Time
+}
+
+var _ node.Node = (*Replica)(nil)
+
+// NewReplica creates a FIFO replica gateway.
+func NewReplica(cfg ReplicaConfig) *Replica {
+	if cfg.App == nil {
+		panic("fifo: ReplicaConfig.App is required")
+	}
+	return &Replica{cfg: cfg}
+}
+
+// Applied returns the number of updates applied.
+func (r *Replica) Applied() uint64 { return r.applied }
+
+// App exposes the application (tests verify state).
+func (r *Replica) App() app.Application { return r.cfg.App }
+
+// Init implements node.Node.
+func (r *Replica) Init(ctx node.Context) {
+	r.ctx = ctx
+	r.stack = group.NewStack(ctx, r.cfg.Group, r.deliver)
+}
+
+// Recv implements node.Node.
+func (r *Replica) Recv(from node.ID, m node.Message) {
+	if r.stack.Handle(from, m) {
+		return
+	}
+	r.ctx.Logf("fifo: unexpected raw message %T from %s", m, from)
+}
+
+func (r *Replica) deliver(from node.ID, m node.Message) {
+	req, ok := m.(consistency.Request)
+	if !ok {
+		r.ctx.Logf("fifo: unhandled payload %T from %s", m, from)
+		return
+	}
+	r.queue = append(r.queue, fifoJob{req: req, from: from, arrivedAt: r.ctx.Now()})
+	r.startNext()
+}
+
+func (r *Replica) startNext() {
+	if r.busy || len(r.queue) == 0 {
+		return
+	}
+	r.busy = true
+	j := r.queue[0]
+	r.queue = r.queue[1:]
+	j.serviceStart = r.ctx.Now()
+	var delay time.Duration
+	if r.cfg.ServiceDelay != nil {
+		delay = r.cfg.ServiceDelay(r.ctx.Rand())
+	}
+	r.ctx.SetTimer(delay, func() { r.complete(j) })
+}
+
+func (r *Replica) complete(j fifoJob) {
+	now := r.ctx.Now()
+	var payload []byte
+	var err error
+	if j.req.ReadOnly {
+		payload, err = r.cfg.App.Read(j.req.Method, j.req.Payload)
+	} else {
+		payload, err = r.cfg.App.ApplyUpdate(j.req.Method, j.req.Payload)
+		r.applied++
+	}
+	errStr := ""
+	if err != nil {
+		errStr = err.Error()
+	}
+	r.stack.Send(j.from, consistency.Reply{
+		ID:      j.req.ID,
+		Payload: payload,
+		Err:     errStr,
+		T1:      now.Sub(j.arrivedAt),
+		CSN:     r.applied,
+		Replica: r.ctx.ID(),
+	})
+	r.busy = false
+	r.startNext()
+}
+
+// ClientConfig describes a FIFO client gateway.
+type ClientConfig struct {
+	// Replicas lists the service's replicas.
+	Replicas []node.ID
+	// Group tunes the substrate.
+	Group group.Config
+}
+
+// Client is the FIFO handler's client gateway: updates are multicast to all
+// replicas (each applies them in this client's order); reads go to one
+// replica chosen round-robin.
+type Client struct {
+	cfg ClientConfig
+	ctx node.Context
+
+	stack   *group.Stack
+	nextSeq uint64
+	rrIndex int
+	pending map[consistency.RequestID]func(consistency.Reply)
+}
+
+var _ node.Node = (*Client)(nil)
+
+// NewClient creates a FIFO client gateway.
+func NewClient(cfg ClientConfig) *Client {
+	return &Client{cfg: cfg, pending: make(map[consistency.RequestID]func(consistency.Reply))}
+}
+
+// Init implements node.Node.
+func (c *Client) Init(ctx node.Context) {
+	c.ctx = ctx
+	c.stack = group.NewStack(ctx, c.cfg.Group, c.deliver)
+}
+
+// Recv implements node.Node.
+func (c *Client) Recv(from node.ID, m node.Message) {
+	if c.stack.Handle(from, m) {
+		return
+	}
+	c.ctx.Logf("fifo client: unexpected raw message %T from %s", m, from)
+}
+
+func (c *Client) deliver(from node.ID, m node.Message) {
+	reply, ok := m.(consistency.Reply)
+	if !ok {
+		return
+	}
+	if cb, exists := c.pending[reply.ID]; exists {
+		delete(c.pending, reply.ID)
+		if cb != nil {
+			cb(reply)
+		}
+	}
+}
+
+// Update multicasts a state-modifying operation to every replica; cb fires
+// on the first reply. Must be called from the node's own callbacks.
+func (c *Client) Update(method string, payload []byte, cb func(consistency.Reply)) {
+	c.nextSeq++
+	id := consistency.RequestID{Client: c.ctx.ID(), Seq: c.nextSeq}
+	c.pending[id] = cb
+	req := consistency.Request{ID: id, Method: method, Payload: payload}
+	for _, r := range c.cfg.Replicas {
+		c.stack.Send(r, req)
+	}
+}
+
+// Read sends a read-only operation to one replica, round-robin.
+func (c *Client) Read(method string, payload []byte, cb func(consistency.Reply)) {
+	c.nextSeq++
+	id := consistency.RequestID{Client: c.ctx.ID(), Seq: c.nextSeq}
+	c.pending[id] = cb
+	target := c.cfg.Replicas[c.rrIndex%len(c.cfg.Replicas)]
+	c.rrIndex++
+	c.stack.Send(target, consistency.Request{
+		ID: id, Method: method, Payload: payload, ReadOnly: true,
+	})
+}

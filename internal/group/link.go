@@ -1,0 +1,176 @@
+// Package group provides the group-communication substrate the paper's
+// protocols consume. In the paper this is Maestro/Ensemble: "we depend on
+// Maestro-Ensemble to provide reliable, virtual synchrony, and FIFO
+// messaging guarantees ... and to inform the group members when changes in
+// the group membership occur". This package rebuilds those guarantees:
+//
+//   - a link layer giving per-sender FIFO, reliable, duplicate-free delivery
+//     between every pair of nodes (sequence numbers, reordering buffer, and
+//     ack/retransmit recovery), and
+//   - a membership layer per named group: all-to-all heartbeats, a timeout
+//     failure detector, locally computed views, and deterministic leader
+//     election (lowest live ID).
+//
+// Multicast to a group is FIFO-ordered per sender across all receivers
+// because every copy travels over the sender's sequenced links.
+package group
+
+import (
+	"sort"
+	"time"
+
+	"aqua/internal/node"
+)
+
+// Wire messages. Exported fields so the live TCP transport can gob-encode
+// them; RegisterGobTypes in the tcpnet package registers the concrete types.
+//
+// Both carry incarnation numbers: each Stack instance draws a random
+// SrcEpoch at creation, so a restarted process is distinguishable from its
+// previous life. Receivers reset their reorder state when a sender's epoch
+// changes; senders renumber and retransmit their backlog when an ack
+// reveals a restarted receiver. Without this, a restart deadlocks the link
+// (fresh sequence numbers read as duplicates, old ones as gaps).
+type (
+	// DataMsg carries an application payload with a per-destination
+	// sequence number, tagged with the sender's incarnation and the link
+	// generation (bumped when the sender resets the link after discovering
+	// a restarted receiver, so old and new numbering never mix).
+	DataMsg struct {
+		SrcEpoch uint64
+		Gen      uint64
+		Seq      uint64
+		Payload  node.Message
+	}
+	// AckMsg is a cumulative acknowledgment: the receiver has delivered
+	// every sequence number below Expected for the sender incarnation
+	// SrcEpoch and link generation Gen, and reveals its own incarnation
+	// DstEpoch. Acking delivery (not mere receipt) lets the sender detect a
+	// receiver stuck behind a hole it can no longer fill — Expected at or
+	// below a sequence number the sender dropped after MaxRetries — and
+	// reset the link generation, retransmitting its backlog.
+	AckMsg struct {
+		SrcEpoch uint64
+		DstEpoch uint64
+		Gen      uint64
+		Expected uint64
+	}
+	// HeartbeatMsg keeps the failure detector of a group quiet.
+	HeartbeatMsg struct {
+		Group string
+	}
+)
+
+// sendLink is the sender side of a reliable FIFO link to one peer.
+type sendLink struct {
+	gen     uint64
+	nextSeq uint64
+	unacked map[uint64]*pendingMsg
+	// peerEpoch is the receiver incarnation we are talking to (0 until the
+	// first ack reveals it).
+	peerEpoch uint64
+	// droppedMax is the highest sequence number of this generation dropped
+	// after MaxRetries; a receiver acking Expected ≤ droppedMax can never
+	// progress and forces a generation reset.
+	droppedMax uint64
+}
+
+type pendingMsg struct {
+	msg     DataMsg
+	sentAt  time.Time
+	retries int
+}
+
+// recvLink is the receiver side: expected next sequence number plus a
+// reorder buffer for early arrivals, bound to one sender incarnation and
+// link generation.
+type recvLink struct {
+	srcEpoch uint64
+	gen      uint64
+	expected uint64
+	buffer   map[uint64]node.Message
+}
+
+func newSendLink() *sendLink {
+	return &sendLink{gen: 1, nextSeq: 1, unacked: make(map[uint64]*pendingMsg)}
+}
+
+func newRecvLink(srcEpoch, gen uint64) *recvLink {
+	return &recvLink{srcEpoch: srcEpoch, gen: gen, expected: 1, buffer: make(map[uint64]node.Message)}
+}
+
+// reset renumbers the link onto a new generation, returning the payloads
+// that must be retransmitted (the previous generation's backlog, in order).
+func (l *sendLink) reset(peerEpoch uint64) []node.Message {
+	out := l.backlog()
+	l.gen++
+	l.nextSeq = 1
+	l.unacked = make(map[uint64]*pendingMsg)
+	l.peerEpoch = peerEpoch
+	l.droppedMax = 0
+	return out
+}
+
+// ack processes a cumulative acknowledgment: everything below expected has
+// been delivered.
+func (l *sendLink) ack(expected uint64) {
+	for seq := range l.unacked {
+		if seq < expected {
+			delete(l.unacked, seq)
+		}
+	}
+}
+
+// stuck reports whether the receiver can never progress past a permanently
+// dropped sequence number.
+func (l *sendLink) stuck(expected uint64) bool {
+	return expected <= l.droppedMax
+}
+
+// backlog returns the unacked payloads in sequence order — what must be
+// renumbered and retransmitted after the receiver turns out to have
+// restarted.
+func (l *sendLink) backlog() []node.Message {
+	seqs := make([]uint64, 0, len(l.unacked))
+	for s := range l.unacked {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	out := make([]node.Message, len(seqs))
+	for i, s := range seqs {
+		out[i] = l.unacked[s].msg.Payload
+	}
+	return out
+}
+
+// receive accepts a data message and returns the in-order payloads that
+// become deliverable (possibly none for early/duplicate arrivals).
+func (l *recvLink) receive(m DataMsg) []node.Message {
+	if m.Seq < l.expected {
+		return nil // duplicate of an already delivered message
+	}
+	if m.Seq > l.expected {
+		l.buffer[m.Seq] = m.Payload // early: hold for reordering
+		return nil
+	}
+	out := []node.Message{m.Payload}
+	l.expected++
+	for {
+		p, ok := l.buffer[l.expected]
+		if !ok {
+			break
+		}
+		delete(l.buffer, l.expected)
+		out = append(out, p)
+		l.expected++
+	}
+	return out
+}
+
+// sortedIDs returns a sorted copy of ids.
+func sortedIDs(ids []node.ID) []node.ID {
+	out := make([]node.ID, len(ids))
+	copy(out, ids)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

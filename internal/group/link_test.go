@@ -1,0 +1,150 @@
+package group
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aqua/internal/node"
+)
+
+func TestRecvLinkInOrder(t *testing.T) {
+	l := newRecvLink(7, 1)
+	for seq := uint64(1); seq <= 3; seq++ {
+		out := l.receive(DataMsg{Seq: seq, Payload: int(seq)})
+		if len(out) != 1 || out[0].(int) != int(seq) {
+			t.Fatalf("seq %d: out = %v", seq, out)
+		}
+	}
+}
+
+func TestRecvLinkReorders(t *testing.T) {
+	l := newRecvLink(7, 1)
+	if out := l.receive(DataMsg{Seq: 3, Payload: 3}); out != nil {
+		t.Fatalf("early message delivered: %v", out)
+	}
+	if out := l.receive(DataMsg{Seq: 2, Payload: 2}); out != nil {
+		t.Fatalf("early message delivered: %v", out)
+	}
+	out := l.receive(DataMsg{Seq: 1, Payload: 1})
+	if len(out) != 3 {
+		t.Fatalf("drain produced %v, want 3 messages", out)
+	}
+	for i, m := range out {
+		if m.(int) != i+1 {
+			t.Fatalf("out of order drain: %v", out)
+		}
+	}
+}
+
+func TestRecvLinkDropsDuplicates(t *testing.T) {
+	l := newRecvLink(7, 1)
+	l.receive(DataMsg{Seq: 1, Payload: 1})
+	if out := l.receive(DataMsg{Seq: 1, Payload: 1}); out != nil {
+		t.Fatalf("duplicate delivered: %v", out)
+	}
+	// Duplicate of a buffered (not yet delivered) message must not double
+	// deliver either.
+	l.receive(DataMsg{Seq: 3, Payload: 3})
+	l.receive(DataMsg{Seq: 3, Payload: 3})
+	out := l.receive(DataMsg{Seq: 2, Payload: 2})
+	if len(out) != 2 {
+		t.Fatalf("drain = %v, want [2 3]", out)
+	}
+}
+
+func TestSendLinkCumulativeAck(t *testing.T) {
+	l := newSendLink()
+	l.unacked[1] = &pendingMsg{}
+	l.unacked[2] = &pendingMsg{}
+	l.unacked[3] = &pendingMsg{}
+	l.ack(3) // receiver expects 3: 1 and 2 are delivered
+	if _, ok := l.unacked[1]; ok {
+		t.Fatal("seq 1 still pending after cumulative ack")
+	}
+	if _, ok := l.unacked[2]; ok {
+		t.Fatal("seq 2 still pending after cumulative ack")
+	}
+	if _, ok := l.unacked[3]; !ok {
+		t.Fatal("undelivered seq 3 lost")
+	}
+	l.ack(99) // over-ack must be harmless
+	if len(l.unacked) != 0 {
+		t.Fatal("over-ack left state")
+	}
+}
+
+func TestSendLinkStuckAndReset(t *testing.T) {
+	l := newSendLink()
+	l.nextSeq = 6
+	l.droppedMax = 2 // seqs 1-2 given up
+	l.unacked[4] = &pendingMsg{msg: DataMsg{Seq: 4, Payload: "a"}}
+	l.unacked[5] = &pendingMsg{msg: DataMsg{Seq: 5, Payload: "b"}}
+	if !l.stuck(1) || !l.stuck(2) {
+		t.Fatal("receiver below the hole not reported stuck")
+	}
+	if l.stuck(3) {
+		t.Fatal("receiver above the hole reported stuck")
+	}
+	payloads := l.reset(42)
+	if len(payloads) != 2 || payloads[0] != "a" || payloads[1] != "b" {
+		t.Fatalf("reset backlog = %v", payloads)
+	}
+	if l.gen != 2 || l.nextSeq != 1 || l.droppedMax != 0 || l.peerEpoch != 42 {
+		t.Fatalf("reset state = %+v", l)
+	}
+}
+
+// Property: for any permutation of sequence numbers 1..n (with arbitrary
+// duplicates interleaved), the receiver delivers exactly 1..n in order.
+func TestRecvLinkPermutationProperty(t *testing.T) {
+	prop := func(order []uint8, dups []uint8) bool {
+		const n = 12
+		l := newRecvLink(7, 1)
+		// Build a delivery order: a permutation of 1..n derived from the
+		// random bytes, plus duplicate injections.
+		perm := make([]uint64, n)
+		for i := range perm {
+			perm[i] = uint64(i + 1)
+		}
+		for i, b := range order {
+			j := int(b) % n
+			k := i % n
+			perm[j], perm[k] = perm[k], perm[j]
+		}
+		var delivered []int
+		feed := func(seq uint64) {
+			for _, m := range l.receive(DataMsg{Seq: seq, Payload: int(seq)}) {
+				delivered = append(delivered, m.(int))
+			}
+		}
+		for i, seq := range perm {
+			feed(seq)
+			if len(dups) > 0 {
+				feed(uint64(dups[i%len(dups)])%n + 1) // random duplicate
+			}
+		}
+		if len(delivered) != n {
+			return false
+		}
+		for i, v := range delivered {
+			if v != i+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedIDs(t *testing.T) {
+	in := []node.ID{"c", "a", "b"}
+	out := sortedIDs(in)
+	if out[0] != "a" || out[1] != "b" || out[2] != "c" {
+		t.Fatalf("sortedIDs = %v", out)
+	}
+	if in[0] != "c" {
+		t.Fatal("sortedIDs mutated input")
+	}
+}

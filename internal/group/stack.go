@@ -1,0 +1,363 @@
+package group
+
+import (
+	"time"
+
+	"aqua/internal/node"
+)
+
+// Config tunes the substrate's recovery and failure-detection timing.
+type Config struct {
+	// RetransmitInterval is how often unacked messages are resent.
+	RetransmitInterval time.Duration
+	// MaxRetries bounds retransmissions per message; past it the message
+	// is dropped (the peer is presumed dead and the failure detector will
+	// notice independently).
+	MaxRetries int
+	// HeartbeatInterval is how often each member heartbeats its groups.
+	// Zero disables heartbeats (static membership).
+	HeartbeatInterval time.Duration
+	// FailTimeout is how long a member may stay silent before peers
+	// suspect it. Zero disables the failure detector.
+	FailTimeout time.Duration
+}
+
+// DefaultConfig mirrors LAN-scale Ensemble settings: fast retransmit, a
+// heartbeat a few times per second, and suspicion after ~3 missed beats.
+func DefaultConfig() Config {
+	return Config{
+		RetransmitInterval: 50 * time.Millisecond,
+		MaxRetries:         10,
+		HeartbeatInterval:  250 * time.Millisecond,
+		FailTimeout:        900 * time.Millisecond,
+	}
+}
+
+// View is a group's locally computed membership view.
+type View struct {
+	Group   string
+	Version int
+	Members []node.ID // live members, sorted
+	Leader  node.ID   // lowest live ID; "" if the view is empty
+}
+
+// Contains reports whether id is in the view.
+func (v View) Contains(id node.ID) bool {
+	for _, m := range v.Members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// groupState tracks one joined group.
+type groupState struct {
+	name     string
+	members  []node.ID // full configured membership, sorted, includes self
+	lastSeen map[node.ID]time.Time
+	dead     map[node.ID]bool
+	version  int
+	onView   func(View)
+}
+
+// Stack gives one node reliable FIFO links to its peers and membership
+// views of the groups it joins. It must only be used from within the owning
+// node's callbacks (the runtimes serialize those).
+type Stack struct {
+	ctx node.Context
+	cfg Config
+	// incarnation distinguishes this stack instance from previous lives of
+	// the same node ID across restarts.
+	incarnation uint64
+	out         map[node.ID]*sendLink
+	in          map[node.ID]*recvLink
+	groups      map[string]*groupState
+	deliver     func(from node.ID, m node.Message)
+	stopped     bool
+
+	// retransmitArmed tracks whether the retransmit timer is scheduled; it
+	// is armed on demand so idle stacks generate no events.
+	retransmitArmed bool
+}
+
+// NewStack creates the substrate for the node owning ctx. deliver receives
+// every in-order application payload. Timers for retransmission and
+// heartbeats start immediately.
+func NewStack(ctx node.Context, cfg Config, deliver func(from node.ID, m node.Message)) *Stack {
+	s := &Stack{
+		ctx:     ctx,
+		cfg:     cfg,
+		out:     make(map[node.ID]*sendLink),
+		in:      make(map[node.ID]*recvLink),
+		groups:  make(map[string]*groupState),
+		deliver: deliver,
+	}
+	// Draw a nonzero incarnation from the node's deterministic source.
+	for s.incarnation == 0 {
+		s.incarnation = uint64(ctx.Rand().Int63())
+	}
+	if cfg.HeartbeatInterval > 0 {
+		s.ctx.SetTimer(cfg.HeartbeatInterval, s.heartbeatTick)
+	}
+	return s
+}
+
+// Stop halts the stack's periodic work (used by the live runtime on
+// shutdown; the simulator just stops running events).
+func (s *Stack) Stop() { s.stopped = true }
+
+// Join registers membership in a named group. members must include the
+// local node. onView, if non-nil, is called with the initial view and after
+// every membership change.
+func (s *Stack) Join(name string, members []node.ID, onView func(View)) {
+	g := &groupState{
+		name:     name,
+		members:  sortedIDs(members),
+		lastSeen: make(map[node.ID]time.Time, len(members)),
+		dead:     make(map[node.ID]bool),
+		onView:   onView,
+	}
+	now := s.ctx.Now()
+	for _, m := range g.members {
+		g.lastSeen[m] = now
+	}
+	s.groups[name] = g
+	if onView != nil {
+		onView(s.viewOf(g))
+	}
+}
+
+// ViewOf returns the current view of a joined group. ok is false for groups
+// this stack never joined.
+func (s *Stack) ViewOf(name string) (View, bool) {
+	g, ok := s.groups[name]
+	if !ok {
+		return View{}, false
+	}
+	return s.viewOf(g), true
+}
+
+func (s *Stack) viewOf(g *groupState) View {
+	v := View{Group: g.name, Version: g.version}
+	for _, m := range g.members {
+		if !g.dead[m] {
+			v.Members = append(v.Members, m)
+		}
+	}
+	if len(v.Members) > 0 {
+		v.Leader = v.Members[0]
+	}
+	return v
+}
+
+// Send transmits m to one peer over the reliable FIFO link.
+func (s *Stack) Send(to node.ID, m node.Message) {
+	if to == s.ctx.ID() {
+		// Local delivery is immediate and needs no link machinery.
+		s.deliver(to, m)
+		return
+	}
+	l, ok := s.out[to]
+	if !ok {
+		l = newSendLink()
+		s.out[to] = l
+	}
+	s.transmit(to, l, m)
+	s.armRetransmit()
+}
+
+// transmit numbers and sends one payload on a link.
+func (s *Stack) transmit(to node.ID, l *sendLink, m node.Message) {
+	dm := DataMsg{SrcEpoch: s.incarnation, Gen: l.gen, Seq: l.nextSeq, Payload: m}
+	l.nextSeq++
+	l.unacked[dm.Seq] = &pendingMsg{msg: dm, sentAt: s.ctx.Now()}
+	s.ctx.Send(to, dm)
+}
+
+func (s *Stack) armRetransmit() {
+	if s.retransmitArmed || s.cfg.RetransmitInterval <= 0 || s.stopped {
+		return
+	}
+	s.retransmitArmed = true
+	s.ctx.SetTimer(s.cfg.RetransmitInterval, s.retransmitTick)
+}
+
+// Multicast sends m to every live member of a joined group except the local
+// node. FIFO ordering holds per sender across all receivers.
+func (s *Stack) Multicast(group string, m node.Message) {
+	g, ok := s.groups[group]
+	if !ok {
+		s.ctx.Logf("group: multicast to unjoined group %q dropped", group)
+		return
+	}
+	self := s.ctx.ID()
+	for _, member := range g.members {
+		if member == self || g.dead[member] {
+			continue
+		}
+		s.Send(member, m)
+	}
+}
+
+// Handle gives the stack a chance to consume a received message. It returns
+// true when the message belonged to the substrate (data envelope, ack, or
+// heartbeat); the caller must not process it further. Application payloads
+// extracted from data envelopes are handed to the deliver callback.
+func (s *Stack) Handle(from node.ID, m node.Message) bool {
+	switch msg := m.(type) {
+	case DataMsg:
+		s.noteAlive(from)
+		l, ok := s.in[from]
+		switch {
+		case !ok, l.srcEpoch != msg.SrcEpoch, msg.Gen > l.gen:
+			// First contact, a restarted sender, or a sender-side link
+			// reset: previous reorder state is meaningless.
+			l = newRecvLink(msg.SrcEpoch, msg.Gen)
+			s.in[from] = l
+		case msg.Gen < l.gen:
+			return true // stale generation: drop
+		}
+		for _, payload := range l.receive(msg) {
+			s.deliver(from, payload)
+		}
+		// Cumulative ack of everything delivered in order so far; covers
+		// duplicates and quenches retransmits of delivered messages.
+		s.ctx.Send(from, AckMsg{SrcEpoch: msg.SrcEpoch, DstEpoch: s.incarnation, Gen: l.gen, Expected: l.expected})
+		return true
+	case AckMsg:
+		s.noteAlive(from)
+		if msg.SrcEpoch != s.incarnation {
+			return true // ack addressed to a previous life of this node
+		}
+		l, ok := s.out[from]
+		if !ok {
+			return true
+		}
+		reset := false
+		if l.peerEpoch == 0 {
+			l.peerEpoch = msg.DstEpoch
+		} else if l.peerEpoch != msg.DstEpoch {
+			// The receiver restarted: everything unacked was numbered for
+			// its previous life.
+			reset = true
+		}
+		if !reset && msg.Gen == l.gen {
+			l.ack(msg.Expected)
+			// A receiver stuck below a permanently dropped sequence number
+			// can never progress within this generation.
+			reset = l.stuck(msg.Expected)
+		}
+		if reset {
+			// Renumber the backlog onto the next link generation and
+			// retransmit; the receiver discards older-gen state on first
+			// contact with the new generation. (Across a reset the link
+			// degrades to at-least-once delivery — resent payloads that
+			// were delivered but whose acks raced deliver twice; every
+			// protocol layer above dedups by request ID.)
+			for _, payload := range l.reset(msg.DstEpoch) {
+				s.transmit(from, l, payload)
+			}
+			s.armRetransmit()
+		}
+		return true
+	case HeartbeatMsg:
+		s.noteAlive(from)
+		return true
+	default:
+		return false
+	}
+}
+
+// noteAlive refreshes failure-detector state for a peer in every joined
+// group and revives peers previously declared dead (e.g. after a transient
+// partition heals).
+func (s *Stack) noteAlive(peer node.ID) {
+	now := s.ctx.Now()
+	for _, g := range s.groups {
+		if _, member := g.lastSeen[peer]; !member {
+			continue
+		}
+		g.lastSeen[peer] = now
+		if g.dead[peer] {
+			delete(g.dead, peer)
+			g.version++
+			if g.onView != nil {
+				g.onView(s.viewOf(g))
+			}
+		}
+	}
+}
+
+func (s *Stack) retransmitTick() {
+	s.retransmitArmed = false
+	if s.stopped {
+		return
+	}
+	now := s.ctx.Now()
+	pending := false
+	for peer, l := range s.out {
+		for seq, p := range l.unacked {
+			if now.Sub(p.sentAt) < s.cfg.RetransmitInterval {
+				pending = true
+				continue
+			}
+			if p.retries >= s.cfg.MaxRetries {
+				delete(l.unacked, seq)
+				if seq > l.droppedMax {
+					l.droppedMax = seq
+				}
+				s.ctx.Logf("group: giving up on msg %d to %s after %d retries", seq, peer, p.retries)
+				continue
+			}
+			p.retries++
+			p.sentAt = now
+			s.ctx.Send(peer, p.msg)
+			pending = true
+		}
+	}
+	if pending {
+		s.armRetransmit()
+	}
+}
+
+func (s *Stack) heartbeatTick() {
+	if s.stopped {
+		return
+	}
+	self := s.ctx.ID()
+	for name, g := range s.groups {
+		for _, member := range g.members {
+			if member != self {
+				s.ctx.Send(member, HeartbeatMsg{Group: name})
+			}
+		}
+	}
+	if s.cfg.FailTimeout > 0 {
+		s.checkFailures()
+	}
+	s.ctx.SetTimer(s.cfg.HeartbeatInterval, s.heartbeatTick)
+}
+
+func (s *Stack) checkFailures() {
+	now := s.ctx.Now()
+	self := s.ctx.ID()
+	for _, g := range s.groups {
+		changed := false
+		for _, member := range g.members {
+			if member == self || g.dead[member] {
+				continue
+			}
+			if now.Sub(g.lastSeen[member]) > s.cfg.FailTimeout {
+				g.dead[member] = true
+				changed = true
+			}
+		}
+		if changed {
+			g.version++
+			if g.onView != nil {
+				g.onView(s.viewOf(g))
+			}
+		}
+	}
+}

@@ -1,0 +1,326 @@
+// Package live is the real-time runtime: every node gets a mailbox
+// goroutine that serializes its message and timer callbacks, exactly
+// matching the execution model protocol code sees under the simulator —
+// the same gateways run unchanged on either. Delivery is in-process by
+// default; a RemoteSender hook (implemented by tcpnet) routes messages for
+// node IDs not registered locally.
+package live
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"aqua/internal/node"
+)
+
+// RemoteSender forwards messages to nodes hosted in other processes. It
+// must not block indefinitely.
+type RemoteSender func(from, to node.ID, m node.Message)
+
+// Runtime hosts nodes on goroutines with real timers.
+type Runtime struct {
+	mu      sync.Mutex
+	nodes   map[node.ID]*liveNode
+	seed    int64
+	logW    io.Writer
+	logMu   sync.Mutex
+	remote  RemoteSender
+	started bool
+	stopped bool
+}
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithSeed seeds per-node random sources (default 1).
+func WithSeed(seed int64) Option {
+	return func(r *Runtime) { r.seed = seed }
+}
+
+// WithLog directs node Logf output to w.
+func WithLog(w io.Writer) Option {
+	return func(r *Runtime) { r.logW = w }
+}
+
+// WithRemote installs the forwarding hook for unknown destinations.
+func WithRemote(rs RemoteSender) Option {
+	return func(r *Runtime) { r.remote = rs }
+}
+
+// NewRuntime creates an empty live runtime.
+func NewRuntime(opts ...Option) *Runtime {
+	r := &Runtime{nodes: make(map[node.ID]*liveNode), seed: 1}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// SetRemote installs (or replaces) the forwarding hook after construction;
+// it breaks the construction cycle between a runtime and the transport that
+// needs to inject into it.
+func (r *Runtime) SetRemote(rs RemoteSender) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.remote = rs
+}
+
+// Register adds a node. It panics on duplicates and after Start, mirroring
+// the simulator's contract.
+func (r *Runtime) Register(id node.ID, n node.Node) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		panic(fmt.Sprintf("live: Register(%q) after Start", id))
+	}
+	if _, dup := r.nodes[id]; dup {
+		panic(fmt.Sprintf("live: duplicate node %q", id))
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", r.seed, id)
+	r.nodes[id] = newLiveNode(r, id, n, rand.New(rand.NewSource(int64(h.Sum64()))))
+}
+
+// Start initializes every node (in its own goroutine context) and begins
+// delivery.
+func (r *Runtime) Start() {
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		return
+	}
+	r.started = true
+	nodes := make([]*liveNode, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		nodes = append(nodes, n)
+	}
+	r.mu.Unlock()
+
+	for _, n := range nodes {
+		n.start()
+	}
+}
+
+// Stop shuts every node down and waits for their goroutines to exit.
+func (r *Runtime) Stop() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	nodes := make([]*liveNode, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		nodes = append(nodes, n)
+	}
+	r.mu.Unlock()
+
+	for _, n := range nodes {
+		n.stop()
+	}
+}
+
+// StopNode terminates one node's mailbox goroutine, modelling a crash: it
+// stops receiving, its timers stop firing, and messages addressed to it are
+// dropped. Unlike the simulator there is no restart; a replacement process
+// would register with a fresh runtime and connect over the transport.
+func (r *Runtime) StopNode(id node.ID) {
+	r.mu.Lock()
+	n, ok := r.nodes[id]
+	if ok {
+		delete(r.nodes, id)
+	}
+	r.mu.Unlock()
+	if ok {
+		n.stop()
+	}
+}
+
+// Inject delivers a message that arrived from a remote transport to a
+// locally hosted node. Unknown destinations are dropped (the peer may have
+// stopped).
+func (r *Runtime) Inject(from, to node.ID, m node.Message) {
+	r.mu.Lock()
+	dst := r.nodes[to]
+	r.mu.Unlock()
+	if dst != nil {
+		dst.enqueue(envelope{from: from, msg: m})
+	}
+}
+
+// Local reports whether id is hosted by this runtime.
+func (r *Runtime) Local(id node.ID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.nodes[id]
+	return ok
+}
+
+func (r *Runtime) route(from, to node.ID, m node.Message) {
+	r.mu.Lock()
+	dst := r.nodes[to]
+	remote := r.remote
+	r.mu.Unlock()
+	if dst != nil {
+		dst.enqueue(envelope{from: from, msg: m})
+		return
+	}
+	if remote != nil {
+		remote(from, to, m)
+		return
+	}
+	r.logf("live: dropped message %T from %s to unknown node %s", m, from, to)
+}
+
+func (r *Runtime) logf(format string, args ...interface{}) {
+	if r.logW == nil {
+		return
+	}
+	r.logMu.Lock()
+	defer r.logMu.Unlock()
+	fmt.Fprintf(r.logW, format+"\n", args...)
+}
+
+// envelope is one mailbox entry: either a message or a timer callback.
+type envelope struct {
+	from  node.ID
+	msg   node.Message
+	timer func()
+}
+
+// liveNode owns one node's mailbox goroutine.
+type liveNode struct {
+	rt   *Runtime
+	id   node.ID
+	n    node.Node
+	rand *rand.Rand
+
+	mu      sync.Mutex
+	queue   []envelope
+	ready   chan struct{} // capacity 1: wakeup signal
+	stopped bool
+	done    chan struct{}
+}
+
+var _ node.Context = (*liveNode)(nil)
+
+func newLiveNode(rt *Runtime, id node.ID, n node.Node, rng *rand.Rand) *liveNode {
+	return &liveNode{
+		rt:    rt,
+		id:    id,
+		n:     n,
+		rand:  rng,
+		ready: make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+}
+
+func (l *liveNode) start() {
+	go l.run()
+}
+
+func (l *liveNode) run() {
+	defer close(l.done)
+	l.n.Init(l)
+	for {
+		l.mu.Lock()
+		for len(l.queue) == 0 && !l.stopped {
+			l.mu.Unlock()
+			<-l.ready
+			l.mu.Lock()
+		}
+		if l.stopped {
+			l.mu.Unlock()
+			return
+		}
+		batch := l.queue
+		l.queue = nil
+		l.mu.Unlock()
+
+		for _, env := range batch {
+			if env.timer != nil {
+				env.timer()
+				continue
+			}
+			l.n.Recv(env.from, env.msg)
+		}
+	}
+}
+
+// enqueue appends to the unbounded mailbox; unbounded so that two nodes
+// flooding each other can never deadlock.
+func (l *liveNode) enqueue(env envelope) {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return
+	}
+	l.queue = append(l.queue, env)
+	l.mu.Unlock()
+	select {
+	case l.ready <- struct{}{}:
+	default:
+	}
+}
+
+func (l *liveNode) stop() {
+	l.mu.Lock()
+	l.stopped = true
+	l.mu.Unlock()
+	select {
+	case l.ready <- struct{}{}:
+	default:
+	}
+	<-l.done
+}
+
+// ID implements node.Context.
+func (l *liveNode) ID() node.ID { return l.id }
+
+// Now implements node.Context.
+func (l *liveNode) Now() time.Time { return time.Now() }
+
+// Rand implements node.Context. It is only touched from the node's own
+// goroutine.
+func (l *liveNode) Rand() *rand.Rand { return l.rand }
+
+// Send implements node.Context.
+func (l *liveNode) Send(to node.ID, m node.Message) {
+	l.rt.route(l.id, to, m)
+}
+
+// SetTimer implements node.Context: f runs in this node's mailbox, never
+// concurrently with Recv.
+func (l *liveNode) SetTimer(d time.Duration, f func()) node.CancelFunc {
+	var canceled sync.Once
+	stop := make(chan struct{})
+	timer := time.AfterFunc(d, func() {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		l.enqueue(envelope{timer: func() {
+			select {
+			case <-stop:
+			default:
+				f()
+			}
+		}})
+	})
+	return func() {
+		canceled.Do(func() {
+			close(stop)
+			timer.Stop()
+		})
+	}
+}
+
+// Logf implements node.Context.
+func (l *liveNode) Logf(format string, args ...interface{}) {
+	l.rt.logf("%-14s "+format, append([]interface{}{l.id}, args...)...)
+}

@@ -1,0 +1,134 @@
+// Package netsim models the network between simulated nodes: per-message
+// delays, losses, and partitions. It stands in for the 100 Mbps LAN of the
+// paper's testbed, with the transient-overload behaviour the paper observes
+// expressed as configurable delay distributions.
+package netsim
+
+import (
+	"math/rand"
+	"time"
+
+	"aqua/internal/node"
+)
+
+// DelayModel produces the one-way network delay for a message. Models must
+// be deterministic given the supplied random source.
+type DelayModel interface {
+	Delay(r *rand.Rand, from, to node.ID) time.Duration
+}
+
+// LossModel decides whether a message is dropped in transit.
+type LossModel interface {
+	Drop(r *rand.Rand, from, to node.ID) bool
+}
+
+// ConstantDelay delays every message by the same duration.
+type ConstantDelay time.Duration
+
+// Delay implements DelayModel.
+func (c ConstantDelay) Delay(*rand.Rand, node.ID, node.ID) time.Duration {
+	return time.Duration(c)
+}
+
+// UniformDelay draws delays uniformly from [Min, Max].
+type UniformDelay struct {
+	Min, Max time.Duration
+}
+
+// Delay implements DelayModel.
+func (u UniformDelay) Delay(r *rand.Rand, _, _ node.ID) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(r.Int63n(int64(u.Max-u.Min)+1))
+}
+
+// NormalDelay draws delays from a normal distribution truncated below at
+// Floor (which defaults to 0: network delays are never negative).
+type NormalDelay struct {
+	Mean   time.Duration
+	Stddev time.Duration
+	Floor  time.Duration
+}
+
+// Delay implements DelayModel.
+func (n NormalDelay) Delay(r *rand.Rand, _, _ node.ID) time.Duration {
+	d := time.Duration(r.NormFloat64()*float64(n.Stddev)) + n.Mean
+	if d < n.Floor {
+		d = n.Floor
+	}
+	return d
+}
+
+// PairDelay applies a dedicated model per (from, to) pair, falling back to
+// Default for pairs without an override. It models heterogeneous links
+// (e.g. one slow host) in the paper's LAN.
+type PairDelay struct {
+	Default   DelayModel
+	Overrides map[[2]node.ID]DelayModel
+}
+
+// Delay implements DelayModel.
+func (p PairDelay) Delay(r *rand.Rand, from, to node.ID) time.Duration {
+	if m, ok := p.Overrides[[2]node.ID{from, to}]; ok {
+		return m.Delay(r, from, to)
+	}
+	return p.Default.Delay(r, from, to)
+}
+
+// NoLoss never drops a message. The paper's Ensemble substrate provides
+// reliable delivery; the group layer's ARQ exists for the lossy configs.
+type NoLoss struct{}
+
+// Drop implements LossModel.
+func (NoLoss) Drop(*rand.Rand, node.ID, node.ID) bool { return false }
+
+// UniformLoss drops each message independently with probability P.
+type UniformLoss struct {
+	P float64
+}
+
+// Drop implements LossModel.
+func (u UniformLoss) Drop(r *rand.Rand, _, _ node.ID) bool {
+	return r.Float64() < u.P
+}
+
+// Partition drops every message crossing between the two sides. IDs not
+// listed on either side communicate freely with everyone.
+type Partition struct {
+	sideA map[node.ID]bool
+	sideB map[node.ID]bool
+}
+
+// NewPartition builds a partition between the two listed sides.
+func NewPartition(a, b []node.ID) *Partition {
+	p := &Partition{
+		sideA: make(map[node.ID]bool, len(a)),
+		sideB: make(map[node.ID]bool, len(b)),
+	}
+	for _, id := range a {
+		p.sideA[id] = true
+	}
+	for _, id := range b {
+		p.sideB[id] = true
+	}
+	return p
+}
+
+// Drop implements LossModel.
+func (p *Partition) Drop(_ *rand.Rand, from, to node.ID) bool {
+	return (p.sideA[from] && p.sideB[to]) || (p.sideB[from] && p.sideA[to])
+}
+
+// ComposeLoss drops a message if any component model drops it.
+type ComposeLoss []LossModel
+
+// Drop implements LossModel.
+func (c ComposeLoss) Drop(r *rand.Rand, from, to node.ID) bool {
+	for _, m := range c {
+		if m.Drop(r, from, to) {
+			return true
+		}
+	}
+	return false
+}

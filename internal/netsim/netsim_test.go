@@ -1,0 +1,167 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"aqua/internal/node"
+)
+
+func testRand() *rand.Rand { return rand.New(rand.NewSource(42)) }
+
+func TestConstantDelay(t *testing.T) {
+	m := ConstantDelay(3 * time.Millisecond)
+	r := testRand()
+	for i := 0; i < 10; i++ {
+		if d := m.Delay(r, "a", "b"); d != 3*time.Millisecond {
+			t.Fatalf("delay = %v, want 3ms", d)
+		}
+	}
+}
+
+func TestUniformDelayBounds(t *testing.T) {
+	m := UniformDelay{Min: time.Millisecond, Max: 5 * time.Millisecond}
+	r := testRand()
+	for i := 0; i < 1000; i++ {
+		d := m.Delay(r, "a", "b")
+		if d < m.Min || d > m.Max {
+			t.Fatalf("delay %v outside [%v,%v]", d, m.Min, m.Max)
+		}
+	}
+}
+
+func TestUniformDelayDegenerateRange(t *testing.T) {
+	m := UniformDelay{Min: 2 * time.Millisecond, Max: 2 * time.Millisecond}
+	if d := m.Delay(testRand(), "a", "b"); d != 2*time.Millisecond {
+		t.Fatalf("delay = %v, want 2ms", d)
+	}
+}
+
+func TestNormalDelayFloor(t *testing.T) {
+	m := NormalDelay{Mean: time.Millisecond, Stddev: 100 * time.Millisecond}
+	r := testRand()
+	for i := 0; i < 1000; i++ {
+		if d := m.Delay(r, "a", "b"); d < 0 {
+			t.Fatalf("negative delay %v", d)
+		}
+	}
+}
+
+func TestNormalDelayMeanApproximate(t *testing.T) {
+	m := NormalDelay{Mean: 100 * time.Millisecond, Stddev: 10 * time.Millisecond}
+	r := testRand()
+	var sum time.Duration
+	const n = 5000
+	for i := 0; i < n; i++ {
+		sum += m.Delay(r, "a", "b")
+	}
+	mean := sum / n
+	if mean < 95*time.Millisecond || mean > 105*time.Millisecond {
+		t.Fatalf("empirical mean %v too far from 100ms", mean)
+	}
+}
+
+func TestPairDelayOverride(t *testing.T) {
+	m := PairDelay{
+		Default: ConstantDelay(time.Millisecond),
+		Overrides: map[[2]node.ID]DelayModel{
+			{"a", "b"}: ConstantDelay(9 * time.Millisecond),
+		},
+	}
+	r := testRand()
+	if d := m.Delay(r, "a", "b"); d != 9*time.Millisecond {
+		t.Fatalf("override delay = %v, want 9ms", d)
+	}
+	if d := m.Delay(r, "b", "a"); d != time.Millisecond {
+		t.Fatalf("reverse direction delay = %v, want default 1ms", d)
+	}
+	if d := m.Delay(r, "x", "y"); d != time.Millisecond {
+		t.Fatalf("default delay = %v, want 1ms", d)
+	}
+}
+
+func TestNoLoss(t *testing.T) {
+	if (NoLoss{}).Drop(testRand(), "a", "b") {
+		t.Fatal("NoLoss dropped a message")
+	}
+}
+
+func TestUniformLossRate(t *testing.T) {
+	m := UniformLoss{P: 0.3}
+	r := testRand()
+	drops := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if m.Drop(r, "a", "b") {
+			drops++
+		}
+	}
+	rate := float64(drops) / n
+	if rate < 0.27 || rate > 0.33 {
+		t.Fatalf("empirical loss rate %.3f too far from 0.3", rate)
+	}
+}
+
+func TestUniformLossExtremes(t *testing.T) {
+	r := testRand()
+	if (UniformLoss{P: 0}).Drop(r, "a", "b") {
+		t.Fatal("P=0 dropped")
+	}
+	if !(UniformLoss{P: 1}).Drop(r, "a", "b") {
+		t.Fatal("P=1 did not drop")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	p := NewPartition([]node.ID{"a1", "a2"}, []node.ID{"b1"})
+	r := testRand()
+	tests := []struct {
+		from, to node.ID
+		want     bool
+	}{
+		{"a1", "b1", true},
+		{"b1", "a2", true},
+		{"a1", "a2", false},
+		{"a1", "c", false},
+		{"c", "b1", false},
+		{"c", "d", false},
+	}
+	for _, tt := range tests {
+		if got := p.Drop(r, tt.from, tt.to); got != tt.want {
+			t.Errorf("Drop(%s→%s) = %v, want %v", tt.from, tt.to, got, tt.want)
+		}
+	}
+}
+
+func TestComposeLoss(t *testing.T) {
+	p := NewPartition([]node.ID{"a"}, []node.ID{"b"})
+	c := ComposeLoss{NoLoss{}, p}
+	r := testRand()
+	if !c.Drop(r, "a", "b") {
+		t.Fatal("composed loss missed partition drop")
+	}
+	if c.Drop(r, "a", "c") {
+		t.Fatal("composed loss dropped unaffected pair")
+	}
+}
+
+// Property: uniform delays are always within declared bounds for arbitrary
+// bound pairs.
+func TestUniformDelayProperty(t *testing.T) {
+	r := testRand()
+	prop := func(a, b uint16) bool {
+		lo := time.Duration(a) * time.Microsecond
+		hi := time.Duration(b) * time.Microsecond
+		m := UniformDelay{Min: lo, Max: hi}
+		d := m.Delay(r, "x", "y")
+		if hi <= lo {
+			return d == lo
+		}
+		return d >= lo && d <= hi
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

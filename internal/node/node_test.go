@@ -1,0 +1,27 @@
+package node
+
+import "testing"
+
+func TestFuncNodeNilCallbacksSafe(t *testing.T) {
+	var n FuncNode
+	n.Init(nil)     // must not panic
+	n.Recv("x", 42) // must not panic
+}
+
+func TestFuncNodeDispatch(t *testing.T) {
+	inits, recvs := 0, 0
+	n := FuncNode{
+		OnInit: func(Context) { inits++ },
+		OnRecv: func(from ID, m Message) {
+			if from != "peer" || m.(int) != 7 {
+				t.Fatalf("recv got %v %v", from, m)
+			}
+			recvs++
+		},
+	}
+	n.Init(nil)
+	n.Recv("peer", 7)
+	if inits != 1 || recvs != 1 {
+		t.Fatalf("dispatch counts %d/%d", inits, recvs)
+	}
+}

@@ -1,0 +1,140 @@
+package replica
+
+import (
+	"testing"
+	"time"
+
+	"aqua/internal/consistency"
+)
+
+func TestDedupReassignedUpdateAppliesOnce(t *testing.T) {
+	// A client retransmission that received a second GSN (sequencer
+	// failover lost the memo) must not apply twice: the second commit is a
+	// reply-only no-op.
+	tb := newTestbed(50, 10*time.Second, nil)
+	tb.rt.Start()
+	tb.s.RunFor(100 * ms)
+	tb.update(1, "a=1")
+	tb.s.RunFor(500 * ms)
+
+	// Forge a duplicate assignment+body pair under a fresh GSN, as a
+	// post-failover sequencer would issue for the retransmitted request.
+	p1 := tb.replicas["p1"]
+	tb.s.After(0, func() {
+		p1.onRequest("cli", req(1, false, "Set", "a=1", 0))          // retransmitted body
+		p1.onAssign(consistency.GSNAssign{ID: consistency.RequestID{ // re-sequenced
+			Client: "cli", Seq: 1}, GSN: 2, Update: true})
+	})
+	tb.s.RunFor(time.Second)
+
+	if got := p1.Applied(); got != 2 {
+		t.Fatalf("applied position = %d, want 2 (dup consumed the GSN)", got)
+	}
+	v, _ := p1.App().Read("Version", nil)
+	if string(v) != "v1" {
+		t.Fatalf("version = %s, want v1 (logical update applied once)", v)
+	}
+}
+
+func TestObservedAssignMemoPreventsReassignment(t *testing.T) {
+	// After a failover, the new sequencer re-issues the ORIGINAL GSN for a
+	// retransmitted update it observed being assigned, instead of a fresh
+	// number.
+	tb := newTestbed(51, 10*time.Second, nil)
+	tb.rt.Start()
+	tb.s.RunFor(100 * ms)
+	tb.update(1, "a=1")
+	tb.update(2, "b=2")
+	tb.s.RunFor(500 * ms)
+
+	tb.rt.Crash("p0")
+	tb.s.RunFor(5 * time.Second) // p1 takes over at GSN 2
+
+	// The client retransmits update 1 (suppose its reply was lost).
+	tb.update(1, "a=1")
+	tb.s.RunFor(time.Second)
+
+	p1 := tb.replicas["p1"]
+	if got := p1.seqState.GSN(); got != 2 {
+		t.Fatalf("sequencer GSN = %d, want 2 (no fresh number for a known request)", got)
+	}
+	if got := tb.replicas["p2"].Applied(); got != 2 {
+		t.Fatalf("p2 applied = %d, want 2", got)
+	}
+}
+
+func TestDigestAntiEntropyRepairsDivergence(t *testing.T) {
+	// Force artificial divergence at the same position on p2; the
+	// sequencer's digest beacon must detect and repair it within a few
+	// chase intervals.
+	tb := newTestbed(52, 10*time.Second, nil)
+	tb.rt.Start()
+	tb.s.RunFor(100 * ms)
+	tb.update(1, "a=1")
+	tb.s.RunFor(500 * ms)
+
+	p2 := tb.replicas["p2"]
+	tb.s.After(0, func() {
+		// Corrupt p2's state without moving its position.
+		if _, err := p2.App().ApplyUpdate("Set", []byte("a=corrupted")); err != nil {
+			t.Error(err)
+		}
+		if _, err := p2.App().ApplyUpdate("Del", []byte("ghost")); err != nil {
+			t.Error(err)
+		}
+	})
+	tb.s.RunFor(3 * time.Second) // several digest beacons
+
+	v, _ := p2.App().Read("Get", []byte("a"))
+	if string(v) != "1" {
+		t.Fatalf("anti-entropy did not repair p2: a=%q", v)
+	}
+	snapSeq, _ := tb.replicas["p0"].App().Snapshot()
+	snapP2, _ := p2.App().Snapshot()
+	if string(snapSeq) != string(snapP2) {
+		t.Fatal("p2 still diverges from the sequencer")
+	}
+}
+
+func TestStateUpdateEqualCSNRepairs(t *testing.T) {
+	tb := newTestbed(53, 50*time.Second, nil)
+	tb.rt.Start()
+	tb.s.RunFor(100 * ms)
+	tb.update(1, "a=1")
+	tb.s.RunFor(500 * ms)
+
+	s1 := tb.replicas["s1"]
+	// Push a divergent state at the same CSN directly; equal-CSN restores
+	// with differing bytes must be applied.
+	divergent, _ := tb.replicas["p1"].App().Snapshot()
+	tb.s.After(0, func() {
+		s1.App().ApplyUpdate("Set", []byte("x=junk"))
+		s1.onStateUpdate(consistency.StateUpdate{CSN: s1.CSN(), Snapshot: divergent})
+	})
+	tb.s.RunFor(200 * ms)
+	got, _ := s1.App().Read("Get", []byte("x"))
+	if len(got) != 0 {
+		t.Fatalf("equal-CSN corrective restore not applied: x=%q", got)
+	}
+}
+
+func TestSequencerNeverReassignsBelowObservedHistory(t *testing.T) {
+	// A sequencer whose counter lags evidence in its commit stream folds
+	// that evidence in before assigning.
+	tb := newTestbed(54, 10*time.Second, nil)
+	tb.rt.Start()
+	tb.s.RunFor(100 * ms)
+
+	p0 := tb.replicas["p0"]
+	tb.s.After(0, func() {
+		// Simulate history evidence arriving out-of-band: an assignment
+		// from a prior era at GSN 40.
+		p0.commit.ObserveGSN(40)
+	})
+	tb.s.RunFor(100 * ms)
+	tb.update(1, "a=1")
+	tb.s.RunFor(time.Second)
+	if got := p0.seqState.GSN(); got != 41 {
+		t.Fatalf("new assignment GSN = %d, want 41 (above observed history)", got)
+	}
+}

@@ -1,0 +1,201 @@
+package replica
+
+import (
+	"testing"
+	"time"
+
+	"aqua/internal/consistency"
+	"aqua/internal/node"
+)
+
+func TestFailoverSequencerTakeover(t *testing.T) {
+	tb := newTestbed(20, time.Second, nil)
+	tb.rt.Start()
+	tb.s.RunFor(100 * ms)
+	// Commit a couple of updates so the takeover has a GSN to discover.
+	tb.update(1, "a=1")
+	tb.update(2, "b=2")
+	tb.s.RunFor(300 * ms)
+
+	tb.rt.Crash("p0")
+	tb.s.RunFor(5 * time.Second) // failure detection + GSNQuery round
+
+	p1 := tb.replicas["p1"]
+	if !p1.IsLeader() {
+		t.Fatal("p1 did not become leader")
+	}
+	if !p1.seqReady {
+		t.Fatal("takeover never completed")
+	}
+	if got := p1.seqState.GSN(); got != 2 {
+		t.Fatalf("resumed GSN = %d, want 2", got)
+	}
+	// Everyone, including secondaries, learned the new sequencer.
+	for _, id := range []node.ID{"p2", "s1", "s2"} {
+		if got := tb.replicas[id].Sequencer(); got != "p1" {
+			t.Fatalf("%s believes sequencer is %s", id, got)
+		}
+	}
+	// New assignments continue above the discovered GSN.
+	tb.update(3, "c=3")
+	tb.s.RunFor(2 * time.Second)
+	if got := tb.replicas["p2"].Applied(); got != 3 {
+		t.Fatalf("p2 applied %d, want 3", got)
+	}
+}
+
+func TestFailoverPublisherHandoffKeepsLazyFlowing(t *testing.T) {
+	tb := newTestbed(21, 300*ms, nil)
+	tb.rt.Start()
+	tb.s.RunFor(100 * ms)
+	tb.update(1, "a=1")
+	tb.s.RunFor(time.Second)
+	if tb.replicas["s1"].CSN() != 1 {
+		t.Fatal("initial lazy propagation failed")
+	}
+
+	tb.rt.Crash("p1") // the publisher
+	tb.s.RunFor(3 * time.Second)
+	if !tb.replicas["p2"].IsPublisher() {
+		t.Fatal("p2 did not take over publishing")
+	}
+	tb.update(2, "b=2")
+	tb.s.RunFor(2 * time.Second)
+	for _, id := range []node.ID{"s1", "s2"} {
+		if got := tb.replicas[id].CSN(); got != 2 {
+			t.Fatalf("%s CSN %d, want 2 after publisher handoff", id, got)
+		}
+	}
+}
+
+func TestFailoverLonePrimaryServes(t *testing.T) {
+	tb := newTestbed(22, time.Second, nil)
+	tb.rt.Start()
+	tb.s.RunFor(100 * ms)
+	tb.rt.Crash("p0")
+	tb.rt.Crash("p1")
+	tb.s.RunFor(5 * time.Second)
+
+	p2 := tb.replicas["p2"]
+	if !p2.IsLeader() || !p2.IsPublisher() {
+		t.Fatal("lone survivor did not absorb both roles")
+	}
+	if !p2.lonePrimary() {
+		t.Fatal("lonePrimary() false for singleton view")
+	}
+
+	// Updates are acknowledged by the lone leader itself.
+	tb.update(1, "a=1")
+	tb.s.RunFor(2 * time.Second)
+	found := false
+	for _, r := range tb.cli.replies {
+		if r.Replica == "p2" && r.ID.Seq == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("lone leader never replied to the update; replies: %+v", tb.cli.replies)
+	}
+
+	// Reads sent to the lone leader are served too.
+	tb.cli.send("p2", req(2, true, "Get", "k", 5))
+	tb.s.RunFor(2 * time.Second)
+	served := false
+	for _, r := range tb.cli.replies {
+		if r.ID.Seq == 2 && r.Replica == "p2" {
+			served = true
+		}
+	}
+	if !served {
+		t.Fatal("lone leader refused a read")
+	}
+}
+
+func TestFailoverDeposedLeaderStopsSequencing(t *testing.T) {
+	// p0 is partitioned away (crash, in our model), p1 takes over. The
+	// onPrimaryView deposition path is the revival scenario: simulate it
+	// directly by feeding p1 a view where p0 is back.
+	tb := newTestbed(23, time.Second, nil)
+	tb.rt.Start()
+	tb.s.RunFor(100 * ms)
+	tb.rt.Crash("p0")
+	tb.s.RunFor(5 * time.Second)
+	p1 := tb.replicas["p1"]
+	if !p1.IsLeader() {
+		t.Fatal("p1 not leader after crash")
+	}
+	// Heal: p0's revival shows up as a view change at p1.
+	tb.s.After(0, func() {
+		v, _ := p1.stack.ViewOf(PrimaryGroupName)
+		v.Members = append([]node.ID{"p0"}, v.Members...)
+		v.Leader = "p0"
+		p1.onPrimaryView(v)
+	})
+	tb.s.RunFor(100 * ms)
+	if p1.IsLeader() {
+		t.Fatal("deposed leader kept sequencing")
+	}
+	if p1.Sequencer() != "p0" {
+		t.Fatalf("p1 sequencer belief = %s", p1.Sequencer())
+	}
+}
+
+func TestFailoverGSNQueryReport(t *testing.T) {
+	tb := newTestbed(24, time.Second, nil)
+	tb.rt.Start()
+	tb.s.RunFor(100 * ms)
+	tb.update(1, "a=1")
+	tb.s.RunFor(300 * ms)
+
+	// Drive a GSNQuery into p2 via the substrate; it must answer with its
+	// observed GSN.
+	tb.s.After(0, func() {
+		tb.cli.send("p2", consistency.GSNQuery{Epoch: 9})
+	})
+	tb.s.RunFor(500 * ms)
+	found := false
+	for _, m := range tb.cli.other {
+		if rep, ok := m.(consistency.GSNReport); ok && rep.Epoch == 9 && rep.GSN == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no GSNReport; other = %+v", tb.cli.other)
+	}
+}
+
+func TestFailoverUpdateChase(t *testing.T) {
+	// Deliver an update body to p1 only (never to the sequencer): the GSN
+	// assignment never arrives, and the chase must obtain one.
+	tb := newTestbed(25, time.Second, nil)
+	tb.rt.Start()
+	tb.s.RunFor(100 * ms)
+	tb.cli.send("p1", req(1, false, "Set", "a=1", 0))
+	tb.s.RunFor(3 * time.Second)
+
+	if got := tb.replicas["p1"].Applied(); got != 1 {
+		t.Fatalf("p1 applied %d; chase did not recover the assignment", got)
+	}
+	// The sequencer broadcast the assignment to all primaries, so p2
+	// holds a pending assignment but no body — harmless, bounded.
+	if got := tb.replicas["p0"].Applied(); got != 1 {
+		t.Fatalf("sequencer applied %d", got)
+	}
+}
+
+func TestReplicaHeldRequestsDuringTakeover(t *testing.T) {
+	// Requests arriving at the new leader between its election and the end
+	// of the GSNQuery round must be held and sequenced afterwards.
+	tb := newTestbed(26, time.Second, nil)
+	tb.rt.Start()
+	tb.s.RunFor(100 * ms)
+	tb.rt.Crash("p0")
+	// Wait for the view change (fail timeout ~900ms) then immediately send
+	// an update; the takeover round (300ms) may still be in flight.
+	tb.s.RunFor(1200 * ms)
+	tb.update(1, "a=1")
+	tb.s.RunFor(5 * time.Second)
+	if got := tb.replicas["p2"].Applied(); got != 1 {
+		t.Fatalf("p2 applied %d; held request lost in takeover", got)
+	}
+}

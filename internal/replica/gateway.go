@@ -1,0 +1,315 @@
+// Package replica implements the server-side AQuA gateway handler of
+// Section 4: the sequential-consistency protocol roles (sequencer, primary,
+// secondary, lazy publisher), the single-server work queue whose queueing
+// delay the monitoring layer measures, the performance instrumentation and
+// broadcasts of Section 5.4, and the sequencer/lazy-publisher failover the
+// paper sketches in Section 4.1.
+package replica
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"aqua/internal/app"
+	"aqua/internal/consistency"
+	"aqua/internal/group"
+	"aqua/internal/node"
+)
+
+// PrimaryGroupName is the heartbeating group of primary replicas; its
+// leader is the sequencer.
+const PrimaryGroupName = "primary"
+
+// DelayModel produces the simulated service delay for one request — the
+// paper "simulated the background load on the servers by having each
+// replica respond to a request after a delay that was normally distributed".
+// A nil model means requests are serviced with zero simulated delay.
+type DelayModel func(r *rand.Rand) time.Duration
+
+// Config describes one replica gateway.
+type Config struct {
+	// Primary marks membership in the primary group. The initial sequencer
+	// is the lowest-ID primary member.
+	Primary bool
+	// PrimaryGroup lists all primary members, including the sequencer.
+	PrimaryGroup []node.ID
+	// Secondaries lists the secondary group.
+	Secondaries []node.ID
+	// Clients lists the client gateways to publish measurements to (the
+	// QoS group of Figure 1).
+	Clients []node.ID
+	// Group tunes the communication substrate.
+	Group group.Config
+	// LazyInterval is T_L, the lazy update period of the designated
+	// publisher.
+	LazyInterval time.Duration
+	// ServiceDelay simulates background load; nil for none.
+	ServiceDelay DelayModel
+	// ChaseInterval is how often buffered requests missing their GSN
+	// assignment are chased with a GSNRequest; 0 selects a default.
+	ChaseInterval time.Duration
+	// TakeoverTimeout bounds the GSNQuery round during sequencer failover;
+	// 0 selects a default.
+	TakeoverTimeout time.Duration
+	// RecoveryGap is the commit-stream gap (my_GSN − my_CSN) beyond which a
+	// replica assumes it missed history (e.g. it restarted) and requests a
+	// state snapshot from the sequencer; 0 selects a default of 32.
+	RecoveryGap int
+	// App is this replica's application instance.
+	App app.Application
+	// OnApply, if set, observes every update actually executed against the
+	// application, in execution order — test hooks use it to verify the
+	// sequential-consistency prefix property across replicas.
+	OnApply func(gsn uint64, id consistency.RequestID)
+}
+
+func (c *Config) setDefaults() {
+	if c.ChaseInterval <= 0 {
+		c.ChaseInterval = 500 * time.Millisecond
+	}
+	if c.TakeoverTimeout <= 0 {
+		c.TakeoverTimeout = 300 * time.Millisecond
+	}
+	if c.RecoveryGap <= 0 {
+		c.RecoveryGap = 32
+	}
+	if c.LazyInterval <= 0 {
+		c.LazyInterval = 2 * time.Second
+	}
+}
+
+// Gateway is the server-side gateway handler for one replica. It implements
+// node.Node; all state is confined to the owning node's callbacks.
+type Gateway struct {
+	cfg Config
+	ctx node.Context
+
+	stack  *group.Stack
+	commit *consistency.CommitBuffer
+	reads  *consistency.ReadBuffer
+
+	// Role state.
+	isLeader    bool
+	isPublisher bool
+	sequencerID node.ID
+	seqState    *consistency.SequencerState
+	seqReady    bool
+	started     bool
+
+	// Takeover (sequencer failover) state.
+	epoch         uint64
+	takeoverMax   uint64
+	takeoverAwait int
+	takeoverDone  node.CancelFunc
+	heldRequests  []heldRequest
+
+	// Work queue (single server: queueing delay is emergent).
+	queue []job
+	busy  bool
+
+	// applied is the GSN of the last update actually executed against the
+	// application; it trails commit.MyCSN() by the queue contents.
+	applied uint64
+
+	// bodyArrived records when update bodies arrived, for tq measurement.
+	bodyArrived map[consistency.RequestID]time.Time
+
+	// recentBodies retains recently committed update bodies so peers whose
+	// copy of a client multicast was lost can recover them (BodyRequest).
+	recentBodies map[consistency.RequestID]consistency.Request
+	recentOrder  []consistency.RequestID
+
+	// observedAssigns remembers every update GSN assignment this primary
+	// has seen, across sequencer eras (bounded FIFO). A new sequencer
+	// consults it before assigning: re-issuing the original number for a
+	// retransmitted request keeps the group's order identical everywhere.
+	observedAssigns      map[consistency.RequestID]uint64
+	observedAssignsOrder []consistency.RequestID
+
+	// committed is the commit-dedup memo: request IDs whose update has
+	// been applied (or deliberately skipped as a duplicate). A client
+	// retransmission re-sequenced after a sequencer failover arrives as a
+	// second (GSN, body) pair; the memo turns its application into a
+	// reply-only no-op on every replica.
+	committed      map[consistency.RequestID]bool
+	committedOrder []consistency.RequestID
+
+	// Publisher measurement counters (Section 5.4.1).
+	updatesSinceBroadcast int       // nu
+	lastBroadcastAt       time.Time // start of tu
+	updatesSinceLazy      int       // nL
+	lastLazyAt            time.Time // start of tL
+	lazyTimerSet          bool
+
+	// Stuck-stream detection: the last time my_CSN advanced, and its value
+	// then. A commit stream with my_GSN ahead of my_CSN that makes no
+	// progress across chase ticks has a hole nothing will fill (both the
+	// body and the assignment died with a crashed sequencer); the replica
+	// recovers through a snapshot.
+	lastCSN   uint64
+	lastCSNAt time.Time
+
+	// Reads deferred at a primary until its own commits catch up (the
+	// paper's secondaries defer until a lazy update; a primary's state
+	// converges through its commit stream instead).
+	commitWaiters []consistency.PendingRead
+}
+
+var _ node.Node = (*Gateway)(nil)
+
+// New creates a replica gateway. The caller registers it with a runtime
+// under its node ID.
+func New(cfg Config) *Gateway {
+	cfg.setDefaults()
+	if cfg.App == nil {
+		panic("replica: Config.App is required")
+	}
+	if len(cfg.PrimaryGroup) < 2 {
+		panic("replica: primary group needs at least a sequencer and one serving member")
+	}
+	return &Gateway{
+		cfg:             cfg,
+		commit:          consistency.NewCommitBuffer(),
+		reads:           consistency.NewReadBuffer(0),
+		bodyArrived:     make(map[consistency.RequestID]time.Time),
+		recentBodies:    make(map[consistency.RequestID]consistency.Request),
+		committed:       make(map[consistency.RequestID]bool),
+		observedAssigns: make(map[consistency.RequestID]uint64),
+	}
+}
+
+// Init implements node.Node.
+func (g *Gateway) Init(ctx node.Context) {
+	g.ctx = ctx
+	g.lastBroadcastAt = ctx.Now()
+	g.lastLazyAt = ctx.Now()
+	g.stack = group.NewStack(ctx, g.cfg.Group, g.handleDelivery)
+	g.sequencerID = sortedFirst(g.cfg.PrimaryGroup)
+
+	if g.cfg.Primary {
+		g.stack.Join(PrimaryGroupName, g.cfg.PrimaryGroup, g.onPrimaryView)
+	}
+	g.started = true
+	g.lastCSNAt = ctx.Now()
+	g.ctx.SetTimer(g.cfg.ChaseInterval, g.chaseTick)
+
+	// Bootstrap/restart state sync: ask the sequencer for a snapshot so a
+	// rejoining replica converges immediately instead of waiting for the
+	// commit stream (primary) or the next lazy update (secondary). At a
+	// fresh deployment the answer is an empty snapshot at CSN 0, a no-op.
+	if !g.isLeader {
+		g.stack.Send(g.sequencerID, consistency.SyncRequest{})
+	}
+}
+
+// Recv implements node.Node.
+func (g *Gateway) Recv(from node.ID, m node.Message) {
+	if g.stack.Handle(from, m) {
+		return
+	}
+	g.ctx.Logf("replica: unexpected raw message %T from %s", m, from)
+}
+
+// handleDelivery processes substrate-delivered application payloads.
+func (g *Gateway) handleDelivery(from node.ID, m node.Message) {
+	switch msg := m.(type) {
+	case consistency.Request:
+		g.onRequest(from, msg)
+	case consistency.GSNAssign:
+		g.onAssign(msg)
+	case consistency.GSNRequest:
+		g.onGSNRequest(from, msg)
+	case consistency.BodyRequest:
+		g.onBodyRequest(from, msg)
+	case consistency.StateUpdate:
+		g.onStateUpdate(msg)
+	case consistency.SyncRequest:
+		g.onSyncRequest(from)
+	case consistency.GSNQuery:
+		g.stack.Send(from, consistency.GSNReport{Epoch: msg.Epoch, GSN: g.commit.MyGSN()})
+	case consistency.GSNReport:
+		g.onGSNReport(msg)
+	case consistency.SequencerAnnounce:
+		g.sequencerID = msg.Sequencer
+	case consistency.DigestAnnounce:
+		g.onDigest(from, msg)
+	default:
+		g.ctx.Logf("replica: unhandled payload %T from %s", m, from)
+	}
+}
+
+// Sequencer returns this replica's current belief about the sequencer
+// identity (for tests and diagnostics).
+func (g *Gateway) Sequencer() node.ID { return g.sequencerID }
+
+// IsLeader reports whether this replica currently acts as the sequencer.
+func (g *Gateway) IsLeader() bool { return g.isLeader }
+
+// IsPublisher reports whether this replica is the designated lazy
+// publisher.
+func (g *Gateway) IsPublisher() bool { return g.isPublisher }
+
+// CSN returns the replica's commit sequence number.
+func (g *Gateway) CSN() uint64 { return g.commit.MyCSN() }
+
+// Applied returns the GSN of the last update executed against the app.
+func (g *Gateway) Applied() uint64 { return g.applied }
+
+// App exposes the application instance (tests verify replica state).
+func (g *Gateway) App() app.Application { return g.cfg.App }
+
+func sortedFirst(ids []node.ID) node.ID {
+	if len(ids) == 0 {
+		return ""
+	}
+	first := ids[0]
+	for _, id := range ids[1:] {
+		if id < first {
+			first = id
+		}
+	}
+	return first
+}
+
+// replicaTargets returns every other replica (primary members and
+// secondaries), used for read-GSN broadcasts.
+func (g *Gateway) replicaTargets() []node.ID {
+	var out []node.ID
+	self := g.ctx.ID()
+	for _, id := range g.cfg.PrimaryGroup {
+		if id != self {
+			out = append(out, id)
+		}
+	}
+	for _, id := range g.cfg.Secondaries {
+		if id != self {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (g *Gateway) otherPrimaries() []node.ID {
+	var out []node.ID
+	self := g.ctx.ID()
+	for _, id := range g.cfg.PrimaryGroup {
+		if id != self {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// errString converts an application error for the wire.
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// fmtID renders a request ID for logs.
+func fmtID(id consistency.RequestID) string {
+	return fmt.Sprintf("%s/%d", id.Client, id.Seq)
+}

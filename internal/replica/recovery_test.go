@@ -1,0 +1,166 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"aqua/internal/apps"
+	"aqua/internal/consistency"
+	"aqua/internal/group"
+	"aqua/internal/node"
+)
+
+// restart replaces a crashed replica with a fresh (empty) incarnation, as
+// the sim runtime's process-restart model prescribes.
+func (tb *testbed) restart(id node.ID, primary bool, lazy time.Duration) *Gateway {
+	g := New(Config{
+		Primary:      primary,
+		PrimaryGroup: []node.ID{"p0", "p1", "p2"},
+		Secondaries:  []node.ID{"s1", "s2"},
+		Clients:      []node.ID{"cli"},
+		Group:        group.DefaultConfig(),
+		LazyInterval: lazy,
+		App:          apps.NewKVStore(),
+	})
+	tb.replicas[id] = g
+	tb.rt.Restart(id, g)
+	return g
+}
+
+func TestRecoveryPrimaryRestartCatchesUp(t *testing.T) {
+	const lazy = 10 * time.Second // lazy updates irrelevant here
+	tb := newTestbed(30, lazy, nil)
+	tb.rt.Start()
+	tb.s.RunFor(100 * ms)
+
+	// History before the crash.
+	for i := uint64(1); i <= 5; i++ {
+		tb.update(i, fmt.Sprintf("k%d=%d", i, i))
+	}
+	tb.s.RunFor(time.Second)
+	tb.rt.Crash("p2")
+	// More history while p2 is down.
+	for i := uint64(6); i <= 10; i++ {
+		tb.update(i, fmt.Sprintf("k%d=%d", i, i))
+	}
+	tb.s.RunFor(time.Second)
+
+	// Restart p2 empty: its Init-time SyncRequest must pull the snapshot.
+	p2 := tb.restart("p2", true, lazy)
+	tb.s.RunFor(3 * time.Second)
+
+	if got := p2.CSN(); got != 10 {
+		t.Fatalf("restarted p2 CSN = %d, want 10", got)
+	}
+	if got := p2.Applied(); got != 10 {
+		t.Fatalf("restarted p2 applied = %d, want 10", got)
+	}
+	v, err := p2.App().Read("Get", []byte("k7"))
+	if err != nil || string(v) != "7" {
+		t.Fatalf("restarted p2 k7 = %q (%v)", v, err)
+	}
+
+	// And it participates in new commits.
+	tb.update(11, "k11=11")
+	tb.s.RunFor(time.Second)
+	if got := p2.Applied(); got != 11 {
+		t.Fatalf("restarted p2 did not resume committing: applied %d", got)
+	}
+}
+
+func TestRecoveryGapTriggersSync(t *testing.T) {
+	// Suppress the Init sync by restarting while the sequencer is briefly
+	// unreachable... simpler: drive the gap path directly. A replica whose
+	// my_GSN raced far ahead of my_CSN requests a snapshot on its next
+	// chase tick.
+	tb := newTestbed(31, 10*time.Second, nil)
+	tb.rt.Start()
+	tb.s.RunFor(100 * ms)
+	for i := uint64(1); i <= 3; i++ {
+		tb.update(i, fmt.Sprintf("k%d=%d", i, i))
+	}
+	tb.s.RunFor(time.Second)
+
+	p2 := tb.replicas["p2"]
+	// Simulate missed history: a read assign with a far-future GSN.
+	tb.s.After(0, func() {
+		p2.onAssign(consistency.GSNAssign{ID: consistency.RequestID{Client: "cli", Seq: 99}, GSN: 100})
+	})
+	tb.s.RunFor(2 * time.Second) // > ChaseInterval
+
+	// The sync snapshot only covers the sequencer's applied state (3), so
+	// the gap remains numerically — but the state must have been pulled.
+	if got := p2.CSN(); got < 3 {
+		t.Fatalf("gap-triggered sync did not run: CSN %d", got)
+	}
+}
+
+func TestRecoverySecondaryRestartViaInitSync(t *testing.T) {
+	const lazy = 30 * time.Second // too long to help within the test
+	tb := newTestbed(32, lazy, nil)
+	tb.rt.Start()
+	tb.s.RunFor(100 * ms)
+	for i := uint64(1); i <= 4; i++ {
+		tb.update(i, fmt.Sprintf("k%d=%d", i, i))
+	}
+	tb.s.RunFor(time.Second)
+	tb.rt.Crash("s1")
+	tb.s.RunFor(time.Second)
+
+	s1 := tb.restart("s1", false, lazy)
+	tb.s.RunFor(2 * time.Second)
+	if got := s1.CSN(); got != 4 {
+		t.Fatalf("restarted s1 CSN = %d, want 4 (Init sync, not lazy update)", got)
+	}
+	// It can serve reads against the restored state immediately.
+	tb.read(50, 5, "s1")
+	tb.s.RunFor(time.Second)
+	served := false
+	for _, r := range tb.cli.replies {
+		if r.ID.Seq == 50 && r.Replica == "s1" && r.CSN == 4 {
+			served = true
+		}
+	}
+	if !served {
+		t.Fatalf("restarted secondary did not serve; replies %+v", tb.cli.replies)
+	}
+}
+
+func TestRecoveryRestartedSequencerResumesViaQuery(t *testing.T) {
+	tb := newTestbed(33, 10*time.Second, nil)
+	tb.rt.Start()
+	tb.s.RunFor(100 * ms)
+	for i := uint64(1); i <= 6; i++ {
+		tb.update(i, fmt.Sprintf("k%d=%d", i, i))
+	}
+	tb.s.RunFor(time.Second)
+	tb.rt.Crash("p0")
+	tb.s.RunFor(5 * time.Second) // p1 takes over
+
+	if !tb.replicas["p1"].IsLeader() {
+		t.Fatal("p1 did not take over")
+	}
+	tb.update(7, "k7=7")
+	tb.s.RunFor(time.Second)
+
+	// p0 restarts empty; as the lowest ID it reclaims leadership and must
+	// resume sequencing above GSN 7 (learned from the GSNQuery round), not
+	// from its empty local state.
+	p0 := tb.restart("p0", true, 10*time.Second)
+	tb.s.RunFor(8 * time.Second)
+	if !p0.IsLeader() {
+		t.Fatal("restarted p0 did not reclaim leadership")
+	}
+	if tb.replicas["p1"].IsLeader() {
+		t.Fatal("p1 was not deposed")
+	}
+	tb.update(8, "k8=8")
+	tb.s.RunFor(2 * time.Second)
+	if got := tb.replicas["p1"].Applied(); got != 8 {
+		t.Fatalf("p1 applied %d after p0's return, want 8 (GSN continuity broken?)", got)
+	}
+	if got := p0.Applied(); got != 8 {
+		t.Fatalf("restarted p0 applied %d, want 8", got)
+	}
+}

@@ -1,0 +1,309 @@
+package replica
+
+import (
+	"aqua/internal/consistency"
+	"aqua/internal/group"
+	"aqua/internal/node"
+)
+
+// heldRequest is a request whose sequencing is postponed while a takeover's
+// GSNQuery round is in flight.
+type heldRequest struct {
+	from node.ID
+	req  consistency.Request
+}
+
+// onPrimaryView reacts to primary-group membership changes: sequencer
+// (leader) takeover and lazy-publisher designation. The rules are
+// deterministic over the view so every member converges without extra
+// agreement rounds: the leader is the lowest live member; the publisher is
+// the lowest live non-leader member (or the leader itself in a singleton
+// view).
+func (g *Gateway) onPrimaryView(v group.View) {
+	self := g.ctx.ID()
+
+	if v.Leader == self {
+		if !g.isLeader {
+			g.becomeSequencer()
+		}
+	} else if g.isLeader {
+		// Deposed (e.g. a heal revealed a lower-ID member): stop
+		// sequencing; the rightful leader announces itself.
+		g.isLeader = false
+		g.seqReady = false
+	}
+	if v.Leader != "" {
+		g.sequencerID = v.Leader
+	}
+
+	publisher := v.Leader
+	for _, m := range v.Members {
+		if m != v.Leader {
+			publisher = m
+			break
+		}
+	}
+	if publisher == self && !g.isPublisher {
+		g.isPublisher = true
+		g.lastLazyAt = g.ctx.Now()
+		g.updatesSinceLazy = 0
+		g.scheduleLazyTick()
+	} else if publisher != self {
+		g.isPublisher = false
+	}
+}
+
+// becomeSequencer starts a takeover: a GSNQuery round over the live
+// primaries so assignments resume above every GSN any survivor has seen.
+// The round always runs — a process cannot distinguish the deployment's
+// first boot from its own restart, and a restarted sequencer that skipped
+// the round would reissue GSNs from zero. It completes as soon as every
+// queried peer reports (a few network round trips at first boot) or at the
+// takeover timeout.
+func (g *Gateway) becomeSequencer() {
+	g.isLeader = true
+	if g.seqState == nil {
+		g.seqState = consistency.NewSequencerState(0)
+	}
+
+	g.epoch++
+	g.seqReady = false
+	g.takeoverMax = g.commit.MyGSN()
+	peers := g.livePrimaryPeers()
+	if len(peers) == 0 {
+		g.finishTakeover()
+		return
+	}
+	g.takeoverAwait = len(peers)
+	epoch := g.epoch
+	for _, id := range peers {
+		g.stack.Send(id, consistency.GSNQuery{Epoch: epoch})
+	}
+	if g.takeoverDone != nil {
+		g.takeoverDone()
+	}
+	g.takeoverDone = g.ctx.SetTimer(g.cfg.TakeoverTimeout, func() {
+		if g.isLeader && !g.seqReady && epoch == g.epoch {
+			g.finishTakeover()
+		}
+	})
+}
+
+func (g *Gateway) onGSNReport(r consistency.GSNReport) {
+	if !g.isLeader || r.Epoch != g.epoch {
+		return
+	}
+	if g.seqReady {
+		// Late report (its link was recovering during the round): fold it
+		// in — Resume is monotone, so this can only correct a takeover
+		// that undershot, and a state sync closes the history gap.
+		if r.GSN > g.seqState.GSN() {
+			g.seqState.Resume(r.GSN)
+			for _, id := range g.livePrimaryPeers() {
+				g.stack.Send(id, consistency.SyncRequest{})
+			}
+		}
+		return
+	}
+	if r.GSN > g.takeoverMax {
+		g.takeoverMax = r.GSN
+	}
+	g.takeoverAwait--
+	if g.takeoverAwait <= 0 {
+		if g.takeoverDone != nil {
+			g.takeoverDone()
+		}
+		g.finishTakeover()
+	}
+}
+
+func (g *Gateway) finishTakeover() {
+	g.seqState.Resume(g.takeoverMax)
+	g.seqReady = true
+	g.ctx.Logf("replica: sequencer takeover complete at GSN %d", g.seqState.GSN())
+
+	// A restarted (or long-partitioned) leader may be behind the history it
+	// now sequences: recover state from the surviving primaries.
+	if g.commit.MyCSN() < g.takeoverMax {
+		for _, id := range g.livePrimaryPeers() {
+			g.stack.Send(id, consistency.SyncRequest{})
+		}
+	}
+
+	// Tell every replica and client who sequences now.
+	ann := consistency.SequencerAnnounce{Sequencer: g.ctx.ID()}
+	for _, id := range g.replicaTargets() {
+		g.stack.Send(id, ann)
+	}
+	for _, id := range g.cfg.Clients {
+		g.stack.Send(id, ann)
+	}
+
+	held := g.heldRequests
+	g.heldRequests = nil
+	for _, h := range held {
+		g.sequence(h.from, h.req)
+	}
+}
+
+func (g *Gateway) livePrimaryPeers() []node.ID {
+	v, ok := g.stack.ViewOf(PrimaryGroupName)
+	if !ok {
+		return g.otherPrimaries()
+	}
+	var out []node.ID
+	for _, id := range v.Members {
+		if id != g.ctx.ID() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// sequence performs the sequencer's part of request processing
+// (Sections 4.1.1 and 4.1.2).
+func (g *Gateway) sequence(from node.ID, req consistency.Request) {
+	if !g.seqReady {
+		g.heldRequests = append(g.heldRequests, heldRequest{from: from, req: req})
+		return
+	}
+	// Fold any GSN evidence the commit stream has seen (assignments from a
+	// previous sequencer era) into the counter before using it: assigning a
+	// number the group already committed would be dropped as a duplicate.
+	g.seqState.Resume(g.commit.MyGSN())
+	if req.ReadOnly {
+		// Broadcast the current GSN, without advancing it, to the primary
+		// and secondary replicas.
+		gsn := g.seqState.SnapshotRead(req.ID)
+		assign := consistency.GSNAssign{ID: req.ID, GSN: gsn}
+		for _, id := range g.replicaTargets() {
+			g.stack.Send(id, assign)
+		}
+		// Feed the local read pipeline too: needed when this node also
+		// serves (lone surviving primary); otherwise a bounded memo.
+		g.onAssign(assign)
+		return
+	}
+	// Advance the GSN and broadcast the assignment to the other primaries.
+	// A retransmission of a request some previous sequencer already
+	// numbered keeps its original GSN: re-sequencing would let replicas
+	// apply it at different positions.
+	gsn, seen := g.observedAssigns[req.ID]
+	if !seen {
+		gsn = g.seqState.AssignUpdate(req.ID)
+	}
+	assign := consistency.GSNAssign{ID: req.ID, GSN: gsn, Update: true}
+	for _, id := range g.otherPrimaries() {
+		g.stack.Send(id, assign)
+	}
+	// The sequencer also tracks commits locally (it never replies, but its
+	// state must stay current so a later takeover by another member — or a
+	// failback — never regresses, and so its own GSNReports are accurate).
+	g.onAssign(assign)
+}
+
+// onGSNRequest services a chase: a replica holds a request whose assignment
+// never arrived (typically lost with a crashed sequencer).
+func (g *Gateway) onGSNRequest(from node.ID, r consistency.GSNRequest) {
+	if !g.isLeader {
+		// Not the sequencer: forward the chase to whoever we believe is.
+		if g.sequencerID != g.ctx.ID() && g.sequencerID != "" && from != g.sequencerID {
+			g.stack.Send(g.sequencerID, r)
+		}
+		return
+	}
+	if !g.seqReady {
+		g.heldRequests = append(g.heldRequests, heldRequest{
+			from: from,
+			req:  consistency.Request{ID: r.ID, ReadOnly: !r.Update},
+		})
+		return
+	}
+	if r.Update {
+		gsn, seen := g.observedAssigns[r.ID]
+		if !seen {
+			gsn = g.seqState.AssignUpdate(r.ID)
+		}
+		assign := consistency.GSNAssign{ID: r.ID, GSN: gsn, Update: true}
+		for _, id := range g.otherPrimaries() {
+			g.stack.Send(id, assign)
+		}
+		g.onAssign(assign)
+		return
+	}
+	gsn := g.seqState.SnapshotRead(r.ID)
+	g.stack.Send(from, consistency.GSNAssign{ID: r.ID, GSN: gsn})
+}
+
+// chaseTick periodically re-requests GSN assignments for requests that have
+// been buffered longer than the chase interval.
+func (g *Gateway) chaseTick() {
+	cutoff := g.ctx.Now().Add(-g.cfg.ChaseInterval)
+	if !g.isLeader && g.sequencerID != g.ctx.ID() && g.sequencerID != "" {
+		for _, id := range g.reads.AwaitingGSN(cutoff) {
+			g.stack.Send(g.sequencerID, consistency.GSNRequest{ID: id})
+		}
+		for _, id := range g.commit.PendingBodies() {
+			if at, ok := g.bodyArrived[id]; ok && at.Before(cutoff) {
+				g.stack.Send(g.sequencerID, consistency.GSNRequest{ID: id, Update: true})
+			}
+		}
+	}
+	// Track commit-stream progress for stuck detection.
+	now := g.ctx.Now()
+	if csn := g.commit.MyCSN(); csn != g.lastCSN {
+		g.lastCSN = csn
+		g.lastCSNAt = now
+	}
+	// Pull a snapshot when this replica has missed history: a large gap
+	// (it restarted or rejoined after a partition), or a stream that is
+	// ahead-but-stuck — a hole whose body and assignment both died with a
+	// crashed sequencer, which no per-request chase can fill.
+	stuck := g.commit.Staleness() > 0 && now.Sub(g.lastCSNAt) > 2*g.cfg.ChaseInterval
+	if g.commit.Staleness() > g.cfg.RecoveryGap || stuck {
+		if g.isLeader {
+			// A leader heals from its peers (any primary answers).
+			for _, id := range g.livePrimaryPeers() {
+				g.stack.Send(id, consistency.SyncRequest{})
+			}
+		} else if g.sequencerID != g.ctx.ID() && g.sequencerID != "" {
+			g.stack.Send(g.sequencerID, consistency.SyncRequest{})
+		}
+	}
+	// A leader also re-queries peers periodically until it has heard from
+	// everyone once: takeover rounds can complete on the timeout while a
+	// recovering peer's higher GSN is still in flight.
+	if g.isLeader && g.seqReady && g.takeoverAwait > 0 {
+		for _, id := range g.livePrimaryPeers() {
+			g.stack.Send(id, consistency.GSNQuery{Epoch: g.epoch})
+		}
+	}
+	// Anti-entropy beacon: the sequencer publishes its state digest so a
+	// primary that diverged inside a re-sequencing window detects it and
+	// resynchronizes.
+	if g.isLeader && g.seqReady && !g.busy {
+		if h, ok := g.stateHash(); ok {
+			d := consistency.DigestAnnounce{Applied: g.applied, Hash: h}
+			for _, id := range g.livePrimaryPeers() {
+				g.stack.Send(id, d)
+			}
+		}
+	}
+	// Assignments stuck without bodies stall the commit stream; recover
+	// the bodies from peer primaries (any role does this, leader included).
+	if g.cfg.Primary {
+		for _, id := range g.commit.PendingAssignments() {
+			for _, peer := range g.otherPrimaries() {
+				g.stack.Send(peer, consistency.BodyRequest{ID: id})
+			}
+		}
+	}
+	g.ctx.SetTimer(g.cfg.ChaseInterval, g.chaseTick)
+}
+
+// lonePrimary reports whether this node is the only live member of the
+// primary group — the degenerate case where the sequencer must also serve.
+func (g *Gateway) lonePrimary() bool {
+	v, ok := g.stack.ViewOf(PrimaryGroupName)
+	return ok && len(v.Members) == 1 && v.Leader == g.ctx.ID()
+}

@@ -1,0 +1,482 @@
+package replica
+
+import (
+	"hash/fnv"
+	"time"
+
+	"aqua/internal/consistency"
+	"aqua/internal/node"
+)
+
+// jobKind distinguishes work-queue entries.
+type jobKind int
+
+const (
+	jobUpdate jobKind = iota + 1
+	jobRead
+)
+
+// job is one unit of work in the replica's single-server queue.
+type job struct {
+	kind jobKind
+	req  consistency.Request
+	from node.ID
+	gsn  uint64 // update: assigned GSN; read: snapshot GSN
+	// dup marks a re-sequenced duplicate update: advance the commit
+	// position and reply, but do not apply.
+	dup bool
+	// arrivedAt is when the request body reached the gateway; tq runs from
+	// here, minus the defer wait.
+	arrivedAt time.Time
+	// deferWait is tb for deferred reads.
+	deferWait time.Duration
+	// serviceStart is stamped when the job reaches the head of the queue.
+	serviceStart time.Time
+}
+
+// onRequest handles a client request reaching this gateway.
+func (g *Gateway) onRequest(from node.ID, req consistency.Request) {
+	now := g.ctx.Now()
+	if req.ReadOnly {
+		if g.isLeader {
+			// The sequencer orders reads and normally never serves them —
+			// except as the last live primary, when refusing would leave
+			// updates unacknowledgeable and fresh reads unservable.
+			g.sequence(from, req)
+			if !g.lonePrimary() {
+				return
+			}
+		}
+		if pr, ready := g.reads.AddRead(req, from, now); ready {
+			g.readReady(pr)
+		}
+		return
+	}
+
+	// Update: every primary member commits it; the leader additionally
+	// assigns its GSN.
+	if !g.cfg.Primary {
+		g.ctx.Logf("replica: secondary received update %s; ignoring", fmtID(req.ID))
+		return
+	}
+	if _, seen := g.bodyArrived[req.ID]; !seen {
+		g.bodyArrived[req.ID] = now
+	}
+	if g.isLeader {
+		g.sequence(from, req)
+	}
+	g.enqueueCommits(g.commit.AddBody(req))
+}
+
+// onAssign handles a GSN broadcast from the sequencer.
+func (g *Gateway) onAssign(a consistency.GSNAssign) {
+	if a.Update {
+		if !g.cfg.Primary {
+			return // secondaries learn update effects only via lazy updates
+		}
+		g.observeAssign(a.ID, a.GSN)
+		g.enqueueCommits(g.commit.AddAssign(a))
+		return
+	}
+	g.commit.ObserveGSN(a.GSN)
+	if pr, ready := g.reads.AddAssign(a.ID, a.GSN); ready {
+		g.readReady(pr)
+	}
+}
+
+// enqueueCommits moves newly committable updates into the work queue, in
+// commit order, and re-examines reads waiting for the commit stream.
+func (g *Gateway) enqueueCommits(commits []consistency.Request) {
+	if len(commits) == 0 {
+		return
+	}
+	base := g.commit.MyCSN() - uint64(len(commits))
+	now := g.ctx.Now()
+	for i, req := range commits {
+		arrived, ok := g.bodyArrived[req.ID]
+		if !ok {
+			arrived = now
+		}
+		delete(g.bodyArrived, req.ID)
+		dup := g.committed[req.ID]
+		if !dup {
+			g.markCommitted(req.ID)
+			g.rememberBody(req)
+		}
+		g.enqueue(job{
+			kind:      jobUpdate,
+			req:       req,
+			from:      req.ID.Client,
+			gsn:       base + uint64(i) + 1,
+			arrivedAt: arrived,
+			dup:       dup,
+		})
+		// Publisher accounting: an update was received/ordered.
+		g.updatesSinceBroadcast++
+		g.updatesSinceLazy++
+	}
+	g.releaseCommitWaiters()
+}
+
+// observeAssign records an update assignment in the cross-era memo.
+func (g *Gateway) observeAssign(id consistency.RequestID, gsn uint64) {
+	const maxObserved = 4096
+	if _, dup := g.observedAssigns[id]; dup {
+		return
+	}
+	g.observedAssigns[id] = gsn
+	g.observedAssignsOrder = append(g.observedAssignsOrder, id)
+	if len(g.observedAssignsOrder) > maxObserved {
+		victim := g.observedAssignsOrder[0]
+		g.observedAssignsOrder = g.observedAssignsOrder[1:]
+		delete(g.observedAssigns, victim)
+	}
+}
+
+// stateHash digests the application state for anti-entropy comparison.
+func (g *Gateway) stateHash() (uint64, bool) {
+	snap, err := g.cfg.App.Snapshot()
+	if err != nil {
+		return 0, false
+	}
+	h := fnv.New64a()
+	h.Write(snap)
+	return h.Sum64(), true
+}
+
+// onDigest compares the sequencer's anti-entropy beacon against local
+// state: same position, different bytes means this replica sits on the
+// losing side of a re-sequencing window — resynchronize.
+func (g *Gateway) onDigest(from node.ID, d consistency.DigestAnnounce) {
+	if g.isLeader || !g.cfg.Primary {
+		return
+	}
+	if g.applied != d.Applied {
+		return // position mismatch: the gap/stuck recovery paths own this
+	}
+	if h, ok := g.stateHash(); ok && h != d.Hash {
+		g.ctx.Logf("replica: state digest mismatch at %d; resyncing", d.Applied)
+		g.stack.Send(from, consistency.SyncRequest{})
+	}
+}
+
+// markCommitted records a request ID in the bounded commit-dedup memo.
+func (g *Gateway) markCommitted(id consistency.RequestID) {
+	const maxCommitted = 4096
+	if g.committed[id] {
+		return
+	}
+	g.committed[id] = true
+	g.committedOrder = append(g.committedOrder, id)
+	if len(g.committedOrder) > maxCommitted {
+		victim := g.committedOrder[0]
+		g.committedOrder = g.committedOrder[1:]
+		delete(g.committed, victim)
+	}
+}
+
+// recentCommittedIDs returns up to limit most recent committed request IDs
+// for snapshot transfer.
+func (g *Gateway) recentCommittedIDs(limit int) []consistency.RequestID {
+	ids := g.committedOrder
+	if len(ids) > limit {
+		ids = ids[len(ids)-limit:]
+	}
+	out := make([]consistency.RequestID, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// rememberBody retains a committed update body (bounded FIFO) for peer
+// body recovery.
+func (g *Gateway) rememberBody(req consistency.Request) {
+	const maxRecent = 1024
+	if _, dup := g.recentBodies[req.ID]; dup {
+		return
+	}
+	g.recentBodies[req.ID] = req
+	g.recentOrder = append(g.recentOrder, req.ID)
+	if len(g.recentOrder) > maxRecent {
+		victim := g.recentOrder[0]
+		g.recentOrder = g.recentOrder[1:]
+		delete(g.recentBodies, victim)
+	}
+}
+
+// onBodyRequest serves a peer's missing update body from the commit buffer
+// or the recent-commit log by re-sending the original Request.
+func (g *Gateway) onBodyRequest(from node.ID, br consistency.BodyRequest) {
+	if req, ok := g.commit.Body(br.ID); ok {
+		g.stack.Send(from, req)
+		return
+	}
+	if req, ok := g.recentBodies[br.ID]; ok {
+		g.stack.Send(from, req)
+	}
+}
+
+// readReady runs the staleness check of Section 4.1.2 once a read has both
+// its body and its GSN.
+func (g *Gateway) readReady(pr consistency.PendingRead) {
+	staleness := int64(pr.GSN) - int64(g.commit.MyCSN())
+	if staleness <= int64(pr.Req.Staleness) {
+		g.enqueueRead(pr)
+		return
+	}
+	if g.cfg.Primary {
+		// A primary converges through its own commit stream: hold the read
+		// until my_CSN catches up (its assignments are already in flight).
+		g.commitWaiters = append(g.commitWaiters, pr)
+		return
+	}
+	// Secondary: deferred read until the next lazy update (tb starts now).
+	g.reads.Defer(pr, g.ctx.Now())
+}
+
+// releaseCommitWaiters re-checks primary-held reads after CSN advances.
+func (g *Gateway) releaseCommitWaiters() {
+	if len(g.commitWaiters) == 0 {
+		return
+	}
+	var still []consistency.PendingRead
+	for _, pr := range g.commitWaiters {
+		if int64(pr.GSN)-int64(g.commit.MyCSN()) <= int64(pr.Req.Staleness) {
+			g.enqueueRead(pr)
+		} else {
+			still = append(still, pr)
+		}
+	}
+	g.commitWaiters = still
+}
+
+func (g *Gateway) enqueueRead(pr consistency.PendingRead) {
+	var deferWait time.Duration
+	if !pr.DeferredAt.IsZero() {
+		deferWait = g.ctx.Now().Sub(pr.DeferredAt)
+	}
+	g.enqueue(job{
+		kind:      jobRead,
+		req:       pr.Req,
+		from:      pr.From,
+		gsn:       pr.GSN,
+		arrivedAt: pr.ArrivedAt,
+		deferWait: deferWait,
+	})
+}
+
+// enqueue adds a job to the single-server queue and starts it if idle.
+func (g *Gateway) enqueue(j job) {
+	g.queue = append(g.queue, j)
+	g.startNext()
+}
+
+func (g *Gateway) startNext() {
+	if g.busy || len(g.queue) == 0 {
+		return
+	}
+	g.busy = true
+	j := g.queue[0]
+	g.queue = g.queue[1:]
+	j.serviceStart = g.ctx.Now()
+
+	var delay time.Duration
+	if g.cfg.ServiceDelay != nil && !(g.isLeader && j.kind == jobUpdate && !g.lonePrimary()) {
+		// The sequencer's silent commits carry no simulated load: in the
+		// paper it does not service requests at all. A lone surviving
+		// primary, however, really is serving.
+		delay = g.cfg.ServiceDelay(g.ctx.Rand())
+	}
+	g.ctx.SetTimer(delay, func() { g.complete(j) })
+}
+
+// complete finishes a job: executes the application call, replies, and (for
+// reads) publishes the measurements.
+func (g *Gateway) complete(j job) {
+	now := g.ctx.Now()
+	ts := now.Sub(j.serviceStart)
+	tq := j.serviceStart.Sub(j.arrivedAt) - j.deferWait
+	if tq < 0 {
+		tq = 0
+	}
+
+	switch j.kind {
+	case jobUpdate:
+		var result []byte
+		var err error
+		if j.gsn > g.applied && !j.dup {
+			result, err = g.cfg.App.ApplyUpdate(j.req.Method, j.req.Payload)
+			if g.cfg.OnApply != nil {
+				g.cfg.OnApply(j.gsn, j.req.ID)
+			}
+		}
+		if j.gsn > g.applied {
+			g.applied = j.gsn
+		}
+		// A job at or below g.applied was subsumed by a state snapshot
+		// restored while it sat in the queue: applying it again would
+		// corrupt the newer state. The reply (from restored state) still
+		// serves the client.
+		if !g.isLeader || g.lonePrimary() {
+			g.stack.Send(j.from, consistency.Reply{
+				ID:      j.req.ID,
+				Payload: result,
+				Err:     errString(err),
+				T1:      ts + tq,
+				CSN:     g.applied,
+				Replica: g.ctx.ID(),
+			})
+		}
+	case jobRead:
+		result, err := g.cfg.App.Read(j.req.Method, j.req.Payload)
+		g.stack.Send(j.from, consistency.Reply{
+			ID:      j.req.ID,
+			Payload: result,
+			Err:     errString(err),
+			T1:      ts + tq + j.deferWait,
+			CSN:     g.commit.MyCSN(),
+			Replica: g.ctx.ID(),
+		})
+		g.publishPerf(ts, tq, j.deferWait)
+	}
+
+	g.busy = false
+	g.startNext()
+}
+
+// publishPerf broadcasts newly measured (ts, tq, tb) to every client, with
+// the lazy publisher's update-arrival statistics when applicable
+// (Section 5.4).
+func (g *Gateway) publishPerf(ts, tq, tb time.Duration) {
+	now := g.ctx.Now()
+	pb := consistency.PerfBroadcast{
+		Replica:   g.ctx.ID(),
+		TS:        ts,
+		TQ:        tq,
+		TB:        tb,
+		Deferred:  tb > 0,
+		Primary:   g.cfg.Primary,
+		Sequencer: g.sequencerID,
+	}
+	if g.isPublisher {
+		pb.IsPublisher = true
+		pb.NU = g.updatesSinceBroadcast
+		pb.TU = now.Sub(g.lastBroadcastAt)
+		pb.NL = g.updatesSinceLazy
+		pb.TL = now.Sub(g.lastLazyAt)
+		g.updatesSinceBroadcast = 0
+		g.lastBroadcastAt = now
+	}
+	for _, c := range g.cfg.Clients {
+		g.stack.Send(c, pb)
+	}
+}
+
+// onSyncRequest serves a state snapshot to a bootstrapping or recovering
+// replica. Any primary answers (a restarted sequencer has no one above it
+// to ask); a stale answer is harmless — StateUpdate application is
+// monotone in CSN, and the requester re-chases if a gap remains.
+func (g *Gateway) onSyncRequest(from node.ID) {
+	if !g.cfg.Primary {
+		return
+	}
+	snapshot, err := g.cfg.App.Snapshot()
+	if err != nil {
+		g.ctx.Logf("replica: sync snapshot failed: %v", err)
+		return
+	}
+	g.stack.Send(from, consistency.StateUpdate{
+		CSN:       g.applied,
+		Snapshot:  snapshot,
+		RecentIDs: g.recentCommittedIDs(1024),
+	})
+}
+
+// onStateUpdate applies a state propagation: the lazy update at a secondary
+// (Section 4.1.2) or a recovery snapshot at any replica. Restore the
+// snapshot, advance my_CSN, then serve whatever reads the fresh state
+// satisfies.
+func (g *Gateway) onStateUpdate(su consistency.StateUpdate) {
+	if su.CSN < g.commit.MyCSN() {
+		return // stale propagation
+	}
+	if su.CSN == g.commit.MyCSN() {
+		// Same position: normally a duplicate, but after a re-sequencing
+		// window two replicas can hold different states at the same
+		// position — the anti-entropy path corrects that here.
+		if own, err := g.cfg.App.Snapshot(); err == nil && string(own) == string(su.Snapshot) {
+			return
+		}
+	}
+	if err := g.cfg.App.Restore(su.Snapshot); err != nil {
+		g.ctx.Logf("replica: state update restore failed: %v", err)
+		return
+	}
+	for _, id := range su.RecentIDs {
+		g.markCommitted(id)
+	}
+	if g.isLeader && g.seqState != nil {
+		// A snapshot proves history at least this deep exists; never
+		// assign below it.
+		g.seqState.Resume(su.CSN)
+	}
+	base := su.CSN
+	for i, req := range g.commit.SkipTo(su.CSN) {
+		// Updates staged above the snapshot become sequential: queue them
+		// (the apply guard in complete() keeps ordering safe).
+		g.rememberBody(req)
+		g.enqueue(job{kind: jobUpdate, req: req, from: req.ID.Client,
+			gsn: base + uint64(i) + 1, arrivedAt: g.ctx.Now()})
+	}
+	if su.CSN > g.applied {
+		g.applied = su.CSN
+	}
+	g.releaseCommitWaiters()
+	for _, pr := range g.reads.DrainDeferred() {
+		if int64(pr.GSN)-int64(g.commit.MyCSN()) <= int64(pr.Req.Staleness) {
+			g.enqueueRead(pr)
+		} else {
+			// Still too stale (a can be 0 while updates raced ahead):
+			// keep deferring; DeferredAt is preserved so tb accumulates.
+			g.redefer(pr)
+		}
+	}
+}
+
+func (g *Gateway) redefer(pr consistency.PendingRead) {
+	saved := pr.DeferredAt
+	g.reads.Defer(pr, saved)
+}
+
+// scheduleLazyTick arms the publisher's periodic propagation timer.
+func (g *Gateway) scheduleLazyTick() {
+	if g.lazyTimerSet {
+		return
+	}
+	g.lazyTimerSet = true
+	g.ctx.SetTimer(g.cfg.LazyInterval, g.lazyTick)
+}
+
+// lazyTick propagates the publisher's applied state to every secondary and
+// refreshes the clients' staleness inputs with a stats-only broadcast.
+func (g *Gateway) lazyTick() {
+	g.lazyTimerSet = false
+	if !g.isPublisher {
+		return // role moved on; the new publisher has its own timer
+	}
+	snapshot, err := g.cfg.App.Snapshot()
+	if err != nil {
+		g.ctx.Logf("replica: snapshot failed: %v", err)
+	} else {
+		su := consistency.StateUpdate{
+			CSN:       g.applied,
+			Snapshot:  snapshot,
+			RecentIDs: g.recentCommittedIDs(1024),
+		}
+		for _, id := range g.cfg.Secondaries {
+			g.stack.Send(id, su)
+		}
+	}
+	g.updatesSinceLazy = 0
+	g.lastLazyAt = g.ctx.Now()
+	g.scheduleLazyTick()
+}

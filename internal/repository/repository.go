@@ -1,0 +1,231 @@
+// Package repository implements the client gateway's information repository
+// (Section 5.4): sliding-window histories of each replica's measured
+// service time, queueing delay, and defer wait; the latest gateway delay
+// and elapsed response time per replica; and the lazy publisher's
+// update-arrival statistics from which the staleness model derives λu and
+// t_l.
+package repository
+
+import (
+	"time"
+
+	"aqua/internal/node"
+	"aqua/internal/stats"
+)
+
+// NeverReplied is the elapsed-response-time reported for replicas that have
+// never answered this client. It is large so Algorithm 1's decreasing-ert
+// sort probes unknown replicas first, seeding their histories.
+const NeverReplied = time.Duration(1<<62 - 1)
+
+// History holds one replica's recorded performance, as seen by one client.
+type History struct {
+	s *stats.Window // service times ts
+	w *stats.Window // queueing delays tq
+	u *stats.Window // defer waits tb (lazy-update wait U)
+
+	gateway    time.Duration // latest two-way gateway delay tg
+	hasGateway bool
+
+	lastReply    time.Time // for ert
+	hasLastReply bool
+}
+
+// Repository is one client's store. It is used only from within the owning
+// client gateway's callbacks, so it needs no locking.
+type Repository struct {
+	windowSize int
+	replicas   map[node.ID]*History
+
+	// Publisher-fed staleness inputs.
+	rateCounts    []int           // sliding window of nu
+	rateDurations []time.Duration // matching tu
+	lastNL        int
+	lastTL        time.Duration
+	lastPubAt     time.Time
+	hasPublisher  bool
+}
+
+// New creates a repository whose sliding windows hold windowSize samples
+// (the paper's l; its experiments use 10 and 20).
+func New(windowSize int) *Repository {
+	if windowSize <= 0 {
+		panic("repository: window size must be positive")
+	}
+	return &Repository{
+		windowSize: windowSize,
+		replicas:   make(map[node.ID]*History),
+	}
+}
+
+// WindowSize returns l.
+func (r *Repository) WindowSize() int { return r.windowSize }
+
+func (r *Repository) history(id node.ID) *History {
+	h, ok := r.replicas[id]
+	if !ok {
+		h = &History{
+			s: stats.NewWindow(r.windowSize),
+			w: stats.NewWindow(r.windowSize),
+			u: stats.NewWindow(r.windowSize),
+		}
+		r.replicas[id] = h
+	}
+	return h
+}
+
+// RecordPerf stores a performance broadcast's service time and queueing
+// delay for a replica.
+func (r *Repository) RecordPerf(id node.ID, ts, tq time.Duration) {
+	h := r.history(id)
+	h.s.Push(ts)
+	h.w.Push(tq)
+}
+
+// RecordDeferWait stores a deferred read's buffering time tb, the history
+// of the lazy-update wait U.
+func (r *Repository) RecordDeferWait(id node.ID, tb time.Duration) {
+	r.history(id).u.Push(tb)
+}
+
+// RecordReply stores the gateway delay derived from a reply and refreshes
+// the replica's last-reply instant (the basis of ert).
+func (r *Repository) RecordReply(id node.ID, tg time.Duration, now time.Time) {
+	if tg < 0 {
+		// Clock arithmetic can go slightly negative when the piggybacked
+		// t1 rounds above the true gap; clamp rather than poison the model.
+		tg = 0
+	}
+	h := r.history(id)
+	h.gateway = tg
+	h.hasGateway = true
+	h.lastReply = now
+	h.hasLastReply = true
+}
+
+// ERT returns the elapsed response time for a replica: the time since this
+// client last received any reply from it, or NeverReplied.
+func (r *Repository) ERT(id node.ID, now time.Time) time.Duration {
+	h, ok := r.replicas[id]
+	if !ok || !h.hasLastReply {
+		return NeverReplied
+	}
+	return now.Sub(h.lastReply)
+}
+
+// HasHistory reports whether any service-time measurements exist for id.
+func (r *Repository) HasHistory(id node.ID) bool {
+	h, ok := r.replicas[id]
+	return ok && h.s.Len() > 0
+}
+
+// ImmediatePMF builds the response-time distribution for an immediate read,
+// Equation 5: R = S + W + G, as the discrete convolution of the S and W
+// windows shifted by the latest gateway delay. binWidth coarsens the
+// intermediate pmfs to bound convolution cost (0 disables binning). The
+// zero PMF is returned when no history exists.
+func (r *Repository) ImmediatePMF(id node.ID, binWidth time.Duration) stats.PMF {
+	h, ok := r.replicas[id]
+	if !ok || h.s.Len() == 0 {
+		return stats.PMF{}
+	}
+	p := h.s.PMF().Bin(binWidth).Convolve(h.w.PMF().Bin(binWidth)).Bin(binWidth)
+	if h.hasGateway {
+		p = p.Shift(h.gateway)
+	}
+	return p
+}
+
+// DeferredPMF builds the deferred-read distribution, Equation 6:
+// R = S + W + G + U. When no defer-wait history exists, fallbackU (the
+// client's point estimate of the remaining time to the next lazy update)
+// substitutes for the U history.
+func (r *Repository) DeferredPMF(id node.ID, binWidth, fallbackU time.Duration) stats.PMF {
+	h, ok := r.replicas[id]
+	if !ok || h.s.Len() == 0 {
+		return stats.PMF{}
+	}
+	base := r.ImmediatePMF(id, binWidth)
+	var uPMF stats.PMF
+	if h.u.Len() > 0 {
+		uPMF = h.u.PMF().Bin(binWidth)
+	} else {
+		uPMF = stats.Point(fallbackU)
+	}
+	return base.Convolve(uPMF).Bin(binWidth)
+}
+
+// RecordPublisherRates stores one <nu, tu> pair from a lazy-publisher
+// broadcast into the rate window.
+func (r *Repository) RecordPublisherRates(nu int, tu time.Duration) {
+	if tu <= 0 {
+		return
+	}
+	r.rateCounts = append(r.rateCounts, nu)
+	r.rateDurations = append(r.rateDurations, tu)
+	if len(r.rateCounts) > r.windowSize {
+		r.rateCounts = r.rateCounts[1:]
+		r.rateDurations = r.rateDurations[1:]
+	}
+}
+
+// RecordLazyInfo stores the latest <nL, tL> pair and the local reception
+// instant of the broadcast that carried it.
+func (r *Repository) RecordLazyInfo(nl int, tl time.Duration, receivedAt time.Time) {
+	r.lastNL = nl
+	r.lastTL = tl
+	r.lastPubAt = receivedAt
+	r.hasPublisher = true
+}
+
+// HasPublisherInfo reports whether any lazy-publisher broadcast arrived.
+func (r *Repository) HasPublisherInfo() bool { return r.hasPublisher }
+
+// UpdateRate returns λu in updates per second: Σnu / Σtu over the sliding
+// window (Section 5.4.1), or 0 with no data.
+func (r *Repository) UpdateRate() float64 {
+	var n int
+	var d time.Duration
+	for i, c := range r.rateCounts {
+		n += c
+		d += r.rateDurations[i]
+	}
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}
+
+// TimeSinceLazyUpdate estimates t_l, the time elapsed since the last lazy
+// update, as (tL + tz) mod TL where tz is the time since the latest
+// publisher broadcast arrived (Section 5.4.1). ok is false when no
+// publisher information has been received yet.
+func (r *Repository) TimeSinceLazyUpdate(now time.Time, lazyInterval time.Duration) (time.Duration, bool) {
+	if !r.hasPublisher || lazyInterval <= 0 {
+		return 0, false
+	}
+	tz := now.Sub(r.lastPubAt)
+	if tz < 0 {
+		tz = 0
+	}
+	return (r.lastTL + tz) % lazyInterval, true
+}
+
+// LastLazyCount returns the publisher's last reported nL (updates since the
+// last lazy update), for diagnostics and the counted-staleness estimator
+// extension.
+func (r *Repository) LastLazyCount() int { return r.lastNL }
+
+// SincePublisherReport returns the time elapsed since the most recent
+// publisher broadcast arrived (t_z) together with the n_L it carried. ok is
+// false before any broadcast.
+func (r *Repository) SincePublisherReport(now time.Time) (tz time.Duration, nl int, ok bool) {
+	if !r.hasPublisher {
+		return 0, 0, false
+	}
+	tz = now.Sub(r.lastPubAt)
+	if tz < 0 {
+		tz = 0
+	}
+	return tz, r.lastNL, true
+}

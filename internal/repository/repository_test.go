@@ -1,0 +1,198 @@
+package repository
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2002, 6, 23, 0, 0, 0, 0, time.UTC)
+
+const ms = time.Millisecond
+
+func TestERTNeverReplied(t *testing.T) {
+	r := New(10)
+	if got := r.ERT("p1", t0); got != NeverReplied {
+		t.Fatalf("ERT = %v, want NeverReplied", got)
+	}
+}
+
+func TestERTAfterReply(t *testing.T) {
+	r := New(10)
+	r.RecordReply("p1", 2*ms, t0)
+	if got := r.ERT("p1", t0.Add(30*ms)); got != 30*ms {
+		t.Fatalf("ERT = %v, want 30ms", got)
+	}
+}
+
+func TestRecordReplyClampsNegativeGateway(t *testing.T) {
+	r := New(10)
+	r.RecordPerf("p1", 10*ms, 0)
+	r.RecordReply("p1", -5*ms, t0)
+	p := r.ImmediatePMF("p1", 0)
+	if p.Mean() != 10*ms {
+		t.Fatalf("negative tg leaked into pmf: mean %v", p.Mean())
+	}
+}
+
+func TestImmediatePMFNoHistory(t *testing.T) {
+	r := New(10)
+	if p := r.ImmediatePMF("p1", 0); !p.IsZero() {
+		t.Fatal("pmf without history should be zero")
+	}
+	if r.HasHistory("p1") {
+		t.Fatal("HasHistory true without data")
+	}
+}
+
+func TestImmediatePMFConvolvesSWG(t *testing.T) {
+	r := New(10)
+	r.RecordPerf("p1", 10*ms, 5*ms)
+	r.RecordReply("p1", 2*ms, t0)
+	p := r.ImmediatePMF("p1", 0)
+	// Single samples: R = 10+5+2 = 17ms with probability 1.
+	if p.Len() != 1 || p.Mean() != 17*ms {
+		t.Fatalf("pmf = len %d mean %v, want point at 17ms", p.Len(), p.Mean())
+	}
+	if got := p.CDF(17 * ms); got != 1 {
+		t.Fatalf("CDF(17ms) = %v", got)
+	}
+	if got := p.CDF(16 * ms); got != 0 {
+		t.Fatalf("CDF(16ms) = %v", got)
+	}
+}
+
+func TestImmediatePMFMixesWindow(t *testing.T) {
+	r := New(4)
+	r.RecordPerf("p1", 10*ms, 0)
+	r.RecordPerf("p1", 20*ms, 0)
+	p := r.ImmediatePMF("p1", 0)
+	// S ∈ {10,20} each 1/2; W = 0 twice; no G yet.
+	if p.Mean() != 15*ms {
+		t.Fatalf("mean = %v, want 15ms", p.Mean())
+	}
+	if got := p.CDF(10 * ms); got != 0.5 {
+		t.Fatalf("CDF(10ms) = %v, want 0.5", got)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	r := New(2)
+	r.RecordPerf("p1", 100*ms, 0)
+	r.RecordPerf("p1", 10*ms, 0)
+	r.RecordPerf("p1", 10*ms, 0) // evicts the 100ms sample
+	p := r.ImmediatePMF("p1", 0)
+	if p.Mean() != 10*ms {
+		t.Fatalf("mean = %v, want 10ms after eviction", p.Mean())
+	}
+}
+
+func TestDeferredPMFUsesHistory(t *testing.T) {
+	r := New(10)
+	r.RecordPerf("s1", 10*ms, 0)
+	r.RecordDeferWait("s1", 100*ms)
+	p := r.DeferredPMF("s1", 0, 999*ms)
+	if p.Mean() != 110*ms {
+		t.Fatalf("mean = %v, want 110ms (history, not fallback)", p.Mean())
+	}
+}
+
+func TestDeferredPMFFallback(t *testing.T) {
+	r := New(10)
+	r.RecordPerf("s1", 10*ms, 0)
+	p := r.DeferredPMF("s1", 0, 500*ms)
+	if p.Mean() != 510*ms {
+		t.Fatalf("mean = %v, want 510ms (fallback U)", p.Mean())
+	}
+}
+
+func TestDeferredPMFNoHistoryIsZero(t *testing.T) {
+	r := New(10)
+	if p := r.DeferredPMF("s1", 0, 500*ms); !p.IsZero() {
+		t.Fatal("deferred pmf without S history should be zero")
+	}
+}
+
+func TestBinWidthBoundsSupport(t *testing.T) {
+	r := New(20)
+	for i := 0; i < 20; i++ {
+		r.RecordPerf("p1", time.Duration(i)*ms+ms, time.Duration(19-i)*ms)
+	}
+	fine := r.ImmediatePMF("p1", 0)
+	coarse := r.ImmediatePMF("p1", 10*ms)
+	if coarse.Len() >= fine.Len() {
+		t.Fatalf("binning did not reduce support: %d vs %d", coarse.Len(), fine.Len())
+	}
+}
+
+func TestUpdateRate(t *testing.T) {
+	r := New(10)
+	if r.UpdateRate() != 0 {
+		t.Fatal("rate without data should be 0")
+	}
+	r.RecordPublisherRates(4, 2*time.Second)
+	r.RecordPublisherRates(2, 1*time.Second)
+	// λu = 6 updates / 3 s = 2/s.
+	if got := r.UpdateRate(); got != 2.0 {
+		t.Fatalf("UpdateRate = %v, want 2.0", got)
+	}
+}
+
+func TestUpdateRateWindowEviction(t *testing.T) {
+	r := New(2)
+	r.RecordPublisherRates(100, time.Second)
+	r.RecordPublisherRates(1, time.Second)
+	r.RecordPublisherRates(1, time.Second) // evicts the 100
+	if got := r.UpdateRate(); got != 1.0 {
+		t.Fatalf("UpdateRate = %v, want 1.0", got)
+	}
+}
+
+func TestUpdateRateIgnoresZeroDuration(t *testing.T) {
+	r := New(10)
+	r.RecordPublisherRates(5, 0)
+	if r.UpdateRate() != 0 {
+		t.Fatal("zero-duration sample should be ignored")
+	}
+}
+
+func TestTimeSinceLazyUpdate(t *testing.T) {
+	r := New(10)
+	if _, ok := r.TimeSinceLazyUpdate(t0, 4*time.Second); ok {
+		t.Fatal("ok without publisher info")
+	}
+	// Publisher reported tL=1s at t0; client asks 500ms later:
+	// tl = (1s + 0.5s) mod 4s = 1.5s.
+	r.RecordLazyInfo(3, time.Second, t0)
+	got, ok := r.TimeSinceLazyUpdate(t0.Add(500*ms), 4*time.Second)
+	if !ok || got != 1500*ms {
+		t.Fatalf("tl = %v ok=%v, want 1.5s", got, ok)
+	}
+	// Wrap: 4.6s later → (1s+4.6s) mod 4s = 1.6s.
+	got, _ = r.TimeSinceLazyUpdate(t0.Add(4600*ms), 4*time.Second)
+	if got != 1600*ms {
+		t.Fatalf("wrapped tl = %v, want 1.6s", got)
+	}
+	if r.LastLazyCount() != 3 {
+		t.Fatalf("LastLazyCount = %d", r.LastLazyCount())
+	}
+}
+
+func TestHasPublisherInfo(t *testing.T) {
+	r := New(10)
+	if r.HasPublisherInfo() {
+		t.Fatal("fresh repository claims publisher info")
+	}
+	r.RecordLazyInfo(0, 0, t0)
+	if !r.HasPublisherInfo() {
+		t.Fatal("publisher info not recorded")
+	}
+}
+
+func TestNewPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0)
+}

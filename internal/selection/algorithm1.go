@@ -1,0 +1,46 @@
+package selection
+
+import "aqua/internal/node"
+
+// Algorithm1 is the paper's state-based replica selection algorithm
+// (Section 5.3). It walks the candidates in decreasing elapsed-response-time
+// order — favouring least-recently-used replicas to avoid hot spots — and
+// grows the set K until P_K(d) ≥ Pc(d), where P_K deliberately excludes the
+// selected member with the highest immediate CDF. The exclusion simulates
+// the crash of the most promising member, so the returned set meets the
+// client's constraint even if any single selected replica fails. The
+// sequencer is always appended.
+type Algorithm1 struct{}
+
+var _ Selector = Algorithm1{}
+
+// Name implements Selector.
+func (Algorithm1) Name() string { return "algorithm1" }
+
+// Select implements Selector.
+func (Algorithm1) Select(in Input) []node.ID {
+	sorted := sortCandidates(in.Candidates)
+	if len(sorted) == 0 {
+		return appendSequencer(nil, in.Sequencer)
+	}
+
+	acc := newAccumulator(in.StaleFactor)
+	k := []node.ID{sorted[0].ID} // line 3: K ⇐ [first(sortedList)]
+	maxCDF := sorted[0]          //         maxCDFReplica ⇐ first
+
+	for _, c := range sorted[1:] { // line 4: visit the rest in sorted order
+		k = append(k, c.ID) // line 5
+		var pk float64
+		if c.ImmedCDF > maxCDF.ImmedCDF { // lines 6–8
+			pk = acc.include(maxCDF)
+			maxCDF = c
+		} else { // line 10
+			pk = acc.include(c)
+		}
+		if pk >= in.MinProb { // lines 12–14: found an acceptable set
+			return appendSequencer(k, in.Sequencer)
+		}
+	}
+	// Line 16: not satisfiable — return every replica plus the sequencer.
+	return appendSequencer(k, in.Sequencer)
+}

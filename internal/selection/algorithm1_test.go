@@ -1,0 +1,332 @@
+package selection
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"aqua/internal/node"
+)
+
+func cand(id string, primary bool, immed, delayed float64, ert time.Duration) Candidate {
+	return Candidate{ID: node.ID(id), Primary: primary, ImmedCDF: immed, DelayedCDF: delayed, ERT: ert}
+}
+
+func contains(ids []node.ID, id node.ID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPKSinglePrimary(t *testing.T) {
+	got := PK([]Candidate{cand("p", true, 0.8, 0, 0)}, 1)
+	if !approx(got, 0.8) {
+		t.Fatalf("PK = %v, want 0.8", got)
+	}
+}
+
+func TestPKTwoPrimariesIndependence(t *testing.T) {
+	cs := []Candidate{
+		cand("p1", true, 0.5, 0, 0),
+		cand("p2", true, 0.5, 0, 0),
+	}
+	if got := PK(cs, 1); !approx(got, 0.75) {
+		t.Fatalf("PK = %v, want 1-(0.5)^2 = 0.75", got)
+	}
+}
+
+func TestPKSecondaryMixesByStaleFactor(t *testing.T) {
+	// One secondary: immediate CDF 0.8, delayed CDF 0.1, stale factor 0.5.
+	// Equation 3: P(no response) = (1-0.8)*0.5 + (1-0.1)*0.5 = 0.55.
+	cs := []Candidate{cand("s1", false, 0.8, 0.1, 0)}
+	if got := PK(cs, 0.5); !approx(got, 0.45) {
+		t.Fatalf("PK = %v, want 0.45", got)
+	}
+}
+
+func TestPKFreshSecondaryEqualsPrimaryFormula(t *testing.T) {
+	p := PK([]Candidate{cand("p", true, 0.7, 0, 0)}, 1)
+	s := PK([]Candidate{cand("s", false, 0.7, 0.2, 0)}, 1)
+	if !approx(p, s) {
+		t.Fatalf("fresh secondary %v != primary %v", s, p)
+	}
+}
+
+func TestPKEmptySet(t *testing.T) {
+	if got := PK(nil, 1); got != 0 {
+		t.Fatalf("PK(∅) = %v, want 0", got)
+	}
+}
+
+func TestPKMixedGroups(t *testing.T) {
+	// Equation 1: 1 - P(no primary) · P(no secondary).
+	cs := []Candidate{
+		cand("p1", true, 0.6, 0, 0),
+		cand("s1", false, 0.5, 0.0, 0),
+	}
+	sf := 0.8
+	wantNoSec := (1-0.5)*sf + (1-0.0)*(1-sf) // 0.4 + 0.2 = 0.6
+	want := 1 - 0.4*wantNoSec                // 1 - 0.24 = 0.76
+	if got := PK(cs, sf); !approx(got, want) {
+		t.Fatalf("PK = %v, want %v", got, want)
+	}
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestAlgorithm1SortsByERTDescending(t *testing.T) {
+	// All CDFs high enough that two candidates satisfy Pc; the two with the
+	// largest ert must be chosen (least recently used first).
+	in := Input{
+		Candidates: []Candidate{
+			cand("a", true, 0.9, 0, 10*time.Second),
+			cand("b", true, 0.9, 0, 30*time.Second),
+			cand("c", true, 0.9, 0, 20*time.Second),
+		},
+		StaleFactor: 1,
+		MinProb:     0.85,
+		Sequencer:   "seq",
+	}
+	got := Algorithm1{}.Select(in)
+	// b (ert 30) first, then c (ert 20): with the max-CDF exclusion, after
+	// adding c we fold in one 0.9 ⇒ PK = 0.9 ≥ 0.85 → stop.
+	if !contains(got, "b") || !contains(got, "c") || contains(got, "a") {
+		t.Fatalf("selected %v, want {b,c,seq}", got)
+	}
+	if !contains(got, "seq") {
+		t.Fatal("sequencer missing")
+	}
+}
+
+func TestAlgorithm1ExcludesBestReplicaFromPK(t *testing.T) {
+	// Two replicas each with CDF 0.9 and Pc = 0.85: a set of two only
+	// reaches PK = 0.9 with the best excluded (one 0.9 counted), which
+	// satisfies 0.85. But with Pc = 0.95 two replicas give only 0.9 < 0.95,
+	// so a third must be added: its inclusion folds a second 0.9 giving
+	// 1-(0.1)^2 = 0.99 ≥ 0.95.
+	mk := func(minProb float64) []node.ID {
+		in := Input{
+			Candidates: []Candidate{
+				cand("a", true, 0.9, 0, 3*time.Second),
+				cand("b", true, 0.9, 0, 2*time.Second),
+				cand("c", true, 0.9, 0, time.Second),
+			},
+			StaleFactor: 1,
+			MinProb:     minProb,
+			Sequencer:   "seq",
+		}
+		return Algorithm1{}.Select(in)
+	}
+	if got := mk(0.85); len(got) != 3 { // a, b, seq
+		t.Fatalf("Pc=0.85 selected %v, want 2 replicas + sequencer", got)
+	}
+	if got := mk(0.95); len(got) != 4 { // a, b, c, seq
+		t.Fatalf("Pc=0.95 selected %v, want 3 replicas + sequencer", got)
+	}
+}
+
+func TestAlgorithm1SingleFailureTolerance(t *testing.T) {
+	// The defining property: removing the member with the highest immediate
+	// CDF from the returned set must still leave PK ≥ Pc (whenever the
+	// algorithm reported success, i.e. didn't fall through to line 16).
+	in := Input{
+		Candidates: []Candidate{
+			cand("a", true, 0.95, 0, 5*time.Second),
+			cand("b", true, 0.7, 0, 4*time.Second),
+			cand("c", true, 0.8, 0, 3*time.Second),
+			cand("d", true, 0.6, 0, 2*time.Second),
+		},
+		StaleFactor: 1,
+		MinProb:     0.9,
+		Sequencer:   "seq",
+	}
+	got := Algorithm1{}.Select(in)
+
+	// Rebuild the selected candidate set minus the best member.
+	byID := make(map[node.ID]Candidate)
+	for _, c := range in.Candidates {
+		byID[c.ID] = c
+	}
+	var sel []Candidate
+	for _, id := range got {
+		if c, ok := byID[id]; ok {
+			sel = append(sel, c)
+		}
+	}
+	best := 0
+	for i, c := range sel {
+		if c.ImmedCDF > sel[best].ImmedCDF {
+			best = i
+		}
+	}
+	surviving := append(append([]Candidate{}, sel[:best]...), sel[best+1:]...)
+	if pk := PK(surviving, 1); pk < in.MinProb {
+		t.Fatalf("after best-member crash PK = %v < Pc = %v (set %v)", pk, in.MinProb, got)
+	}
+}
+
+func TestAlgorithm1UnsatisfiableReturnsAll(t *testing.T) {
+	in := Input{
+		Candidates: []Candidate{
+			cand("a", true, 0.1, 0, 2*time.Second),
+			cand("b", true, 0.1, 0, time.Second),
+		},
+		StaleFactor: 1,
+		MinProb:     0.99,
+		Sequencer:   "seq",
+	}
+	got := Algorithm1{}.Select(in)
+	if len(got) != 3 || !contains(got, "a") || !contains(got, "b") || !contains(got, "seq") {
+		t.Fatalf("unsatisfiable selection = %v, want all + sequencer", got)
+	}
+}
+
+func TestAlgorithm1ColdStartSelectsAll(t *testing.T) {
+	// No history: all CDFs zero → never satisfiable → all replicas probed.
+	in := Input{
+		Candidates: []Candidate{
+			cand("a", true, 0, 0, time.Duration(1<<62-1)),
+			cand("b", false, 0, 0, time.Duration(1<<62-1)),
+		},
+		StaleFactor: 1,
+		MinProb:     0.5,
+		Sequencer:   "seq",
+	}
+	got := Algorithm1{}.Select(in)
+	if len(got) != 3 {
+		t.Fatalf("cold start selection = %v, want everything", got)
+	}
+}
+
+func TestAlgorithm1EmptyCandidates(t *testing.T) {
+	got := Algorithm1{}.Select(Input{Sequencer: "seq", MinProb: 0.9})
+	if len(got) != 1 || got[0] != "seq" {
+		t.Fatalf("empty candidates selection = %v", got)
+	}
+}
+
+func TestAlgorithm1SequencerNotDuplicated(t *testing.T) {
+	in := Input{
+		Candidates:  []Candidate{cand("seq", true, 0.99, 0, time.Second), cand("b", true, 0.99, 0, 2*time.Second)},
+		StaleFactor: 1,
+		MinProb:     0.9,
+		Sequencer:   "seq",
+	}
+	got := Algorithm1{}.Select(in)
+	seen := 0
+	for _, id := range got {
+		if id == "seq" {
+			seen++
+		}
+	}
+	if seen != 1 {
+		t.Fatalf("sequencer appears %d times in %v", seen, got)
+	}
+}
+
+func TestAlgorithm1ERTTieBreaksByCDF(t *testing.T) {
+	in := Input{
+		Candidates: []Candidate{
+			cand("low", true, 0.2, 0, time.Second),
+			cand("high", true, 0.9, 0, time.Second),
+		},
+		StaleFactor: 1,
+		MinProb:     0.15,
+		Sequencer:   "seq",
+	}
+	got := Algorithm1{}.Select(in)
+	// Equal ert: "high" sorts first, becomes maxCDF; adding "low" folds
+	// low's 0.2 ⇒ PK = 0.2 ≥ 0.15 → K = {high, low}. Both are selected
+	// here; the ordering property is observable through the first element.
+	if got[0] != "high" {
+		t.Fatalf("selection order = %v, want high first on CDF tie-break", got)
+	}
+}
+
+func TestAlgorithm1StopsAsEarlyAsPossible(t *testing.T) {
+	// Never selects more replicas than necessary: with a generous Pc, stop
+	// after the second candidate (the minimum the exclusion rule allows).
+	in := Input{
+		Candidates: []Candidate{
+			cand("a", true, 0.99, 0, 5*time.Second),
+			cand("b", true, 0.99, 0, 4*time.Second),
+			cand("c", true, 0.99, 0, 3*time.Second),
+			cand("d", true, 0.99, 0, 2*time.Second),
+		},
+		StaleFactor: 1,
+		MinProb:     0.5,
+		Sequencer:   "seq",
+	}
+	got := Algorithm1{}.Select(in)
+	if len(got) != 3 { // a, b, seq — cannot be fewer: one replica is always excluded
+		t.Fatalf("selected %v, want exactly {a,b,seq}", got)
+	}
+}
+
+// Property: the returned set always includes the sequencer, has no
+// duplicates, and — whenever it is a strict subset of the candidates —
+// satisfies PK ≥ Pc with its best member excluded.
+func TestAlgorithm1Property(t *testing.T) {
+	prop := func(rawCDF []uint8, minProbRaw uint8, staleRaw uint8) bool {
+		if len(rawCDF) == 0 {
+			return true
+		}
+		if len(rawCDF) > 10 {
+			rawCDF = rawCDF[:10]
+		}
+		in := Input{
+			StaleFactor: float64(staleRaw) / 255,
+			MinProb:     float64(minProbRaw) / 255,
+			Sequencer:   "seq",
+		}
+		for i, b := range rawCDF {
+			in.Candidates = append(in.Candidates, Candidate{
+				ID:         node.ID(rune('a' + i)),
+				Primary:    i%2 == 0,
+				ImmedCDF:   float64(b) / 255,
+				DelayedCDF: float64(b) / 512,
+				ERT:        time.Duration(i) * time.Second,
+			})
+		}
+		got := Algorithm1{}.Select(in)
+		if !contains(got, "seq") {
+			return false
+		}
+		seen := make(map[node.ID]bool)
+		for _, id := range got {
+			if seen[id] {
+				return false
+			}
+			seen[id] = true
+		}
+		if len(got)-1 >= len(in.Candidates) {
+			return true // fell through to line 16: no guarantee claimed
+		}
+		// Strict subset ⇒ the crash-tolerance property must hold.
+		byID := make(map[node.ID]Candidate)
+		for _, c := range in.Candidates {
+			byID[c.ID] = c
+		}
+		var sel []Candidate
+		for _, id := range got {
+			if c, ok := byID[id]; ok {
+				sel = append(sel, c)
+			}
+		}
+		best := 0
+		for i, c := range sel {
+			if c.ImmedCDF > sel[best].ImmedCDF {
+				best = i
+			}
+		}
+		surviving := append(append([]Candidate{}, sel[:best]...), sel[best+1:]...)
+		return PK(surviving, in.StaleFactor) >= in.MinProb-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

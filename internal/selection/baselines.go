@@ -1,0 +1,115 @@
+package selection
+
+import (
+	"math/rand"
+
+	"aqua/internal/node"
+)
+
+// All is the write-all-read-all style baseline the paper argues against in
+// Section 5: "allocate all the available replicas to service a single
+// client ... not scalable, as it increases the load on all the replicas".
+type All struct{}
+
+var _ Selector = All{}
+
+// Name implements Selector.
+func (All) Name() string { return "all" }
+
+// Select implements Selector.
+func (All) Select(in Input) []node.ID {
+	ids := make([]node.ID, 0, len(in.Candidates)+1)
+	for _, c := range in.Candidates {
+		ids = append(ids, c.ID)
+	}
+	return appendSequencer(ids, in.Sequencer)
+}
+
+// Single is the other extreme the paper discusses: one replica per request.
+// It picks the replica with the highest effective probability of a timely
+// response ("should a replica fail while servicing a request, the failure
+// could result in an unacceptable delay").
+type Single struct{}
+
+var _ Selector = Single{}
+
+// Name implements Selector.
+func (Single) Name() string { return "single" }
+
+// Select implements Selector.
+func (Single) Select(in Input) []node.ID {
+	if len(in.Candidates) == 0 {
+		return appendSequencer(nil, in.Sequencer)
+	}
+	best := in.Candidates[0]
+	bestP := effectiveCDF(best, in.StaleFactor)
+	for _, c := range in.Candidates[1:] {
+		if p := effectiveCDF(c, in.StaleFactor); p > bestP || (p == bestP && c.ID < best.ID) {
+			best, bestP = c, p
+		}
+	}
+	return appendSequencer([]node.ID{best.ID}, in.Sequencer)
+}
+
+// effectiveCDF is a candidate's unconditional probability of answering by
+// the deadline: primaries always hold fresh state; secondaries respond
+// immediately only when the group state satisfies the staleness threshold.
+func effectiveCDF(c Candidate, staleFactor float64) float64 {
+	if c.Primary {
+		return c.ImmedCDF
+	}
+	return c.ImmedCDF*staleFactor + c.DelayedCDF*(1-staleFactor)
+}
+
+// RandomK selects K uniformly random replicas (plus the sequencer),
+// ignoring all model information — the naive load-spreading baseline.
+type RandomK struct {
+	K    int
+	Rand *rand.Rand
+}
+
+var _ Selector = (*RandomK)(nil)
+
+// Name implements Selector.
+func (s *RandomK) Name() string { return "randomk" }
+
+// Select implements Selector.
+func (s *RandomK) Select(in Input) []node.ID {
+	k := s.K
+	if k <= 0 {
+		k = 1
+	}
+	if k > len(in.Candidates) {
+		k = len(in.Candidates)
+	}
+	perm := s.Rand.Perm(len(in.Candidates))
+	ids := make([]node.ID, 0, k+1)
+	for _, i := range perm[:k] {
+		ids = append(ids, in.Candidates[i].ID)
+	}
+	return appendSequencer(ids, in.Sequencer)
+}
+
+// Stateless is the authors' prior selection algorithm [5], which assumed
+// stateless replicas: it runs the same accumulation as Algorithm 1 but
+// ignores staleness entirely, treating every replica as able to respond
+// immediately. Comparing it against Algorithm 1 isolates the value of the
+// staleness factor.
+type Stateless struct{}
+
+var _ Selector = Stateless{}
+
+// Name implements Selector.
+func (Stateless) Name() string { return "stateless" }
+
+// Select implements Selector.
+func (Stateless) Select(in Input) []node.ID {
+	statelessIn := Input{
+		Candidates:  make([]Candidate, len(in.Candidates)),
+		StaleFactor: 1, // every replica presumed fresh
+		MinProb:     in.MinProb,
+		Sequencer:   in.Sequencer,
+	}
+	copy(statelessIn.Candidates, in.Candidates)
+	return Algorithm1{}.Select(statelessIn)
+}

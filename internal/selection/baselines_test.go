@@ -1,0 +1,163 @@
+package selection
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"aqua/internal/node"
+)
+
+func baselineInput() Input {
+	return Input{
+		Candidates: []Candidate{
+			cand("p1", true, 0.9, 0, 3*time.Second),
+			cand("p2", true, 0.4, 0, 2*time.Second),
+			cand("s1", false, 0.8, 0.1, time.Second),
+			cand("s2", false, 0.2, 0.6, 4*time.Second),
+		},
+		StaleFactor: 0.5,
+		MinProb:     0.9,
+		Sequencer:   "seq",
+	}
+}
+
+func TestAllSelectsEverything(t *testing.T) {
+	got := All{}.Select(baselineInput())
+	if len(got) != 5 {
+		t.Fatalf("All selected %v", got)
+	}
+	for _, id := range []string{"p1", "p2", "s1", "s2", "seq"} {
+		if !contains(got, node.ID(id)) {
+			t.Fatalf("All missing %s in %v", id, got)
+		}
+	}
+}
+
+func TestSinglePicksHighestEffectiveCDF(t *testing.T) {
+	got := Single{}.Select(baselineInput())
+	// Effective CDFs: p1=0.9, p2=0.4, s1=0.8*0.5+0.1*0.5=0.45,
+	// s2=0.2*0.5+0.6*0.5=0.4 → p1 wins.
+	if len(got) != 2 || got[0] != "p1" || got[1] != "seq" {
+		t.Fatalf("Single selected %v, want [p1 seq]", got)
+	}
+}
+
+func TestSingleEmptyCandidates(t *testing.T) {
+	got := Single{}.Select(Input{Sequencer: "seq"})
+	if len(got) != 1 || got[0] != "seq" {
+		t.Fatalf("Single(∅) = %v", got)
+	}
+}
+
+func TestSingleSecondaryWinsWhenFresh(t *testing.T) {
+	in := Input{
+		Candidates: []Candidate{
+			cand("p1", true, 0.5, 0, 0),
+			cand("s1", false, 0.9, 0.1, 0),
+		},
+		StaleFactor: 1,
+		Sequencer:   "seq",
+	}
+	got := Single{}.Select(in)
+	if got[0] != "s1" {
+		t.Fatalf("Single = %v, want fresh secondary s1", got)
+	}
+}
+
+func TestRandomKSelectsKDistinct(t *testing.T) {
+	s := &RandomK{K: 2, Rand: rand.New(rand.NewSource(1))}
+	got := s.Select(baselineInput())
+	if len(got) != 3 { // 2 + sequencer
+		t.Fatalf("RandomK selected %v", got)
+	}
+	seen := map[string]bool{}
+	for _, id := range got {
+		if seen[string(id)] {
+			t.Fatalf("duplicate in %v", got)
+		}
+		seen[string(id)] = true
+	}
+}
+
+func TestRandomKClampsK(t *testing.T) {
+	s := &RandomK{K: 99, Rand: rand.New(rand.NewSource(1))}
+	if got := s.Select(baselineInput()); len(got) != 5 {
+		t.Fatalf("K>n selected %v", got)
+	}
+	s = &RandomK{K: 0, Rand: rand.New(rand.NewSource(1))}
+	if got := s.Select(baselineInput()); len(got) != 2 {
+		t.Fatalf("K=0 selected %v, want 1+sequencer", got)
+	}
+}
+
+func TestStatelessIgnoresStaleness(t *testing.T) {
+	// A very stale secondary group (factor 0) with good immediate CDFs:
+	// Algorithm 1 must keep adding replicas (delayed CDFs are 0), while
+	// Stateless is satisfied by the immediate CDFs alone.
+	in := Input{
+		Candidates: []Candidate{
+			cand("s1", false, 0.9, 0, 3*time.Second),
+			cand("s2", false, 0.9, 0, 2*time.Second),
+			cand("s3", false, 0.9, 0, time.Second),
+		},
+		StaleFactor: 0,
+		MinProb:     0.85,
+		Sequencer:   "seq",
+	}
+	stateless := Stateless{}.Select(in)
+	aware := Algorithm1{}.Select(in)
+	if len(stateless) != 3 { // s1, s2, seq
+		t.Fatalf("Stateless = %v, want 2 replicas + seq", stateless)
+	}
+	if len(aware) != 4 { // all three + seq (unsatisfiable)
+		t.Fatalf("Algorithm1 = %v, want all + seq", aware)
+	}
+}
+
+func TestSelectorNames(t *testing.T) {
+	names := map[string]Selector{
+		"algorithm1": Algorithm1{},
+		"all":        All{},
+		"single":     Single{},
+		"randomk":    &RandomK{K: 1, Rand: rand.New(rand.NewSource(1))},
+		"stateless":  Stateless{},
+	}
+	for want, s := range names {
+		if s.Name() != want {
+			t.Errorf("Name() = %q, want %q", s.Name(), want)
+		}
+	}
+}
+
+func TestCDFGreedyIgnoresERT(t *testing.T) {
+	// "slow" has huge ert but poor CDF; "fast" the reverse. CDFGreedy must
+	// visit fast first, Algorithm1 must visit slow first.
+	in := Input{
+		Candidates: []Candidate{
+			cand("slow", true, 0.2, 0, time.Hour),
+			cand("fast", true, 0.9, 0, time.Second),
+		},
+		StaleFactor: 1,
+		MinProb:     0.15,
+		Sequencer:   "seq",
+	}
+	greedy := CDFGreedy{}.Select(in)
+	if greedy[0] != "fast" {
+		t.Fatalf("CDFGreedy order = %v, want fast first", greedy)
+	}
+	lru := Algorithm1{}.Select(in)
+	if lru[0] != "slow" {
+		t.Fatalf("Algorithm1 order = %v, want slow (LRU) first", lru)
+	}
+	if (CDFGreedy{}).Name() != "cdfgreedy" {
+		t.Fatal("name")
+	}
+}
+
+func TestCDFGreedyEmptyCandidates(t *testing.T) {
+	got := CDFGreedy{}.Select(Input{Sequencer: "seq", MinProb: 0.9})
+	if len(got) != 1 || got[0] != "seq" {
+		t.Fatalf("CDFGreedy(∅) = %v", got)
+	}
+}

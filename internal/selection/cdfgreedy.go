@@ -1,0 +1,48 @@
+package selection
+
+import "aqua/internal/node"
+
+// CDFGreedy is the hot-spot ablation of Algorithm 1: identical accumulation
+// and stopping rule, but candidates are visited in decreasing immediate-CDF
+// order instead of decreasing elapsed response time. Without the ert sort,
+// every client with a similar repository picks the same "best" replicas,
+// producing the hot spots Section 5.3 warns about.
+type CDFGreedy struct{}
+
+var _ Selector = CDFGreedy{}
+
+// Name implements Selector.
+func (CDFGreedy) Name() string { return "cdfgreedy" }
+
+// Select implements Selector.
+func (CDFGreedy) Select(in Input) []node.ID {
+	byCDF := make([]Candidate, len(in.Candidates))
+	copy(byCDF, in.Candidates)
+	// Zero the ert so sortCandidates falls through to its CDF tie-break,
+	// giving a pure decreasing-CDF order.
+	for i := range byCDF {
+		byCDF[i].ERT = 0
+	}
+	sorted := sortCandidates(byCDF)
+	if len(sorted) == 0 {
+		return appendSequencer(nil, in.Sequencer)
+	}
+
+	acc := newAccumulator(in.StaleFactor)
+	k := []node.ID{sorted[0].ID}
+	maxCDF := sorted[0]
+	for _, c := range sorted[1:] {
+		k = append(k, c.ID)
+		var pk float64
+		if c.ImmedCDF > maxCDF.ImmedCDF {
+			pk = acc.include(maxCDF)
+			maxCDF = c
+		} else {
+			pk = acc.include(c)
+		}
+		if pk >= in.MinProb {
+			return appendSequencer(k, in.Sequencer)
+		}
+	}
+	return appendSequencer(k, in.Sequencer)
+}

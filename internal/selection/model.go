@@ -1,0 +1,98 @@
+package selection
+
+import (
+	"time"
+
+	"aqua/internal/node"
+	"aqua/internal/qos"
+	"aqua/internal/repository"
+	"aqua/internal/stats"
+)
+
+// Model turns a client's information repository into Selector inputs: it
+// evaluates the response-time distribution functions at the client's
+// deadline (Section 5.2) and the secondary group's staleness factor
+// (Section 5.1.3).
+type Model struct {
+	// BinWidth coarsens pmfs before convolution; 0 disables binning.
+	BinWidth time.Duration
+	// LazyInterval is T_L, the configured lazy update period.
+	LazyInterval time.Duration
+	// CountedEstimator switches the staleness factor from the paper's pure
+	// Poisson estimate P(N_u(t_l) ≤ a) to a variant anchored on the
+	// publisher's last reported count: P(n_L + N_u(t_z) ≤ a), where n_L is
+	// the number of updates the publisher had seen since the last lazy
+	// update and t_z is the time since that report. The paper records n_L
+	// but does not use it; this is the abl-estimator design ablation.
+	CountedEstimator bool
+}
+
+// StaleFactor computes P(A_s(t) ≤ a) — Equation 4, or the counted variant
+// when CountedEstimator is set. Before any publisher broadcast arrives the
+// client has seen no evidence of updates, so the factor is 1 (fresh) — the
+// cold start self-corrects within one lazy interval.
+func (m Model) StaleFactor(repo *repository.Repository, staleness int, now time.Time) float64 {
+	tl, ok := repo.TimeSinceLazyUpdate(now, m.LazyInterval)
+	if !ok {
+		return 1
+	}
+	if m.CountedEstimator {
+		// tl = (tL + tz) mod T_L; tz ≤ tl means no lazy update has fired
+		// since the publisher's report, so its count n_L still applies.
+		if tz, nl, ok := repo.SincePublisherReport(now); ok && tz <= tl {
+			// The publisher's count n_L is a hard floor on the current
+			// staleness; only arrivals in the last tz are uncertain.
+			remaining := staleness - nl
+			lambda := repo.UpdateRate() * tz.Seconds()
+			return stats.PoissonCDF(lambda, remaining)
+		}
+		// A lazy update likely intervened since the report; the count is
+		// obsolete — fall through to the paper's estimator.
+	}
+	lambda := repo.UpdateRate() * tl.Seconds()
+	return stats.PoissonCDF(lambda, staleness)
+}
+
+// Evaluate builds the selection Input for one read request. primaries and
+// secondaries are the live server replicas by group (excluding the
+// sequencer, which never serves requests).
+func (m Model) Evaluate(
+	repo *repository.Repository,
+	primaries, secondaries []node.ID,
+	sequencer node.ID,
+	spec qos.Spec,
+	now time.Time,
+) Input {
+	in := Input{
+		Candidates:  make([]Candidate, 0, len(primaries)+len(secondaries)),
+		StaleFactor: m.StaleFactor(repo, spec.Staleness, now),
+		MinProb:     spec.MinProb,
+		Sequencer:   sequencer,
+	}
+
+	for _, id := range primaries {
+		in.Candidates = append(in.Candidates, Candidate{
+			ID:       id,
+			Primary:  true,
+			ImmedCDF: repo.ImmediatePMF(id, m.BinWidth).CDF(spec.Deadline),
+			ERT:      repo.ERT(id, now),
+		})
+	}
+
+	// Fallback estimate of the lazy-update wait U when a secondary has no
+	// defer-wait history: the remaining time to the next lazy update.
+	fallbackU := m.LazyInterval
+	if tl, ok := repo.TimeSinceLazyUpdate(now, m.LazyInterval); ok {
+		fallbackU = m.LazyInterval - tl
+	}
+	for _, id := range secondaries {
+		in.Candidates = append(in.Candidates, Candidate{
+			ID:         id,
+			Primary:    false,
+			ImmedCDF:   repo.ImmediatePMF(id, m.BinWidth).CDF(spec.Deadline),
+			DelayedCDF: repo.DeferredPMF(id, m.BinWidth, fallbackU).CDF(spec.Deadline),
+			ERT:        repo.ERT(id, now),
+		})
+	}
+	return in
+}

@@ -1,0 +1,145 @@
+package selection
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"aqua/internal/node"
+	"aqua/internal/qos"
+	"aqua/internal/repository"
+	"aqua/internal/stats"
+)
+
+var tBase = time.Date(2002, 6, 23, 0, 0, 0, 0, time.UTC)
+
+const ms = time.Millisecond
+
+func TestStaleFactorColdStartIsFresh(t *testing.T) {
+	m := Model{LazyInterval: 4 * time.Second}
+	repo := repository.New(10)
+	if got := m.StaleFactor(repo, 2, tBase); got != 1 {
+		t.Fatalf("cold-start stale factor = %v, want 1", got)
+	}
+}
+
+func TestStaleFactorMatchesPoisson(t *testing.T) {
+	m := Model{LazyInterval: 4 * time.Second}
+	repo := repository.New(10)
+	// λu = 2/s; last lazy update 1s ago (tL=1s reported now).
+	repo.RecordPublisherRates(4, 2*time.Second)
+	repo.RecordLazyInfo(0, time.Second, tBase)
+	got := m.StaleFactor(repo, 3, tBase)
+	want := stats.PoissonCDF(2*1.0, 3)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("stale factor = %v, want Poisson(2,3) = %v", got, want)
+	}
+}
+
+func TestStaleFactorDecreasesWithElapsedTime(t *testing.T) {
+	m := Model{LazyInterval: 10 * time.Second}
+	repo := repository.New(10)
+	repo.RecordPublisherRates(10, 2*time.Second) // λu = 5/s
+	repo.RecordLazyInfo(0, 0, tBase)
+	early := m.StaleFactor(repo, 2, tBase.Add(100*ms))
+	late := m.StaleFactor(repo, 2, tBase.Add(5*time.Second))
+	if late >= early {
+		t.Fatalf("stale factor did not decay: early %v late %v", early, late)
+	}
+}
+
+func TestEvaluateBuildsCandidates(t *testing.T) {
+	m := Model{LazyInterval: 4 * time.Second}
+	repo := repository.New(10)
+	spec := qos.Spec{Staleness: 2, Deadline: 100 * ms, MinProb: 0.9}
+
+	// Primary with solid history: S=50ms, W=10ms, G=5ms → R=65ms ≤ 100ms.
+	repo.RecordPerf("p1", 50*ms, 10*ms)
+	repo.RecordReply("p1", 5*ms, tBase)
+	// Secondary with slow history: S=150ms → R > deadline.
+	repo.RecordPerf("s1", 150*ms, 10*ms)
+	repo.RecordReply("s1", 5*ms, tBase.Add(10*ms))
+
+	in := m.Evaluate(repo, []node.ID{"p1"}, []node.ID{"s1"}, "seq", spec, tBase.Add(time.Second))
+	if len(in.Candidates) != 2 {
+		t.Fatalf("candidates = %+v", in.Candidates)
+	}
+	p1, s1 := in.Candidates[0], in.Candidates[1]
+	if !p1.Primary || p1.ID != "p1" || p1.ImmedCDF != 1 {
+		t.Fatalf("p1 = %+v", p1)
+	}
+	if s1.Primary || s1.ImmedCDF != 0 {
+		t.Fatalf("s1 = %+v", s1)
+	}
+	if p1.ERT != time.Second || s1.ERT != time.Second-10*ms {
+		t.Fatalf("ERTs = %v %v", p1.ERT, s1.ERT)
+	}
+	if in.Sequencer != "seq" || in.MinProb != 0.9 {
+		t.Fatalf("input meta = %+v", in)
+	}
+}
+
+func TestEvaluateDeferredUsesFallbackU(t *testing.T) {
+	m := Model{LazyInterval: 2 * time.Second}
+	repo := repository.New(10)
+	spec := qos.Spec{Staleness: 0, Deadline: 3 * time.Second, MinProb: 0.9}
+
+	// Secondary: fast service but no defer history. Publisher reported a
+	// lazy update 1.5s into a 2s interval → fallback U = 0.5s. With S=50ms
+	// the deferred response ≈ 550ms ≤ 3s ⇒ DelayedCDF = 1.
+	repo.RecordPerf("s1", 50*ms, 0)
+	repo.RecordLazyInfo(0, 1500*ms, tBase)
+	in := m.Evaluate(repo, nil, []node.ID{"s1"}, "seq", spec, tBase)
+	if got := in.Candidates[0].DelayedCDF; got != 1 {
+		t.Fatalf("DelayedCDF = %v, want 1 with 0.5s fallback U", got)
+	}
+
+	// Tight deadline of 400ms: 50ms + 500ms fallback exceeds it.
+	spec.Deadline = 400 * ms
+	in = m.Evaluate(repo, nil, []node.ID{"s1"}, "seq", spec, tBase)
+	if got := in.Candidates[0].DelayedCDF; got != 0 {
+		t.Fatalf("DelayedCDF = %v, want 0 under tight deadline", got)
+	}
+}
+
+func TestCountedEstimatorUsesNL(t *testing.T) {
+	repo := repository.New(10)
+	repo.RecordPublisherRates(4, 2*time.Second) // λu = 2/s
+	// Publisher reported nL=3 at tBase with tL=1s into a 4s interval.
+	repo.RecordLazyInfo(3, time.Second, tBase)
+
+	now := tBase.Add(500 * ms) // tz=0.5s ≤ tl=1.5s: count applies
+	paper := Model{LazyInterval: 4 * time.Second}
+	counted := Model{LazyInterval: 4 * time.Second, CountedEstimator: true}
+
+	// Paper: P(N(λ·1.5s) ≤ 2) with λ=2 → Poisson(3, k=2).
+	wantPaper := stats.PoissonCDF(2*1.5, 2)
+	if got := paper.StaleFactor(repo, 2, now); math.Abs(got-wantPaper) > 1e-12 {
+		t.Fatalf("paper estimator = %v, want %v", got, wantPaper)
+	}
+	// Counted: n_L=3 already exceeds a=2 → only arrivals can make it worse:
+	// P(3 + N(λ·tz) ≤ 2) = 0.
+	if got := counted.StaleFactor(repo, 2, now); got != 0 {
+		t.Fatalf("counted estimator = %v, want 0 (count exceeds threshold)", got)
+	}
+	// With a=4: remaining headroom 1, λ·tz = 1 → Poisson(1, k=1).
+	want := stats.PoissonCDF(1.0, 1)
+	if got := counted.StaleFactor(repo, 4, now); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("counted estimator a=4 = %v, want %v", got, want)
+	}
+}
+
+func TestCountedEstimatorFallsBackAfterWrap(t *testing.T) {
+	repo := repository.New(10)
+	repo.RecordPublisherRates(4, 2*time.Second)
+	repo.RecordLazyInfo(9, 3900*ms, tBase) // just before a lazy update
+
+	// 500ms later a lazy update has certainly fired (tl wrapped): the count
+	// is obsolete and the paper's estimator must be used.
+	now := tBase.Add(500 * ms)
+	counted := Model{LazyInterval: 4 * time.Second, CountedEstimator: true}
+	paper := Model{LazyInterval: 4 * time.Second}
+	if got, want := counted.StaleFactor(repo, 2, now), paper.StaleFactor(repo, 2, now); got != want {
+		t.Fatalf("post-wrap counted = %v, want paper value %v", got, want)
+	}
+}

@@ -1,0 +1,127 @@
+// Package selection implements the paper's probabilistic model-based
+// replica selection (Section 5): evaluation of P_K(d) from per-replica
+// response-time distributions and the secondary group's staleness factor
+// (Equations 1–4), the state-based selection algorithm (Algorithm 1), and
+// the baseline selectors the framework is compared against.
+package selection
+
+import (
+	"sort"
+	"time"
+
+	"aqua/internal/node"
+)
+
+// Candidate is one selectable replica with its model inputs: the values of
+// its immediate and deferred response-time distribution functions at the
+// client's deadline, and the client-specific elapsed response time.
+type Candidate struct {
+	ID      node.ID
+	Primary bool
+	// ImmedCDF is F^I_i(d): P(response within d | no state wait).
+	ImmedCDF float64
+	// DelayedCDF is F^D_i(d): P(response within d | deferred read). Unused
+	// for primaries, whose state is always current.
+	DelayedCDF float64
+	// ERT is the elapsed response time for the anti-hot-spot sort.
+	ERT time.Duration
+}
+
+// Input is everything a Selector needs for one read request.
+type Input struct {
+	Candidates []Candidate
+	// StaleFactor is P(A_s(t) ≤ a) for the secondary group (Equation 4).
+	StaleFactor float64
+	// MinProb is the client's Pc(d).
+	MinProb float64
+	// Sequencer is appended to every selection; reads must reach it so it
+	// can broadcast the GSN they are ordered against.
+	Sequencer node.ID
+}
+
+// Selector chooses the replica subset to service one read request.
+type Selector interface {
+	// Select returns the chosen replica IDs, always including the
+	// sequencer.
+	Select(in Input) []node.ID
+	// Name identifies the selector in experiment output.
+	Name() string
+}
+
+// accumulator tracks the running products of Algorithm 1's includeCDF
+// procedure (lines 17–30).
+type accumulator struct {
+	primCDF       float64 // Π (1 − F^I_i(d)) over included primaries
+	secImmedCDF   float64 // Π (1 − F^I_j(d)) over included secondaries
+	secDelayedCDF float64 // Π (1 − F^D_j(d)) over included secondaries
+	staleFactor   float64
+}
+
+func newAccumulator(staleFactor float64) *accumulator {
+	return &accumulator{primCDF: 1, secImmedCDF: 1, secDelayedCDF: 1, staleFactor: staleFactor}
+}
+
+// include folds candidate c into the products and returns P_K(d) so far
+// (Equation 1 composed from Equations 2 and 3).
+func (a *accumulator) include(c Candidate) float64 {
+	if c.Primary {
+		a.primCDF *= 1 - c.ImmedCDF
+	} else {
+		a.secImmedCDF *= 1 - c.ImmedCDF
+		a.secDelayedCDF *= 1 - c.DelayedCDF
+	}
+	return a.pK()
+}
+
+func (a *accumulator) pK() float64 {
+	secCDF := a.secImmedCDF*a.staleFactor + a.secDelayedCDF*(1-a.staleFactor)
+	return 1 - a.primCDF*secCDF
+}
+
+// PK evaluates P_K(d) for an arbitrary candidate set — the probability that
+// at least one replica responds within the deadline. Exposed for tests,
+// benchmarks, and the experiment harness.
+func PK(candidates []Candidate, staleFactor float64) float64 {
+	a := newAccumulator(staleFactor)
+	p := 0.0
+	for _, c := range candidates {
+		p = a.include(c)
+	}
+	if len(candidates) == 0 {
+		return 0
+	}
+	return p
+}
+
+// sortCandidates orders candidates in decreasing ert; ties break by
+// decreasing immediate CDF, exactly as Section 5.3 prescribes. Remaining
+// ties break by ID for determinism.
+func sortCandidates(cs []Candidate) []Candidate {
+	sorted := make([]Candidate, len(cs))
+	copy(sorted, cs)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.ERT != b.ERT {
+			return a.ERT > b.ERT
+		}
+		if a.ImmedCDF != b.ImmedCDF {
+			return a.ImmedCDF > b.ImmedCDF
+		}
+		return a.ID < b.ID
+	})
+	return sorted
+}
+
+// appendSequencer adds the sequencer to ids unless already present or
+// empty.
+func appendSequencer(ids []node.ID, seq node.ID) []node.ID {
+	if seq == "" {
+		return ids
+	}
+	for _, id := range ids {
+		if id == seq {
+			return ids
+		}
+	}
+	return append(ids, seq)
+}

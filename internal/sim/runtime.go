@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"aqua/internal/netsim"
+	"aqua/internal/node"
+)
+
+// Runtime executes nodes on a Scheduler. It implements message delivery with
+// a configurable delay/loss model and supports crash injection. Like the
+// Scheduler it wraps, it is single-threaded by design.
+type Runtime struct {
+	sched   *Scheduler
+	delay   netsim.DelayModel
+	loss    netsim.LossModel
+	netRand *rand.Rand
+	nodes   map[node.ID]*nodeCtx
+	order   []node.ID
+	started bool
+	logW    io.Writer
+	sent    uint64
+	dropped uint64
+}
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithDelay sets the network delay model. The default is a constant 0.
+func WithDelay(d netsim.DelayModel) Option {
+	return func(r *Runtime) { r.delay = d }
+}
+
+// WithLoss sets the network loss model. The default drops nothing.
+func WithLoss(l netsim.LossModel) Option {
+	return func(r *Runtime) { r.loss = l }
+}
+
+// WithLog directs node Logf output to w. The default discards it.
+func WithLog(w io.Writer) Option {
+	return func(r *Runtime) { r.logW = w }
+}
+
+// NewRuntime creates a runtime over sched.
+func NewRuntime(sched *Scheduler, opts ...Option) *Runtime {
+	r := &Runtime{
+		sched: sched,
+		delay: netsim.ConstantDelay(0),
+		loss:  netsim.NoLoss{},
+		nodes: make(map[node.ID]*nodeCtx),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	r.netRand = sched.DeriveRand("netsim")
+	return r
+}
+
+// Scheduler returns the underlying scheduler, for tests and experiment
+// drivers that need direct control of virtual time.
+func (r *Runtime) Scheduler() *Scheduler { return r.sched }
+
+// Register adds n under id. It panics on duplicate registration, which is
+// always a wiring bug. Registration must precede Start.
+func (r *Runtime) Register(id node.ID, n node.Node) {
+	if _, dup := r.nodes[id]; dup {
+		panic(fmt.Sprintf("sim: duplicate node %q", id))
+	}
+	if r.started {
+		panic(fmt.Sprintf("sim: Register(%q) after Start", id))
+	}
+	r.nodes[id] = &nodeCtx{rt: r, id: id, n: n, rand: r.sched.DeriveRand("node/" + string(id))}
+	r.order = append(r.order, id)
+}
+
+// Start calls Init on every registered node, in registration order.
+func (r *Runtime) Start() {
+	if r.started {
+		return
+	}
+	r.started = true
+	for _, id := range r.order {
+		nc := r.nodes[id]
+		nc.n.Init(nc)
+	}
+}
+
+// Crash makes id stop receiving and sending messages and disables its
+// pending and future timers, modelling a crash failure.
+func (r *Runtime) Crash(id node.ID) {
+	if nc, ok := r.nodes[id]; ok {
+		nc.crashed = true
+	}
+}
+
+// Crashed reports whether id has been crashed.
+func (r *Runtime) Crashed(id node.ID) bool {
+	nc, ok := r.nodes[id]
+	return ok && nc.crashed
+}
+
+// Restart models a process restart: the crashed node is replaced by a
+// fresh instance n (all volatile state lost, exactly like a real restart)
+// whose Init runs immediately. Any recovery/state transfer is the
+// protocol's job. It panics if id was never registered.
+func (r *Runtime) Restart(id node.ID, n node.Node) {
+	old, ok := r.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("sim: Restart of unknown node %q", id))
+	}
+	// The old incarnation stays crashed forever; in-flight messages and
+	// timers addressed to it die with it.
+	old.crashed = true
+	fresh := &nodeCtx{rt: r, id: id, n: n, rand: r.sched.DeriveRand("node/" + string(id) + "/restart")}
+	r.nodes[id] = fresh
+	n.Init(fresh)
+}
+
+// IDs returns the registered node IDs in sorted order.
+func (r *Runtime) IDs() []node.ID {
+	ids := make([]node.ID, 0, len(r.nodes))
+	for id := range r.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Stats returns the number of messages sent and dropped so far.
+func (r *Runtime) Stats() (sent, dropped uint64) { return r.sent, r.dropped }
+
+func (r *Runtime) deliver(from, to node.ID, m node.Message) {
+	src, ok := r.nodes[from]
+	if !ok || src.crashed {
+		return
+	}
+	dst, ok := r.nodes[to]
+	if !ok {
+		panic(fmt.Sprintf("sim: send from %q to unknown node %q", from, to))
+	}
+	r.sent++
+	if r.loss.Drop(r.netRand, from, to) {
+		r.dropped++
+		return
+	}
+	d := r.delay.Delay(r.netRand, from, to)
+	r.sched.After(d, func() {
+		if dst.crashed || src.crashed {
+			// A message already in flight from a node that has since
+			// crashed is still delivered in a real network; we model the
+			// common simulation simplification of dropping both
+			// directions at crash time, which only strengthens the
+			// failure scenarios the protocols must survive.
+			r.dropped++
+			return
+		}
+		dst.n.Recv(from, m)
+	})
+}
+
+// nodeCtx implements node.Context for one registered node.
+type nodeCtx struct {
+	rt      *Runtime
+	id      node.ID
+	n       node.Node
+	rand    *rand.Rand
+	crashed bool
+}
+
+var _ node.Context = (*nodeCtx)(nil)
+
+func (c *nodeCtx) ID() node.ID      { return c.id }
+func (c *nodeCtx) Now() time.Time   { return c.rt.sched.Now() }
+func (c *nodeCtx) Rand() *rand.Rand { return c.rand }
+
+func (c *nodeCtx) Send(to node.ID, m node.Message) {
+	c.rt.deliver(c.id, to, m)
+}
+
+func (c *nodeCtx) SetTimer(d time.Duration, f func()) node.CancelFunc {
+	cancel := c.rt.sched.After(d, func() {
+		if c.crashed {
+			return
+		}
+		f()
+	})
+	return node.CancelFunc(cancel)
+}
+
+func (c *nodeCtx) Logf(format string, args ...interface{}) {
+	if c.rt.logW == nil {
+		return
+	}
+	elapsed := c.rt.sched.Now().Sub(Epoch)
+	fmt.Fprintf(c.rt.logW, "%12s %-14s "+format+"\n",
+		append([]interface{}{elapsed, c.id}, args...)...)
+}

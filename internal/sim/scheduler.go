@@ -1,0 +1,165 @@
+// Package sim provides a deterministic discrete-event simulation runtime for
+// the actor model defined in internal/node. All experiments in this
+// repository run on it: the paper's 20-minute wall-clock runs replay in
+// milliseconds of CPU time, and a fixed seed reproduces the exact event
+// sequence.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// event is a scheduled callback. Events with equal times fire in scheduling
+// order (seq breaks ties), which keeps runs deterministic.
+type event struct {
+	at       time.Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, maintained by eventHeap
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x interface{}) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is a single-threaded discrete-event scheduler with a virtual
+// clock. It is not safe for concurrent use; all interaction must happen from
+// the goroutine that calls Run (which is also the goroutine that executes
+// every event callback).
+type Scheduler struct {
+	now     time.Time
+	seq     uint64
+	pending eventHeap
+	seed    int64
+	stopped bool
+	ran     uint64
+}
+
+// Epoch is the virtual time at which every simulation starts. The concrete
+// date is arbitrary; protocol code only ever subtracts Now values.
+var Epoch = time.Date(2002, time.June, 23, 0, 0, 0, 0, time.UTC)
+
+// NewScheduler returns a scheduler whose clock starts at Epoch and whose
+// derived random sources are seeded from seed.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{now: Epoch, seed: seed}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Time { return s.now }
+
+// Seed returns the run seed the scheduler was created with.
+func (s *Scheduler) Seed() int64 { return s.seed }
+
+// Events returns the number of events executed so far.
+func (s *Scheduler) Events() uint64 { return s.ran }
+
+// At schedules fn to run at virtual time t. Times in the past run "now":
+// they are clamped to the current clock so the clock never moves backwards.
+func (s *Scheduler) At(t time.Time, fn func()) func() {
+	if t.Before(s.now) {
+		t = s.now
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.pending, ev)
+	return func() { ev.canceled = true }
+}
+
+// After schedules fn to run d from the current virtual time and returns a
+// cancel function. Negative durations are clamped to zero.
+func (s *Scheduler) After(d time.Duration, fn func()) func() {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Stop makes the currently running Run/RunUntilIdle call return after the
+// current event completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// RunUntilIdle executes events until no events remain or Stop is called.
+// It returns the number of events executed by this call.
+func (s *Scheduler) RunUntilIdle() uint64 {
+	return s.run(time.Time{}, false)
+}
+
+// Run executes events until the virtual clock would pass deadline, no events
+// remain, or Stop is called. Events scheduled exactly at deadline still run.
+// On return the clock is at the last executed event's time (or at deadline
+// if it advanced past all events). It returns the number of events executed.
+func (s *Scheduler) Run(deadline time.Time) uint64 {
+	n := s.run(deadline, true)
+	if !s.stopped && s.now.Before(deadline) {
+		s.now = deadline
+	}
+	return n
+}
+
+// RunFor is shorthand for Run(Now().Add(d)).
+func (s *Scheduler) RunFor(d time.Duration) uint64 {
+	return s.Run(s.now.Add(d))
+}
+
+func (s *Scheduler) run(deadline time.Time, bounded bool) uint64 {
+	s.stopped = false
+	var n uint64
+	for len(s.pending) > 0 && !s.stopped {
+		next := s.pending[0]
+		if bounded && next.at.After(deadline) {
+			break
+		}
+		heap.Pop(&s.pending)
+		if next.canceled {
+			continue
+		}
+		s.now = next.at
+		next.fn()
+		n++
+		s.ran++
+	}
+	return n
+}
+
+// DeriveRand returns a random source deterministically derived from the run
+// seed and the given name. Distinct names give independent streams, so
+// adding a node or a delay model does not perturb the streams of others.
+func (s *Scheduler) DeriveRand(name string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", s.seed, name)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}

@@ -1,0 +1,78 @@
+package stats
+
+import "math"
+
+// BinomialCI holds a confidence interval for a binomial proportion.
+type BinomialCI struct {
+	Point float64 // observed proportion successes/n
+	Lo    float64
+	Hi    float64
+}
+
+// BinomialConfidence computes a confidence interval for the success
+// probability of a binomial with the given number of successes out of n
+// trials. The paper computes its 95 % intervals "under the assumption that
+// the number of timing failures follows a binomial distribution"; we use
+// the Wilson score interval, which is well-behaved for the small
+// proportions that timing failures produce (a normal-approximation interval
+// collapses to a zero-width interval at 0 failures).
+//
+// conf is the confidence level, e.g. 0.95. n must be positive.
+func BinomialConfidence(successes, n int, conf float64) BinomialCI {
+	if n <= 0 {
+		return BinomialCI{}
+	}
+	p := float64(successes) / float64(n)
+	z := normalQuantile(0.5 + conf/2)
+	nn := float64(n)
+	denom := 1 + z*z/nn
+	center := (p + z*z/(2*nn)) / denom
+	half := z * math.Sqrt(p*(1-p)/nn+z*z/(4*nn*nn)) / denom
+	lo, hi := center-half, center+half
+	if lo < 0 || successes == 0 {
+		lo = 0
+	}
+	if hi > 1 || successes == n {
+		hi = 1
+	}
+	return BinomialCI{Point: p, Lo: lo, Hi: hi}
+}
+
+// normalQuantile returns Φ⁻¹(p) using the Acklam rational approximation,
+// accurate to about 1.15e-9 over (0,1).
+func normalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}

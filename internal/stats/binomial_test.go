@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialConfidenceBasics(t *testing.T) {
+	ci := BinomialConfidence(50, 100, 0.95)
+	if !approxEq(ci.Point, 0.5) {
+		t.Fatalf("point = %v, want 0.5", ci.Point)
+	}
+	// Wilson 95% for 50/100 is roughly [0.404, 0.596].
+	if ci.Lo < 0.39 || ci.Lo > 0.42 || ci.Hi < 0.58 || ci.Hi > 0.61 {
+		t.Fatalf("CI = [%v,%v], want about [0.404,0.596]", ci.Lo, ci.Hi)
+	}
+}
+
+func TestBinomialConfidenceZeroSuccesses(t *testing.T) {
+	ci := BinomialConfidence(0, 1000, 0.95)
+	if ci.Point != 0 || ci.Lo != 0 {
+		t.Fatalf("CI = %+v, want Point=Lo=0", ci)
+	}
+	if ci.Hi <= 0 || ci.Hi > 0.01 {
+		t.Fatalf("Hi = %v, want small positive (Wilson does not collapse)", ci.Hi)
+	}
+}
+
+func TestBinomialConfidenceAllSuccesses(t *testing.T) {
+	ci := BinomialConfidence(100, 100, 0.95)
+	if ci.Point != 1 || ci.Hi != 1 {
+		t.Fatalf("CI = %+v, want Point=Hi=1", ci)
+	}
+	if ci.Lo >= 1 || ci.Lo < 0.9 {
+		t.Fatalf("Lo = %v, want just under 1", ci.Lo)
+	}
+}
+
+func TestBinomialConfidenceInvalidN(t *testing.T) {
+	if ci := BinomialConfidence(1, 0, 0.95); ci != (BinomialCI{}) {
+		t.Fatalf("n=0 should return zero CI, got %+v", ci)
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	tests := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.995, 2.575829},
+		{0.84134, 0.99998}, // approx Φ(1)
+	}
+	for _, tt := range tests {
+		got := normalQuantile(tt.p)
+		if math.Abs(got-tt.want) > 1e-3 {
+			t.Errorf("normalQuantile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if !math.IsInf(normalQuantile(0), -1) || !math.IsInf(normalQuantile(1), 1) {
+		t.Error("quantile at 0/1 should be ±Inf")
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []float64{0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+		z := normalQuantile(p)
+		if back := normalCDF(z); math.Abs(back-p) > 1e-6 {
+			t.Errorf("Φ(Φ⁻¹(%v)) = %v", p, back)
+		}
+	}
+}
+
+// Property: the CI always contains the point estimate and lies within [0,1],
+// and more trials never widen the interval (for a fixed proportion).
+func TestBinomialConfidenceProperty(t *testing.T) {
+	prop := func(succRaw, extraRaw uint8) bool {
+		n := int(succRaw) + int(extraRaw) + 1
+		s := int(succRaw)
+		ci := BinomialConfidence(s, n, 0.95)
+		if ci.Lo < 0 || ci.Hi > 1 || ci.Lo > ci.Hi {
+			return false
+		}
+		if ci.Point < ci.Lo-1e-9 || ci.Point > ci.Hi+1e-9 {
+			return false
+		}
+		// Scaling up 4x shrinks the CI width.
+		ci4 := BinomialConfidence(4*s, 4*n, 0.95)
+		return (ci4.Hi - ci4.Lo) <= (ci.Hi-ci.Lo)+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

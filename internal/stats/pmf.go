@@ -1,0 +1,174 @@
+// Package stats implements the numeric machinery of the paper's
+// probabilistic selection model: sliding windows of performance
+// measurements, discrete probability mass functions with convolution
+// (Section 5.2), the Poisson staleness factor (Equation 4), and the binomial
+// confidence intervals used when reporting timing-failure probabilities
+// (Section 6).
+package stats
+
+import (
+	"sort"
+	"time"
+)
+
+// PMF is a discrete probability mass function over durations. The zero
+// value is an empty PMF, which represents "no information" and reports a
+// CDF of 0 everywhere. A non-empty PMF keeps its support sorted ascending
+// and its masses summing to 1 (up to floating-point error).
+type PMF struct {
+	vals  []time.Duration
+	probs []float64
+}
+
+// FromSamples builds an empirical PMF assigning equal mass to every sample,
+// exactly as the paper derives pmfs "based on the relative frequency of
+// their values recorded in the sliding window". Duplicate samples merge.
+func FromSamples(samples []time.Duration) PMF {
+	if len(samples) == 0 {
+		return PMF{}
+	}
+	acc := make(map[time.Duration]float64, len(samples))
+	w := 1.0 / float64(len(samples))
+	for _, s := range samples {
+		acc[s] += w
+	}
+	return fromMap(acc)
+}
+
+// Point is the degenerate PMF with all mass at v. It models the paper's use
+// of "the most recently recorded value" of the gateway delay as a constant.
+func Point(v time.Duration) PMF {
+	return PMF{vals: []time.Duration{v}, probs: []float64{1}}
+}
+
+func fromMap(acc map[time.Duration]float64) PMF {
+	vals := make([]time.Duration, 0, len(acc))
+	for v := range acc {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	probs := make([]float64, len(vals))
+	for i, v := range vals {
+		probs[i] = acc[v]
+	}
+	return PMF{vals: vals, probs: probs}
+}
+
+// Len returns the number of support points.
+func (p PMF) Len() int { return len(p.vals) }
+
+// IsZero reports whether the PMF carries no information.
+func (p PMF) IsZero() bool { return len(p.vals) == 0 }
+
+// Support returns a copy of the support values, ascending.
+func (p PMF) Support() []time.Duration {
+	out := make([]time.Duration, len(p.vals))
+	copy(out, p.vals)
+	return out
+}
+
+// Mass returns the probability mass at the i-th support point.
+func (p PMF) Mass(i int) float64 { return p.probs[i] }
+
+// TotalMass returns the sum of all masses (≈1 for any non-empty PMF).
+func (p PMF) TotalMass() float64 {
+	var t float64
+	for _, q := range p.probs {
+		t += q
+	}
+	return t
+}
+
+// Convolve returns the distribution of X+Y for independent X~p, Y~q. The
+// result is the discrete convolution the paper uses to combine the service
+// time, queueing delay, gateway delay, and (for deferred reads) lazy-update
+// wait. Convolving with the zero PMF yields the other operand unchanged, so
+// missing-history cases degrade gracefully.
+func (p PMF) Convolve(q PMF) PMF {
+	if p.IsZero() {
+		return q
+	}
+	if q.IsZero() {
+		return p
+	}
+	acc := make(map[time.Duration]float64, len(p.vals)*len(q.vals))
+	for i, pv := range p.vals {
+		pm := p.probs[i]
+		for j, qv := range q.vals {
+			acc[pv+qv] += pm * q.probs[j]
+		}
+	}
+	return fromMap(acc)
+}
+
+// Shift returns the distribution of X+d.
+func (p PMF) Shift(d time.Duration) PMF {
+	if p.IsZero() || d == 0 {
+		return p
+	}
+	vals := make([]time.Duration, len(p.vals))
+	for i, v := range p.vals {
+		vals[i] = v + d
+	}
+	probs := make([]float64, len(p.probs))
+	copy(probs, p.probs)
+	return PMF{vals: vals, probs: probs}
+}
+
+// Bin coarsens the support by rounding every value to the nearest multiple
+// of width, merging masses. Binning bounds the support growth of repeated
+// convolutions; width 0 returns the PMF unchanged.
+func (p PMF) Bin(width time.Duration) PMF {
+	if p.IsZero() || width <= 0 {
+		return p
+	}
+	acc := make(map[time.Duration]float64, len(p.vals))
+	for i, v := range p.vals {
+		b := (v + width/2) / width * width
+		acc[b] += p.probs[i]
+	}
+	return fromMap(acc)
+}
+
+// CDF returns P(X ≤ x). For the empty PMF it returns 0, the conservative
+// choice for a replica with no recorded history: the model then predicts it
+// cannot help meet the deadline, and the selection algorithm must probe it
+// (its high elapsed response time puts it early in the sort order) before
+// relying on it.
+func (p PMF) CDF(x time.Duration) float64 {
+	// Support is sorted: binary search for the first value > x.
+	i := sort.Search(len(p.vals), func(i int) bool { return p.vals[i] > x })
+	var c float64
+	for j := 0; j < i; j++ {
+		c += p.probs[j]
+	}
+	if c > 1 {
+		c = 1
+	}
+	return c
+}
+
+// Mean returns E[X], or 0 for the empty PMF.
+func (p PMF) Mean() time.Duration {
+	var m float64
+	for i, v := range p.vals {
+		m += float64(v) * p.probs[i]
+	}
+	return time.Duration(m)
+}
+
+// Quantile returns the smallest x in the support with CDF(x) ≥ q. For the
+// empty PMF it returns 0.
+func (p PMF) Quantile(q float64) time.Duration {
+	if p.IsZero() {
+		return 0
+	}
+	var c float64
+	for i, v := range p.vals {
+		c += p.probs[i]
+		if c >= q {
+			return v
+		}
+	}
+	return p.vals[len(p.vals)-1]
+}

@@ -1,0 +1,237 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const eps = 1e-9
+
+func approxEq(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestFromSamplesEmpty(t *testing.T) {
+	p := FromSamples(nil)
+	if !p.IsZero() || p.Len() != 0 {
+		t.Fatal("empty samples should give zero PMF")
+	}
+	if p.CDF(time.Hour) != 0 {
+		t.Fatal("zero PMF CDF must be 0 everywhere")
+	}
+}
+
+func TestFromSamplesMergesDuplicates(t *testing.T) {
+	p := FromSamples([]time.Duration{time.Millisecond, time.Millisecond, 3 * time.Millisecond, time.Millisecond})
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", p.Len())
+	}
+	if !approxEq(p.Mass(0), 0.75) || !approxEq(p.Mass(1), 0.25) {
+		t.Fatalf("masses = %v,%v want 0.75,0.25", p.Mass(0), p.Mass(1))
+	}
+}
+
+func TestPMFCDFSteps(t *testing.T) {
+	p := FromSamples([]time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond, 40 * time.Millisecond})
+	tests := []struct {
+		x    time.Duration
+		want float64
+	}{
+		{5 * time.Millisecond, 0},
+		{10 * time.Millisecond, 0.25},
+		{15 * time.Millisecond, 0.25},
+		{25 * time.Millisecond, 0.5},
+		{40 * time.Millisecond, 1},
+		{time.Hour, 1},
+	}
+	for _, tt := range tests {
+		if got := p.CDF(tt.x); !approxEq(got, tt.want) {
+			t.Errorf("CDF(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestPointPMF(t *testing.T) {
+	p := Point(7 * time.Millisecond)
+	if p.Len() != 1 || p.CDF(6*time.Millisecond) != 0 || p.CDF(7*time.Millisecond) != 1 {
+		t.Fatal("point PMF CDF wrong")
+	}
+	if p.Mean() != 7*time.Millisecond {
+		t.Fatalf("Mean = %v, want 7ms", p.Mean())
+	}
+}
+
+func TestConvolveKnownCase(t *testing.T) {
+	// Two fair coins over {0, 10ms}: sum is {0:1/4, 10:1/2, 20:1/4}.
+	coin := FromSamples([]time.Duration{0, 10 * time.Millisecond})
+	sum := coin.Convolve(coin)
+	if sum.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", sum.Len())
+	}
+	wantMass := []float64{0.25, 0.5, 0.25}
+	for i, w := range wantMass {
+		if !approxEq(sum.Mass(i), w) {
+			t.Fatalf("mass[%d] = %v, want %v", i, sum.Mass(i), w)
+		}
+	}
+}
+
+func TestConvolveWithZeroPMFIsIdentity(t *testing.T) {
+	p := FromSamples([]time.Duration{time.Millisecond, 2 * time.Millisecond})
+	if got := p.Convolve(PMF{}); got.Len() != p.Len() || !approxEq(got.TotalMass(), 1) {
+		t.Fatal("convolving with zero PMF changed the distribution")
+	}
+	if got := (PMF{}).Convolve(p); got.Len() != p.Len() {
+		t.Fatal("zero.Convolve(p) should return p")
+	}
+}
+
+func TestShift(t *testing.T) {
+	p := FromSamples([]time.Duration{time.Millisecond, 2 * time.Millisecond})
+	q := p.Shift(5 * time.Millisecond)
+	if q.CDF(5*time.Millisecond) != 0 {
+		t.Fatal("shift did not move mass")
+	}
+	if !approxEq(q.CDF(6*time.Millisecond), 0.5) || !approxEq(q.CDF(7*time.Millisecond), 1) {
+		t.Fatal("shifted CDF wrong")
+	}
+	// Original must be untouched.
+	if !approxEq(p.CDF(2*time.Millisecond), 1) {
+		t.Fatal("Shift mutated receiver")
+	}
+}
+
+func TestBinMergesAndPreservesMass(t *testing.T) {
+	p := FromSamples([]time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond,
+		9 * time.Millisecond, 11 * time.Millisecond,
+	})
+	b := p.Bin(10 * time.Millisecond)
+	if b.Len() >= p.Len() {
+		t.Fatalf("binning did not coarsen: %d -> %d", p.Len(), b.Len())
+	}
+	if !approxEq(b.TotalMass(), 1) {
+		t.Fatalf("mass after bin = %v, want 1", b.TotalMass())
+	}
+	// Values 1,2,3 round to 0; 9,11 round to 10.
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+	if !approxEq(b.Mass(0), 0.6) || !approxEq(b.Mass(1), 0.4) {
+		t.Fatalf("bin masses = %v,%v", b.Mass(0), b.Mass(1))
+	}
+}
+
+func TestBinZeroWidthNoop(t *testing.T) {
+	p := FromSamples([]time.Duration{time.Millisecond, 3 * time.Millisecond})
+	if got := p.Bin(0); got.Len() != 2 {
+		t.Fatal("Bin(0) must be a no-op")
+	}
+}
+
+func TestMeanAndQuantile(t *testing.T) {
+	p := FromSamples([]time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond})
+	if m := p.Mean(); m != 20*time.Millisecond {
+		t.Fatalf("Mean = %v, want 20ms", m)
+	}
+	if q := p.Quantile(0.5); q != 20*time.Millisecond {
+		t.Fatalf("median = %v, want 20ms", q)
+	}
+	if q := p.Quantile(1.0); q != 30*time.Millisecond {
+		t.Fatalf("q100 = %v, want 30ms", q)
+	}
+	if q := p.Quantile(0.01); q != 10*time.Millisecond {
+		t.Fatalf("q1 = %v, want 10ms", q)
+	}
+}
+
+// samplesFromRaw maps arbitrary quick-generated uint16s to durations.
+func samplesFromRaw(raw []uint16) []time.Duration {
+	out := make([]time.Duration, len(raw))
+	for i, v := range raw {
+		out[i] = time.Duration(v) * time.Microsecond
+	}
+	return out
+}
+
+// Property: any empirical PMF has total mass 1 and a monotone CDF reaching 1
+// at its maximum support value.
+func TestPMFMassAndMonotoneCDFProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := FromSamples(samplesFromRaw(raw))
+		if !approxEq(p.TotalMass(), 1) {
+			return false
+		}
+		sup := p.Support()
+		prev := -1.0
+		for _, v := range sup {
+			c := p.CDF(v)
+			if c < prev-eps {
+				return false
+			}
+			prev = c
+		}
+		return approxEq(p.CDF(sup[len(sup)-1]), 1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: convolution is commutative and preserves total mass, and the
+// mean of the sum is the sum of the means (linearity of expectation).
+func TestConvolutionProperty(t *testing.T) {
+	prop := func(rawA, rawB []uint16) bool {
+		if len(rawA) == 0 || len(rawB) == 0 {
+			return true
+		}
+		if len(rawA) > 12 {
+			rawA = rawA[:12]
+		}
+		if len(rawB) > 12 {
+			rawB = rawB[:12]
+		}
+		a := FromSamples(samplesFromRaw(rawA))
+		b := FromSamples(samplesFromRaw(rawB))
+		ab := a.Convolve(b)
+		ba := b.Convolve(a)
+		if !approxEq(ab.TotalMass(), 1) {
+			return false
+		}
+		if ab.Len() != ba.Len() {
+			return false
+		}
+		for i := 0; i < ab.Len(); i++ {
+			if !approxEq(ab.Mass(i), ba.Mass(i)) {
+				return false
+			}
+		}
+		wantMean := a.Mean() + b.Mean()
+		diff := ab.Mean() - wantMean
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= time.Microsecond // rounding slack
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: binning preserves total mass and never increases support size.
+func TestBinProperty(t *testing.T) {
+	prop := func(raw []uint16, widthUS uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := FromSamples(samplesFromRaw(raw))
+		b := p.Bin(time.Duration(widthUS) * time.Microsecond)
+		return approxEq(b.TotalMass(), 1) && b.Len() <= p.Len()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

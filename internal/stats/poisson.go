@@ -1,0 +1,41 @@
+package stats
+
+import "math"
+
+// PoissonCDF returns P(N ≤ k) for N ~ Poisson(lambda). This is Equation 4
+// of the paper: the staleness factor P(A_s(t) ≤ a) = Σ_{n=0..a} (λu·tl)^n
+// e^{-λu·tl} / n!, with lambda = λu·tl and k = a.
+//
+// The sum is accumulated iteratively (term_{n+1} = term_n · λ/(n+1)) to stay
+// stable for the small-to-moderate λ values that arise from LAN update
+// rates. Edge cases: lambda ≤ 0 means no updates can have arrived, so the
+// probability is 1; k < 0 is an impossible threshold, probability 0.
+func PoissonCDF(lambda float64, k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if lambda <= 0 {
+		return 1
+	}
+	// For large lambda, e^{-lambda} underflows; use a normal approximation
+	// with continuity correction, which is accurate for lambda this large.
+	if lambda > 500 {
+		z := (float64(k) + 0.5 - lambda) / math.Sqrt(lambda)
+		return normalCDF(z)
+	}
+	term := math.Exp(-lambda)
+	sum := term
+	for n := 1; n <= k; n++ {
+		term *= lambda / float64(n)
+		sum += term
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// normalCDF is the standard normal CDF Φ(z).
+func normalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoissonCDFEdgeCases(t *testing.T) {
+	if got := PoissonCDF(1.5, -1); got != 0 {
+		t.Fatalf("CDF(k=-1) = %v, want 0", got)
+	}
+	if got := PoissonCDF(0, 0); got != 1 {
+		t.Fatalf("CDF(lambda=0,k=0) = %v, want 1", got)
+	}
+	if got := PoissonCDF(-3, 5); got != 1 {
+		t.Fatalf("CDF(lambda<0) = %v, want 1", got)
+	}
+}
+
+func TestPoissonCDFKnownValues(t *testing.T) {
+	// Reference values from the standard Poisson distribution.
+	tests := []struct {
+		lambda float64
+		k      int
+		want   float64
+	}{
+		{1, 0, math.Exp(-1)},      // 0.367879
+		{1, 1, 2 * math.Exp(-1)},  // 0.735759
+		{2, 2, 5 * math.Exp(-2)},  // 0.676676
+		{4, 2, 13 * math.Exp(-4)}, // 0.238103
+		{0.5, 3, 0.998248},        // near 1
+		{10, 20, 0.998412},        // upper tail
+	}
+	for _, tt := range tests {
+		got := PoissonCDF(tt.lambda, tt.k)
+		if math.Abs(got-tt.want) > 1e-5 {
+			t.Errorf("PoissonCDF(%v,%d) = %v, want %v", tt.lambda, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestPoissonCDFLargeLambdaApproximation(t *testing.T) {
+	// Around the mean of a large-lambda Poisson, the CDF is near 0.5.
+	got := PoissonCDF(1000, 1000)
+	if got < 0.45 || got > 0.56 {
+		t.Fatalf("CDF(1000,1000) = %v, want about 0.5", got)
+	}
+	if got := PoissonCDF(1000, 0); got > 1e-6 {
+		t.Fatalf("CDF(1000,0) = %v, want ~0", got)
+	}
+	if got := PoissonCDF(1000, 100000); got < 1-1e-6 {
+		t.Fatalf("CDF(1000,100000) = %v, want ~1", got)
+	}
+}
+
+// Property: the Poisson CDF is within [0,1] and nondecreasing in k,
+// nonincreasing in lambda.
+func TestPoissonCDFMonotoneProperty(t *testing.T) {
+	prop := func(lambdaRaw uint16, k uint8) bool {
+		lambda := float64(lambdaRaw) / 100.0 // up to ~655
+		c1 := PoissonCDF(lambda, int(k))
+		c2 := PoissonCDF(lambda, int(k)+1)
+		c3 := PoissonCDF(lambda+0.5, int(k))
+		if c1 < 0 || c1 > 1 {
+			return false
+		}
+		return c2 >= c1-1e-9 && c3 <= c1+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package stats
+
+import "time"
+
+// Window is a fixed-capacity sliding window of duration measurements, the
+// structure the paper's information repository uses to record "the most
+// recent l measurements" of each performance parameter (Section 5.2). The
+// zero value is unusable; construct with NewWindow.
+type Window struct {
+	buf   []time.Duration
+	next  int
+	count int
+}
+
+// NewWindow returns a window holding at most size samples. It panics if
+// size is not positive, which is always a configuration bug.
+func NewWindow(size int) *Window {
+	if size <= 0 {
+		panic("stats: window size must be positive")
+	}
+	return &Window{buf: make([]time.Duration, size)}
+}
+
+// Push records a sample, evicting the oldest once the window is full.
+func (w *Window) Push(d time.Duration) {
+	w.buf[w.next] = d
+	w.next = (w.next + 1) % len(w.buf)
+	if w.count < len(w.buf) {
+		w.count++
+	}
+}
+
+// Len returns the number of samples currently held.
+func (w *Window) Len() int { return w.count }
+
+// Cap returns the window capacity l.
+func (w *Window) Cap() int { return len(w.buf) }
+
+// Samples returns the held samples, oldest first.
+func (w *Window) Samples() []time.Duration {
+	out := make([]time.Duration, 0, w.count)
+	if w.count < len(w.buf) {
+		return append(out, w.buf[:w.count]...)
+	}
+	out = append(out, w.buf[w.next:]...)
+	return append(out, w.buf[:w.next]...)
+}
+
+// PMF builds the empirical PMF of the window's contents.
+func (w *Window) PMF() PMF { return FromSamples(w.Samples()) }
+
+// Latest returns the most recently pushed sample, or ok=false if empty.
+func (w *Window) Latest() (d time.Duration, ok bool) {
+	if w.count == 0 {
+		return 0, false
+	}
+	i := w.next - 1
+	if i < 0 {
+		i = len(w.buf) - 1
+	}
+	return w.buf[i], true
+}
+
+// Mean returns the mean of the held samples, or 0 if empty.
+func (w *Window) Mean() time.Duration {
+	if w.count == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range w.Samples() {
+		sum += s
+	}
+	return sum / time.Duration(w.count)
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWindowPushAndEvict(t *testing.T) {
+	w := NewWindow(3)
+	if w.Len() != 0 || w.Cap() != 3 {
+		t.Fatal("fresh window wrong")
+	}
+	w.Push(1)
+	w.Push(2)
+	if got := w.Samples(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Samples = %v", got)
+	}
+	w.Push(3)
+	w.Push(4) // evicts 1
+	got := w.Samples()
+	want := []time.Duration{2, 3, 4}
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Samples = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWindowLatest(t *testing.T) {
+	w := NewWindow(2)
+	if _, ok := w.Latest(); ok {
+		t.Fatal("Latest on empty window should report !ok")
+	}
+	w.Push(5)
+	w.Push(7)
+	w.Push(9)
+	if d, ok := w.Latest(); !ok || d != 9 {
+		t.Fatalf("Latest = %v,%v want 9,true", d, ok)
+	}
+}
+
+func TestWindowMean(t *testing.T) {
+	w := NewWindow(4)
+	if w.Mean() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	w.Push(10 * time.Millisecond)
+	w.Push(20 * time.Millisecond)
+	if m := w.Mean(); m != 15*time.Millisecond {
+		t.Fatalf("Mean = %v, want 15ms", m)
+	}
+}
+
+func TestWindowPMF(t *testing.T) {
+	w := NewWindow(10)
+	w.Push(time.Millisecond)
+	w.Push(time.Millisecond)
+	w.Push(2 * time.Millisecond)
+	p := w.PMF()
+	if p.Len() != 2 || !approxEq(p.CDF(time.Millisecond), 2.0/3.0) {
+		t.Fatalf("window PMF wrong: len=%d cdf=%v", p.Len(), p.CDF(time.Millisecond))
+	}
+}
+
+func TestWindowPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for size 0")
+		}
+	}()
+	NewWindow(0)
+}

@@ -1,0 +1,243 @@
+// Package tcpnet carries node messages between processes over TCP with gob
+// encoding — the real-network transport for the live runtime. One Transport
+// per process: it listens for inbound frames and injects them into the
+// local live.Runtime, and its Send method plugs into live.WithRemote to
+// forward frames addressed to nodes hosted elsewhere.
+//
+// Reliability note: TCP provides ordering per connection, but connections
+// may drop and be re-dialed; end-to-end reliability and FIFO across
+// reconnects come from the group substrate's sequence numbers and
+// ack/retransmit, exactly as with the simulated lossy network.
+package tcpnet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"aqua/internal/consistency"
+	"aqua/internal/group"
+	"aqua/internal/live"
+	"aqua/internal/node"
+)
+
+// Frame is the wire unit: addressed, self-contained.
+type Frame struct {
+	From    node.ID
+	To      node.ID
+	Payload node.Message
+}
+
+var registerOnce sync.Once
+
+// RegisterProtocolTypes registers every protocol message with gob. It is
+// idempotent and called automatically by New; exposed for programs that
+// decode frames themselves.
+func RegisterProtocolTypes() {
+	registerOnce.Do(func() {
+		gob.Register(group.DataMsg{})
+		gob.Register(group.AckMsg{})
+		gob.Register(group.HeartbeatMsg{})
+		gob.Register(consistency.Request{})
+		gob.Register(consistency.Reply{})
+		gob.Register(consistency.GSNAssign{})
+		gob.Register(consistency.GSNRequest{})
+		gob.Register(consistency.BodyRequest{})
+		gob.Register(consistency.SyncRequest{})
+		gob.Register(consistency.GSNQuery{})
+		gob.Register(consistency.GSNReport{})
+		gob.Register(consistency.StateUpdate{})
+		gob.Register(consistency.PerfBroadcast{})
+		gob.Register(consistency.SequencerAnnounce{})
+	})
+}
+
+// Transport is one process's TCP endpoint.
+type Transport struct {
+	rt       *live.Runtime
+	listener net.Listener
+
+	mu      sync.Mutex
+	peers   map[node.ID]string // node -> address
+	conns   map[string]*peerConn
+	inbound map[net.Conn]bool
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// New starts a transport listening on listenAddr (e.g. ":7100" or
+// "127.0.0.1:0"). peers maps every remote node ID to the address of the
+// process hosting it; local IDs need no entry. Pass the returned
+// Transport's Send to live.WithRemote.
+func New(rt *live.Runtime, listenAddr string, peers map[node.ID]string) (*Transport, error) {
+	RegisterProtocolTypes()
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet listen: %w", err)
+	}
+	t := &Transport{
+		rt:       rt,
+		listener: ln,
+		peers:    make(map[node.ID]string, len(peers)),
+		conns:    make(map[string]*peerConn),
+		inbound:  make(map[net.Conn]bool),
+	}
+	for id, addr := range peers {
+		t.peers[id] = addr
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (t *Transport) Addr() string { return t.listener.Addr().String() }
+
+// AddPeer maps (or remaps) a node ID to an address.
+func (t *Transport) AddPeer(id node.ID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[id] = addr
+}
+
+// Close stops the listener and all connections.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]*peerConn, 0, len(t.conns))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	in := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		in = append(in, c)
+	}
+	t.mu.Unlock()
+
+	err := t.listener.Close()
+	for _, c := range conns {
+		c.mu.Lock()
+		if c.conn != nil {
+			c.conn.Close()
+		}
+		c.mu.Unlock()
+	}
+	for _, c := range in {
+		c.Close()
+	}
+	t.wg.Wait()
+	return err
+}
+
+// Send forwards a frame to the process hosting 'to'. Messages to unknown
+// or unreachable peers are dropped silently — the group substrate's
+// retransmission recovers once the peer is reachable.
+func (t *Transport) Send(from, to node.ID, m node.Message) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	addr, ok := t.peers[to]
+	t.mu.Unlock()
+	if !ok {
+		return
+	}
+	pc, err := t.dial(addr)
+	if err != nil {
+		return
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.conn == nil {
+		return
+	}
+	if err := pc.enc.Encode(Frame{From: from, To: to, Payload: m}); err != nil {
+		// Broken pipe: drop the connection; the next Send re-dials.
+		pc.conn.Close()
+		pc.conn = nil
+		t.mu.Lock()
+		if t.conns[addr] == pc {
+			delete(t.conns, addr)
+		}
+		t.mu.Unlock()
+	}
+}
+
+func (t *Transport) dial(addr string) (*peerConn, error) {
+	t.mu.Lock()
+	if pc, ok := t.conns[addr]; ok {
+		t.mu.Unlock()
+		return pc, nil
+	}
+	t.mu.Unlock()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	pc := &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		conn.Close()
+		return nil, errors.New("tcpnet: transport closed")
+	}
+	if existing, ok := t.conns[addr]; ok {
+		conn.Close() // lost the race; reuse the winner
+		return existing, nil
+	}
+	t.conns[addr] = pc
+	return pc, nil
+}
+
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = true
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *Transport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var f Frame
+		if err := dec.Decode(&f); err != nil {
+			return
+		}
+		t.rt.Inject(f.From, f.To, f.Payload)
+	}
+}

@@ -1,0 +1,217 @@
+package tcpnet
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aqua/internal/consistency"
+	"aqua/internal/live"
+	"aqua/internal/node"
+)
+
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("timeout waiting for: " + msg)
+}
+
+// twoProcesses wires two live runtimes through real TCP loopback.
+func twoProcesses(t *testing.T, aNode, bNode node.Node) (cleanup func()) {
+	t.Helper()
+	rtA := live.NewRuntime()
+	rtB := live.NewRuntime()
+
+	trA, err := New(rtA, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trB, err := New(rtB, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trA.AddPeer("b", trB.Addr())
+	trB.AddPeer("a", trA.Addr())
+	rtA.SetRemote(trA.Send)
+	rtB.SetRemote(trB.Send)
+
+	rtA.Register("a", aNode)
+	rtB.Register("b", bNode)
+	rtA.Start()
+	rtB.Start()
+	return func() {
+		rtA.Stop()
+		rtB.Stop()
+		trA.Close()
+		trB.Close()
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	var echoed atomic.Bool
+	a := &node.FuncNode{
+		OnInit: func(ctx node.Context) {
+			ctx.Send("b", consistency.Request{Method: "Get", Payload: []byte("k")})
+		},
+		OnRecv: func(from node.ID, m node.Message) {
+			if r, ok := m.(consistency.Reply); ok && string(r.Payload) == "pong" {
+				echoed.Store(true)
+			}
+		},
+	}
+	b := &node.FuncNode{
+		OnRecv: func(from node.ID, m node.Message) {
+			// Reply over TCP requires a context captured at Init; use the
+			// sender address from the frame instead.
+		},
+	}
+	var bCtx atomic.Value
+	b = &node.FuncNode{
+		OnInit: func(ctx node.Context) { bCtx.Store(ctx) },
+		OnRecv: func(from node.ID, m node.Message) {
+			if req, ok := m.(consistency.Request); ok && req.Method == "Get" {
+				bCtx.Load().(node.Context).Send(from, consistency.Reply{Payload: []byte("pong")})
+			}
+		},
+	}
+	cleanup := twoProcesses(t, a, b)
+	defer cleanup()
+	waitFor(t, echoed.Load, "TCP round trip")
+}
+
+func TestTCPCarriesAllProtocolTypes(t *testing.T) {
+	var count atomic.Int64
+	msgs := []node.Message{
+		consistency.Request{ID: consistency.RequestID{Client: "a", Seq: 1}, Method: "Set", Payload: []byte("x=1")},
+		consistency.Reply{Payload: []byte("ok"), T1: 3 * time.Millisecond, Replica: "b"},
+		consistency.GSNAssign{GSN: 7, Update: true},
+		consistency.GSNRequest{Update: true},
+		consistency.GSNQuery{Epoch: 2},
+		consistency.GSNReport{Epoch: 2, GSN: 9},
+		consistency.StateUpdate{CSN: 4, Snapshot: []byte{1, 2}},
+		consistency.PerfBroadcast{Replica: "b", TS: time.Millisecond, IsPublisher: true, NU: 3},
+		consistency.SequencerAnnounce{Sequencer: "p01"},
+	}
+	a := &node.FuncNode{
+		OnInit: func(ctx node.Context) {
+			for _, m := range msgs {
+				ctx.Send("b", m)
+			}
+		},
+	}
+	b := &node.FuncNode{
+		OnRecv: func(from node.ID, m node.Message) { count.Add(1) },
+	}
+	cleanup := twoProcesses(t, a, b)
+	defer cleanup()
+	waitFor(t, func() bool { return count.Load() == int64(len(msgs)) }, "all protocol types")
+}
+
+func TestTCPUnknownPeerDropped(t *testing.T) {
+	rt := live.NewRuntime()
+	tr, err := New(rt, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.Send("a", "nobody", consistency.GSNQuery{}) // must not panic or block
+}
+
+func TestTCPUnreachablePeerDropped(t *testing.T) {
+	rt := live.NewRuntime()
+	tr, err := New(rt, "127.0.0.1:0", map[node.ID]string{"b": "127.0.0.1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.Send("a", "b", consistency.GSNQuery{}) // connection refused: dropped
+}
+
+func TestTCPCloseIdempotent(t *testing.T) {
+	rt := live.NewRuntime()
+	tr, err := New(rt, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr.Send("a", "b", consistency.GSNQuery{}) // after close: dropped
+}
+
+func TestTCPAddrReportsBoundPort(t *testing.T) {
+	rt := live.NewRuntime()
+	tr, err := New(rt, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if tr.Addr() == "127.0.0.1:0" || tr.Addr() == "" {
+		t.Fatalf("Addr = %q", tr.Addr())
+	}
+}
+
+func TestTCPPeerProcessRestart(t *testing.T) {
+	// Process B dies and a new incarnation binds the same node ID at a new
+	// address; A keeps talking after AddPeer remaps it. The group layer
+	// above recovers ordering/reliability; here we verify the transport
+	// itself re-dials and delivers.
+	rtA := live.NewRuntime()
+	trA, err := New(rtA, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trA.Close()
+	rtA.SetRemote(trA.Send)
+
+	var got atomic.Int64
+	mkB := func() (*live.Runtime, *Transport) {
+		rtB := live.NewRuntime()
+		trB, err := New(rtB, "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rtB.SetRemote(trB.Send)
+		rtB.Register("b", &node.FuncNode{
+			OnRecv: func(node.ID, node.Message) { got.Add(1) },
+		})
+		rtB.Start()
+		return rtB, trB
+	}
+
+	rtB1, trB1 := mkB()
+	trA.AddPeer("b", trB1.Addr())
+	rtA.Register("a", &node.FuncNode{})
+	rtA.Start()
+	defer rtA.Stop()
+
+	trA.Send("a", "b", consistency.GSNQuery{Epoch: 1})
+	waitFor(t, func() bool { return got.Load() == 1 }, "first incarnation delivery")
+
+	// Kill B entirely.
+	rtB1.Stop()
+	trB1.Close()
+	trA.Send("a", "b", consistency.GSNQuery{Epoch: 2}) // dropped (broken pipe)
+
+	// New incarnation at a new port.
+	rtB2, trB2 := mkB()
+	defer rtB2.Stop()
+	defer trB2.Close()
+	trA.AddPeer("b", trB2.Addr())
+
+	// Sends re-dial the remapped address; allow for the one dropped frame
+	// that flushed into the dead connection's buffer.
+	waitFor(t, func() bool {
+		trA.Send("a", "b", consistency.GSNQuery{Epoch: 3})
+		return got.Load() >= 2
+	}, "second incarnation delivery")
+}
