@@ -41,8 +41,11 @@ const benchRequests = 200
 // algorithm exactly as Figure 3 does: distribution computation plus
 // Algorithm 1, against a warmed repository, per (replica count, window).
 func BenchmarkFig3SelectionOverhead(b *testing.B) {
+	// The paper's grid stops at 10 replicas; 16 extends the series to the
+	// scale the optimization work is benchmarked against.
+	counts := append(experiment.DefaultFig3ReplicaCounts(), 16)
 	for _, window := range experiment.DefaultFig3Windows() {
-		for _, replicas := range experiment.DefaultFig3ReplicaCounts() {
+		for _, replicas := range counts {
 			name := fmt.Sprintf("replicas=%d/window=%d", replicas, window)
 			b.Run(name, func(b *testing.B) {
 				rng := seededRand(42)
@@ -162,6 +165,32 @@ func BenchmarkAblationFailover(b *testing.B) {
 			b.ReportMetric(last.FailureProb, "failureProb")
 			if !last.Done {
 				b.Fatalf("workload stalled under crash=%s", crash)
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluateSteadyState measures repeated model evaluation against an
+// unchanging repository — the cache-hit path a read takes when it arrives
+// between performance broadcasts, which Figure 3 (always re-deriving the
+// distributions) does not isolate. The allocs/op column is the contract:
+// the steady-state hot path must not allocate.
+func BenchmarkEvaluateSteadyState(b *testing.B) {
+	for _, replicas := range []int{8, 16} {
+		b.Run(fmt.Sprintf("replicas=%d/window=20", replicas), func(b *testing.B) {
+			rng := seededRand(42)
+			now := time.Date(2002, 6, 23, 0, 0, 0, 0, time.UTC)
+			repo := repository.New(20)
+			prim, sec := experiment.SeedRepository(repo, replicas, 20, rng, now)
+			model := selection.Model{BinWidth: 2 * time.Millisecond, LazyInterval: 4 * time.Second}
+			spec := qos.Spec{Staleness: 2, Deadline: 150 * time.Millisecond, MinProb: 0.9}
+
+			var in selection.Input
+			model.EvaluateInto(&in, repo, prim, sec, "seq", spec, now) // warm caches
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				model.EvaluateInto(&in, repo, prim, sec, "seq", spec, now)
 			}
 		})
 	}

@@ -169,6 +169,13 @@ type Gateway struct {
 	// SuspectTimeout have their model CDFs zeroed.
 	firstUnanswered map[node.ID]time.Time
 
+	// evalIn and servingBuf are reused across reads so the selection hot
+	// path (model evaluation + Algorithm 1) stays allocation-free; the
+	// repository's generation-keyed PMF caches and the model's sort-order
+	// cache live behind them.
+	evalIn     selection.Input
+	servingBuf []node.ID
+
 	metrics Metrics
 }
 
@@ -256,10 +263,11 @@ func (g *Gateway) transmit(p *pendingReq) {
 
 	var targets []node.ID
 	if p.readOnly {
-		in := g.model.Evaluate(g.repo, g.servingPrimaries(), g.cfg.Service.Secondaries,
+		g.model.EvaluateInto(&g.evalIn, g.repo, g.servingPrimaries(), g.cfg.Service.Secondaries,
 			g.sequencer, g.cfg.Spec, now)
-		g.applySuspicion(&in, now)
-		targets = g.cfg.Selector.Select(in)
+		in := &g.evalIn
+		g.applySuspicion(in, now)
+		targets = g.cfg.Selector.Select(*in)
 		if p.attempts == 1 {
 			// Figure 4a semantics: count the initial selection only.
 			for _, t := range targets {
@@ -270,7 +278,7 @@ func (g *Gateway) transmit(p *pendingReq) {
 			}
 			g.metrics.SelectedTotal += p.selected
 			if g.cfg.OnSelect != nil {
-				g.cfg.OnSelect(predictedPK(in, targets), p.selected)
+				g.cfg.OnSelect(predictedPK(*in, targets), p.selected)
 			}
 		}
 	} else {
@@ -326,12 +334,19 @@ func (g *Gateway) retry(p *pendingReq) {
 // probed and revives instantly once it answers), but it no longer counts
 // toward P_K(d).
 func (g *Gateway) applySuspicion(in *selection.Input, now time.Time) {
+	changed := false
 	for i := range in.Candidates {
 		first, waiting := g.firstUnanswered[in.Candidates[i].ID]
 		if waiting && now.Sub(first) > g.cfg.SuspectTimeout {
 			in.Candidates[i].ImmedCDF = 0
 			in.Candidates[i].DelayedCDF = 0
+			changed = true
 		}
+	}
+	if changed {
+		// The zeroed CDFs can reorder ert ties, so the precomputed sort
+		// order no longer applies.
+		in.MarkDirty()
 	}
 }
 
@@ -352,15 +367,16 @@ func (g *Gateway) track(p *pendingReq) {
 }
 
 // servingPrimaries returns primary members that can serve reads: everyone
-// but the current sequencer.
+// but the current sequencer. The returned slice aliases a per-gateway
+// buffer reused across calls.
 func (g *Gateway) servingPrimaries() []node.ID {
-	out := make([]node.ID, 0, len(g.cfg.Service.Primaries))
+	g.servingBuf = g.servingBuf[:0]
 	for _, id := range g.cfg.Service.Primaries {
 		if id != g.sequencer {
-			out = append(out, id)
+			g.servingBuf = append(g.servingBuf, id)
 		}
 	}
-	return out
+	return g.servingBuf
 }
 
 // onReply processes a replica's response: repository bookkeeping for every

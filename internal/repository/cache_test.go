@@ -1,0 +1,211 @@
+package repository
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"aqua/internal/node"
+	"aqua/internal/stats"
+)
+
+// recordedOp is one repository mutation, kept so a scenario can be replayed
+// into a fresh repository whose first-ever PMF computation is by
+// construction uncached.
+type recordedOp struct {
+	kind int // 0 perf, 1 defer-wait, 2 reply, 3 publisher rates, 4 lazy info
+	id   node.ID
+	a, b time.Duration
+	n    int
+	at   time.Time
+}
+
+func (op recordedOp) apply(r *Repository) {
+	switch op.kind {
+	case 0:
+		r.RecordPerf(op.id, op.a, op.b)
+	case 1:
+		r.RecordDeferWait(op.id, op.a)
+	case 2:
+		r.RecordReply(op.id, op.a, op.at)
+	case 3:
+		r.RecordPublisherRates(op.n, op.a)
+	case 4:
+		r.RecordLazyInfo(op.n, op.a, op.at)
+	}
+}
+
+// samePMF demands bitwise equality of support and masses.
+func samePMF(a, b stats.PMF) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	as, bs := a.Support(), b.Support()
+	for i := range as {
+		if as[i] != bs[i] || a.Mass(i) != b.Mass(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Property (the ISSUE's cache-coherence contract): across random
+// push/evaluate interleavings, the memoized ImmediatePMF/DeferredPMF are
+// numerically identical to distributions freshly built by replaying the
+// same mutations into a new repository — i.e. every Record* invalidates
+// exactly enough, and repeated queries (cache hits) are stable.
+func TestCachedPMFsMatchFreshlyBuiltProperty(t *testing.T) {
+	base := time.Date(2002, 6, 23, 0, 0, 0, 0, time.UTC)
+	ids := []node.ID{"r0", "r1", "r2"}
+
+	prop := func(seed int64, windowRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		window := 1 + int(windowRaw%12)
+		repo := New(window)
+		var ops []recordedOp
+
+		binWidths := []time.Duration{0, time.Millisecond, 2 * time.Millisecond, 7 * time.Millisecond}
+
+		check := func() bool {
+			bw := binWidths[rng.Intn(len(binWidths))]
+			fallbackU := time.Duration(rng.Intn(4000)) * time.Millisecond
+			// A fresh repository replaying the full history computes every
+			// distribution cold.
+			fresh := New(window)
+			for _, op := range ops {
+				op.apply(fresh)
+			}
+			for _, id := range ids {
+				warm1 := repo.ImmediatePMF(id, bw)
+				warm2 := repo.ImmediatePMF(id, bw) // cache hit must be stable
+				cold := fresh.ImmediatePMF(id, bw)
+				if !samePMF(warm1, cold) || !samePMF(warm2, cold) {
+					return false
+				}
+				dWarm1 := repo.DeferredPMF(id, bw, fallbackU)
+				dWarm2 := repo.DeferredPMF(id, bw, fallbackU)
+				dCold := fresh.DeferredPMF(id, bw, fallbackU)
+				if !samePMF(dWarm1, dCold) || !samePMF(dWarm2, dCold) {
+					return false
+				}
+				// A different fallbackU must not be served from the stale
+				// cache entry while the U window is empty.
+				other := fallbackU + 13*time.Millisecond
+				if !samePMF(repo.DeferredPMF(id, bw, other), fresh.DeferredPMF(id, bw, other)) {
+					return false
+				}
+			}
+			return true
+		}
+
+		for step := 0; step < 40; step++ {
+			op := recordedOp{
+				kind: rng.Intn(5),
+				id:   ids[rng.Intn(len(ids))],
+				a:    time.Duration(rng.Intn(100_000)) * time.Microsecond,
+				b:    time.Duration(rng.Intn(30_000)) * time.Microsecond,
+				n:    rng.Intn(5),
+				at:   base.Add(time.Duration(step) * 250 * time.Millisecond),
+			}
+			if op.kind == 2 && rng.Intn(4) == 0 {
+				op.a = -op.a // exercise the negative-tg clamp
+			}
+			if op.kind == 3 && op.a == 0 {
+				op.a = time.Second // zero tu is rejected; keep the op meaningful
+			}
+			op.apply(repo)
+			ops = append(ops, op)
+			// Interleave evaluation with mutation so caches are populated,
+			// hit, and invalidated mid-history — not only at the end.
+			if rng.Intn(3) == 0 && !check() {
+				return false
+			}
+		}
+		return check()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pmfSnapshot copies a PMF's support and masses: cached PMFs are rebuilt
+// in place on invalidation, so comparisons across mutations must snapshot.
+type pmfSnapshot struct {
+	vals   []time.Duration
+	masses []float64
+}
+
+func snapshot(p stats.PMF) pmfSnapshot {
+	s := pmfSnapshot{vals: p.Support()}
+	for i := 0; i < p.Len(); i++ {
+		s.masses = append(s.masses, p.Mass(i))
+	}
+	return s
+}
+
+func (s pmfSnapshot) equals(p stats.PMF) bool {
+	if len(s.vals) != p.Len() {
+		return false
+	}
+	for i := range s.vals {
+		if s.vals[i] != p.Support()[i] || s.masses[i] != p.Mass(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Every Record* variant must bump the generation counter and invalidate
+// the affected replica's memoized distributions.
+func TestGenerationBumpsAndInvalidation(t *testing.T) {
+	now := time.Date(2002, 6, 23, 0, 0, 0, 0, time.UTC)
+	r := New(4)
+	g0 := r.Generation()
+	r.RecordPerf("a", 10*time.Millisecond, time.Millisecond)
+	r.RecordDeferWait("a", 100*time.Millisecond)
+	r.RecordReply("a", time.Millisecond, now)
+	r.RecordPublisherRates(2, time.Second)
+	r.RecordLazyInfo(1, time.Second, now)
+	if got := r.Generation(); got != g0+5 {
+		t.Fatalf("generation advanced %d, want 5", got-g0)
+	}
+
+	bw := 2 * time.Millisecond
+	p1 := snapshot(r.ImmediatePMF("a", bw))
+	// A new service-time sample must change the cached distribution.
+	r.RecordPerf("a", 50*time.Millisecond, time.Millisecond)
+	if p1.equals(r.ImmediatePMF("a", bw)) {
+		t.Fatal("ImmediatePMF unchanged after RecordPerf — stale cache")
+	}
+	// A new gateway delay shifts the distribution.
+	d1 := snapshot(r.DeferredPMF("a", bw, time.Second))
+	r.RecordReply("a", 9*time.Millisecond, now.Add(time.Second))
+	if d1.equals(r.DeferredPMF("a", bw, time.Second)) {
+		t.Fatal("DeferredPMF unchanged after RecordReply — stale cache")
+	}
+	// A new defer-wait sample reshapes the deferred distribution.
+	d2 := snapshot(r.DeferredPMF("a", bw, time.Second))
+	r.RecordDeferWait("a", 900*time.Millisecond)
+	if d2.equals(r.DeferredPMF("a", bw, time.Second)) {
+		t.Fatal("DeferredPMF unchanged after RecordDeferWait — stale cache")
+	}
+}
+
+// Changing the bin width must bypass the cache entry for the old width.
+func TestCacheKeyedByBinWidth(t *testing.T) {
+	r := New(4)
+	r.RecordPerf("a", 10*time.Millisecond, 3*time.Millisecond)
+	r.RecordPerf("a", 11*time.Millisecond, 2*time.Millisecond)
+	fine := snapshot(r.ImmediatePMF("a", time.Millisecond))
+	coarse := snapshot(r.ImmediatePMF("a", 10*time.Millisecond))
+	if fine.equals(r.ImmediatePMF("a", 10*time.Millisecond)) {
+		t.Fatal("different bin widths returned the same cached PMF")
+	}
+	if !fine.equals(r.ImmediatePMF("a", time.Millisecond)) {
+		t.Fatal("re-querying the first width lost its result")
+	}
+	if !coarse.equals(r.ImmediatePMF("a", 10*time.Millisecond)) {
+		t.Fatal("re-querying the second width lost its result")
+	}
+}

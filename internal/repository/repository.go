@@ -4,6 +4,15 @@
 // and elapsed response time per replica; and the lazy publisher's
 // update-arrival statistics from which the staleness model derives λu and
 // t_l.
+//
+// Distribution computation is the dominant cost of every read (Figure 3),
+// so the repository memoizes it: each History carries a monotonic
+// generation counter bumped by every mutation, and the computed
+// ImmediatePMF/DeferredPMF are cached keyed by (generation, bin width, and
+// — when it is actually used — the fallback lazy-update wait). Reads that
+// arrive between performance broadcasts reuse the previous distributions
+// instead of reconvolving; all rebuilds run through shared scratch buffers
+// so even cache misses allocate only when a cached PMF needs to grow.
 package repository
 
 import (
@@ -18,6 +27,24 @@ import (
 // sort probes unknown replicas first, seeding their histories.
 const NeverReplied = time.Duration(1<<62 - 1)
 
+// pmfCache memoizes one computed distribution for a History.
+type pmfCache struct {
+	valid    bool
+	gen      uint64
+	binWidth time.Duration
+	// usedFallback/fallbackU key the deferred distribution only: the
+	// fallback estimate participates in the result only while the replica
+	// has no defer-wait history.
+	usedFallback bool
+	fallbackU    time.Duration
+	pmf          stats.PMF
+}
+
+func (c *pmfCache) hit(gen uint64, binWidth time.Duration, usedFallback bool, fallbackU time.Duration) bool {
+	return c.valid && c.gen == gen && c.binWidth == binWidth &&
+		c.usedFallback == usedFallback && (!usedFallback || c.fallbackU == fallbackU)
+}
+
 // History holds one replica's recorded performance, as seen by one client.
 type History struct {
 	s *stats.Window // service times ts
@@ -29,13 +56,25 @@ type History struct {
 
 	lastReply    time.Time // for ert
 	hasLastReply bool
+
+	// gen is bumped by every mutation that can change this replica's
+	// distributions; it keys the memoized pmfs below.
+	gen      uint64
+	immed    pmfCache
+	deferred pmfCache
 }
 
 // Repository is one client's store. It is used only from within the owning
-// client gateway's callbacks, so it needs no locking.
+// client gateway's callbacks, so it needs no locking (the scratch buffers
+// below rely on that).
 type Repository struct {
 	windowSize int
 	replicas   map[node.ID]*History
+
+	// gen counts every mutation of the repository — replica histories and
+	// publisher state alike. Model-level caches (e.g. the selection sort
+	// order) key on it.
+	gen uint64
 
 	// Publisher-fed staleness inputs.
 	rateCounts    []int           // sliding window of nu
@@ -44,6 +83,17 @@ type Repository struct {
 	lastTL        time.Duration
 	lastPubAt     time.Time
 	hasPublisher  bool
+
+	// Scratch buffers for the allocation-free distribution kernels. Only
+	// live within one Immediate/DeferredPMF call.
+	scratch struct {
+		samples []time.Duration
+		raw     stats.PMF // exact empirical pmf of one window
+		opA     stats.PMF // first binned convolution operand
+		opB     stats.PMF // second binned operand (or fallback point)
+		conv    stats.PMF // convolution result before the final bin
+		kernel  stats.ConvScratch
+	}
 }
 
 // New creates a repository whose sliding windows hold windowSize samples
@@ -60,6 +110,11 @@ func New(windowSize int) *Repository {
 
 // WindowSize returns l.
 func (r *Repository) WindowSize() int { return r.windowSize }
+
+// Generation returns a counter bumped by every mutation of the repository.
+// Callers that cache anything derived from repository state can key their
+// caches on it.
+func (r *Repository) Generation() uint64 { return r.gen }
 
 func (r *Repository) history(id node.ID) *History {
 	h, ok := r.replicas[id]
@@ -80,12 +135,17 @@ func (r *Repository) RecordPerf(id node.ID, ts, tq time.Duration) {
 	h := r.history(id)
 	h.s.Push(ts)
 	h.w.Push(tq)
+	h.gen++
+	r.gen++
 }
 
 // RecordDeferWait stores a deferred read's buffering time tb, the history
 // of the lazy-update wait U.
 func (r *Repository) RecordDeferWait(id node.ID, tb time.Duration) {
-	r.history(id).u.Push(tb)
+	h := r.history(id)
+	h.u.Push(tb)
+	h.gen++
+	r.gen++
 }
 
 // RecordReply stores the gateway delay derived from a reply and refreshes
@@ -101,6 +161,8 @@ func (r *Repository) RecordReply(id node.ID, tg time.Duration, now time.Time) {
 	h.hasGateway = true
 	h.lastReply = now
 	h.hasLastReply = true
+	h.gen++
+	r.gen++
 }
 
 // ERT returns the elapsed response time for a replica: the time since this
@@ -119,40 +181,75 @@ func (r *Repository) HasHistory(id node.ID) bool {
 	return ok && h.s.Len() > 0
 }
 
+// windowPMFInto builds the binned empirical PMF of one sliding window into
+// dst through the shared scratch buffers.
+func (r *Repository) windowPMFInto(dst *stats.PMF, w *stats.Window, binWidth time.Duration) {
+	r.scratch.samples = w.AppendSamples(r.scratch.samples[:0])
+	stats.FromSamplesInto(&r.scratch.raw, r.scratch.samples)
+	r.scratch.raw.BinInto(dst, binWidth)
+}
+
 // ImmediatePMF builds the response-time distribution for an immediate read,
 // Equation 5: R = S + W + G, as the discrete convolution of the S and W
 // windows shifted by the latest gateway delay. binWidth coarsens the
 // intermediate pmfs to bound convolution cost (0 disables binning). The
 // zero PMF is returned when no history exists.
+//
+// The result is memoized per replica: repeated calls between repository
+// mutations return the cached distribution. Callers must treat the
+// returned PMF as read-only.
 func (r *Repository) ImmediatePMF(id node.ID, binWidth time.Duration) stats.PMF {
 	h, ok := r.replicas[id]
 	if !ok || h.s.Len() == 0 {
 		return stats.PMF{}
 	}
-	p := h.s.PMF().Bin(binWidth).Convolve(h.w.PMF().Bin(binWidth)).Bin(binWidth)
-	if h.hasGateway {
-		p = p.Shift(h.gateway)
+	if h.immed.hit(h.gen, binWidth, false, 0) {
+		return h.immed.pmf
 	}
-	return p
+	sc := &r.scratch
+	r.windowPMFInto(&sc.opA, h.s, binWidth)
+	r.windowPMFInto(&sc.opB, h.w, binWidth)
+	stats.ConvolveInto(&sc.conv, sc.opA, sc.opB, &sc.kernel)
+	sc.conv.BinInto(&h.immed.pmf, binWidth)
+	if h.hasGateway {
+		h.immed.pmf.ShiftInPlace(h.gateway)
+	}
+	h.immed = pmfCache{valid: true, gen: h.gen, binWidth: binWidth, pmf: h.immed.pmf}
+	return h.immed.pmf
 }
 
 // DeferredPMF builds the deferred-read distribution, Equation 6:
 // R = S + W + G + U. When no defer-wait history exists, fallbackU (the
 // client's point estimate of the remaining time to the next lazy update)
 // substitutes for the U history.
+//
+// Memoized like ImmediatePMF; fallbackU enters the cache key only while it
+// actually substitutes for an empty U window. Callers must treat the
+// returned PMF as read-only.
 func (r *Repository) DeferredPMF(id node.ID, binWidth, fallbackU time.Duration) stats.PMF {
 	h, ok := r.replicas[id]
 	if !ok || h.s.Len() == 0 {
 		return stats.PMF{}
 	}
-	base := r.ImmediatePMF(id, binWidth)
-	var uPMF stats.PMF
-	if h.u.Len() > 0 {
-		uPMF = h.u.PMF().Bin(binWidth)
-	} else {
-		uPMF = stats.Point(fallbackU)
+	usedFallback := h.u.Len() == 0
+	if h.deferred.hit(h.gen, binWidth, usedFallback, fallbackU) {
+		return h.deferred.pmf
 	}
-	return base.Convolve(uPMF).Bin(binWidth)
+	base := r.ImmediatePMF(id, binWidth)
+	sc := &r.scratch
+	if usedFallback {
+		stats.PointInto(&sc.opB, fallbackU)
+	} else {
+		r.windowPMFInto(&sc.opB, h.u, binWidth)
+	}
+	stats.ConvolveInto(&sc.conv, base, sc.opB, &sc.kernel)
+	sc.conv.BinInto(&h.deferred.pmf, binWidth)
+	h.deferred = pmfCache{
+		valid: true, gen: h.gen, binWidth: binWidth,
+		usedFallback: usedFallback, fallbackU: fallbackU,
+		pmf: h.deferred.pmf,
+	}
+	return h.deferred.pmf
 }
 
 // RecordPublisherRates stores one <nu, tu> pair from a lazy-publisher
@@ -167,6 +264,7 @@ func (r *Repository) RecordPublisherRates(nu int, tu time.Duration) {
 		r.rateCounts = r.rateCounts[1:]
 		r.rateDurations = r.rateDurations[1:]
 	}
+	r.gen++
 }
 
 // RecordLazyInfo stores the latest <nL, tL> pair and the local reception
@@ -176,6 +274,7 @@ func (r *Repository) RecordLazyInfo(nl int, tl time.Duration, receivedAt time.Ti
 	r.lastTL = tl
 	r.lastPubAt = receivedAt
 	r.hasPublisher = true
+	r.gen++
 }
 
 // HasPublisherInfo reports whether any lazy-publisher broadcast arrived.

@@ -19,7 +19,7 @@ func (Algorithm1) Name() string { return "algorithm1" }
 
 // Select implements Selector.
 func (Algorithm1) Select(in Input) []node.ID {
-	sorted := sortCandidates(in.Candidates)
+	sorted := sortCandidates(in)
 	if len(sorted) == 0 {
 		return appendSequencer(nil, in.Sequencer)
 	}

@@ -23,7 +23,7 @@ func (CDFGreedy) Select(in Input) []node.ID {
 	for i := range byCDF {
 		byCDF[i].ERT = 0
 	}
-	sorted := sortCandidates(byCDF)
+	sorted := sortCandidateSlice(byCDF)
 	if len(sorted) == 0 {
 		return appendSequencer(nil, in.Sequencer)
 	}

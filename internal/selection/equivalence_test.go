@@ -1,0 +1,240 @@
+package selection
+
+// This file keeps the pre-optimization selection pipeline as a slow
+// reference: the old Model.Evaluate control flow (fresh Input per call, no
+// memoization, two TimeSinceLazyUpdate calls folded into one stale-factor /
+// one fallback-U computation) and the old Algorithm 1 entry (copy +
+// sort.Slice per request). The rewritten EvaluateInto/sort-cache path must
+// produce bit-for-bit identical candidates, stale factors, and selections.
+// The slow side additionally evaluates against a freshly replayed
+// repository, so the generation-keyed PMF caches are cross-checked end to
+// end, not just inside the repository package.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"aqua/internal/node"
+	"aqua/internal/qos"
+	"aqua/internal/repository"
+)
+
+// slowEvaluate is the old Model.Evaluate, verbatim: allocate a fresh Input,
+// compute the stale factor and fallback U with independent
+// TimeSinceLazyUpdate calls, and query the repository per candidate.
+func slowEvaluate(
+	m Model,
+	repo *repository.Repository,
+	primaries, secondaries []node.ID,
+	sequencer node.ID,
+	spec qos.Spec,
+	now time.Time,
+) Input {
+	in := Input{
+		Candidates:  make([]Candidate, 0, len(primaries)+len(secondaries)),
+		StaleFactor: m.StaleFactor(repo, spec.Staleness, now),
+		MinProb:     spec.MinProb,
+		Sequencer:   sequencer,
+	}
+	for _, id := range primaries {
+		in.Candidates = append(in.Candidates, Candidate{
+			ID:       id,
+			Primary:  true,
+			ImmedCDF: repo.ImmediatePMF(id, m.BinWidth).CDF(spec.Deadline),
+			ERT:      repo.ERT(id, now),
+		})
+	}
+	fallbackU := m.LazyInterval
+	if tl, ok := repo.TimeSinceLazyUpdate(now, m.LazyInterval); ok {
+		fallbackU = m.LazyInterval - tl
+	}
+	for _, id := range secondaries {
+		in.Candidates = append(in.Candidates, Candidate{
+			ID:         id,
+			Primary:    false,
+			ImmedCDF:   repo.ImmediatePMF(id, m.BinWidth).CDF(spec.Deadline),
+			DelayedCDF: repo.DeferredPMF(id, m.BinWidth, fallbackU).CDF(spec.Deadline),
+			ERT:        repo.ERT(id, now),
+		})
+	}
+	return in
+}
+
+// slowSelect is the old Algorithm1.Select, with its per-request candidate
+// copy and sort.Slice inlined (the pre-cache sortCandidates).
+func slowSelect(in Input) []node.ID {
+	sorted := make([]Candidate, len(in.Candidates))
+	copy(sorted, in.Candidates)
+	sort.Slice(sorted, func(i, j int) bool { return candLess(sorted[i], sorted[j]) })
+	if len(sorted) == 0 {
+		return appendSequencer(nil, in.Sequencer)
+	}
+	acc := newAccumulator(in.StaleFactor)
+	k := []node.ID{sorted[0].ID}
+	maxCDF := sorted[0]
+	for _, c := range sorted[1:] {
+		k = append(k, c.ID)
+		var pk float64
+		if c.ImmedCDF > maxCDF.ImmedCDF {
+			pk = acc.include(maxCDF)
+			maxCDF = c
+		} else {
+			pk = acc.include(c)
+		}
+		if pk >= in.MinProb {
+			return appendSequencer(k, in.Sequencer)
+		}
+	}
+	return appendSequencer(k, in.Sequencer)
+}
+
+type repoOp struct {
+	kind int
+	id   node.ID
+	a, b time.Duration
+	n    int
+	at   time.Time
+}
+
+func (op repoOp) apply(r *repository.Repository) {
+	switch op.kind {
+	case 0:
+		r.RecordPerf(op.id, op.a, op.b)
+	case 1:
+		r.RecordDeferWait(op.id, op.a)
+	case 2:
+		r.RecordReply(op.id, op.a, op.at)
+	case 3:
+		r.RecordPublisherRates(op.n, op.a)
+	case 4:
+		r.RecordLazyInfo(op.n, op.a, op.at)
+	}
+}
+
+func sameIDs(a, b []node.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameCandidates(a, b []Candidate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEvaluateSelectMatchesSlowReference drives the cached fast path
+// (pointer Model + reused Input via EvaluateInto, sort-order cache warm
+// across reads, generation-keyed PMF caches warm across mutations) against
+// the slow reference over randomized scenarios, and demands identical
+// candidates, stale factors, and selected ID sequences. It also exercises
+// the MarkDirty path by zeroing suspected replicas' CDFs mid-request, the
+// way the client gateway does.
+func TestEvaluateSelectMatchesSlowReference(t *testing.T) {
+	base := time.Date(2002, 6, 23, 0, 0, 0, 0, time.UTC)
+	scenarios := 0
+	for cfg := 0; cfg < 40; cfg++ {
+		rng := rand.New(rand.NewSource(int64(1000 + cfg)))
+		window := 1 + rng.Intn(12)
+		model := &Model{
+			BinWidth:         time.Duration(rng.Intn(4)) * time.Millisecond, // includes 0
+			LazyInterval:     time.Duration(1+rng.Intn(5)) * time.Second,
+			CountedEstimator: cfg%2 == 1,
+		}
+		slowModel := *model // value copy: the slow path never sees the cache
+
+		nPrim, nSec := 1+rng.Intn(4), rng.Intn(4)
+		var primaries, secondaries, all []node.ID
+		for i := 0; i < nPrim; i++ {
+			primaries = append(primaries, node.ID("p"+string(rune('0'+i))))
+		}
+		for i := 0; i < nSec; i++ {
+			secondaries = append(secondaries, node.ID("s"+string(rune('0'+i))))
+		}
+		all = append(append([]node.ID{}, primaries...), secondaries...)
+		sequencer := node.ID("seq")
+
+		repo := repository.New(window)
+		var ops []repoOp
+		var in Input // reused across every read in this config
+		now := base
+
+		for step := 0; step < 30; step++ {
+			// Mutate the live repository (sometimes not at all, so the
+			// same-generation cache-hit path is hit too).
+			for k := rng.Intn(3); k > 0; k-- {
+				op := repoOp{
+					kind: rng.Intn(5),
+					id:   all[rng.Intn(len(all))],
+					a:    time.Duration(rng.Intn(80_000)) * time.Microsecond,
+					b:    time.Duration(rng.Intn(20_000)) * time.Microsecond,
+					n:    rng.Intn(4),
+					at:   now,
+				}
+				if op.kind == 3 && op.a == 0 {
+					op.a = time.Second
+				}
+				op.apply(repo)
+				ops = append(ops, op)
+			}
+			now = now.Add(time.Duration(rng.Intn(700)) * time.Millisecond)
+			spec := qos.Spec{
+				Staleness: rng.Intn(4),
+				Deadline:  time.Duration(rng.Intn(150)) * time.Millisecond,
+				MinProb:   float64(rng.Intn(100)) / 100,
+			}
+
+			// Fast path: warm caches, reused buffers.
+			model.EvaluateInto(&in, repo, primaries, secondaries, sequencer, spec, now)
+
+			// Slow path: fresh repository replay, fresh Input, full sort.
+			fresh := repository.New(window)
+			for _, op := range ops {
+				op.apply(fresh)
+			}
+			slowIn := slowEvaluate(slowModel, fresh, primaries, secondaries, sequencer, spec, now)
+
+			if in.StaleFactor != slowIn.StaleFactor {
+				t.Fatalf("cfg %d step %d: stale factor %v, slow %v", cfg, step, in.StaleFactor, slowIn.StaleFactor)
+			}
+			if !sameCandidates(in.Candidates, slowIn.Candidates) {
+				t.Fatalf("cfg %d step %d: candidates diverge\nfast %+v\nslow %+v", cfg, step, in.Candidates, slowIn.Candidates)
+			}
+			if got, want := (Algorithm1{}).Select(in), slowSelect(slowIn); !sameIDs(got, want) {
+				t.Fatalf("cfg %d step %d: selection %v, slow %v", cfg, step, got, want)
+			}
+
+			// Suspicion path: zero a random candidate's CDFs post-Evaluate
+			// (as the gateway does) and re-select after MarkDirty.
+			if len(in.Candidates) > 0 && rng.Intn(3) == 0 {
+				j := rng.Intn(len(in.Candidates))
+				in.Candidates[j].ImmedCDF = 0
+				in.Candidates[j].DelayedCDF = 0
+				in.MarkDirty()
+				slowIn.Candidates[j].ImmedCDF = 0
+				slowIn.Candidates[j].DelayedCDF = 0
+				if got, want := (Algorithm1{}).Select(in), slowSelect(slowIn); !sameIDs(got, want) {
+					t.Fatalf("cfg %d step %d: post-suspicion selection %v, slow %v", cfg, step, got, want)
+				}
+			}
+			scenarios++
+		}
+	}
+	if scenarios < 1000 {
+		t.Fatalf("only %d scenarios exercised, want >= 1000", scenarios)
+	}
+}

@@ -13,6 +13,10 @@ import (
 // evaluates the response-time distribution functions at the client's
 // deadline (Section 5.2) and the secondary group's staleness factor
 // (Section 5.1.3).
+//
+// A Model used through EvaluateInto additionally caches the Algorithm-1
+// candidate sort order between reads (see sortInto); use one Model value
+// per client and call EvaluateInto on a pointer to keep that cache warm.
 type Model struct {
 	// BinWidth coarsens pmfs before convolution; 0 disables binning.
 	BinWidth time.Duration
@@ -25,6 +29,22 @@ type Model struct {
 	// update and t_z is the time since that report. The paper records n_L
 	// but does not use it; this is the abl-estimator design ablation.
 	CountedEstimator bool
+
+	// Sort-order cache for EvaluateInto: the candidate visit order is
+	// stable between repository mutations (ert differences shift uniformly
+	// with the clock), so the previous permutation is revalidated in O(n)
+	// instead of re-sorted.
+	orderKey evalKey
+	order    []int32
+}
+
+// evalKey identifies the repository state a cached sort order was computed
+// against.
+type evalKey struct {
+	valid       bool
+	gen         uint64
+	deadline    time.Duration
+	nPrim, nSec int
 }
 
 // StaleFactor computes P(A_s(t) ≤ a) — Equation 4, or the counted variant
@@ -33,6 +53,13 @@ type Model struct {
 // cold start self-corrects within one lazy interval.
 func (m Model) StaleFactor(repo *repository.Repository, staleness int, now time.Time) float64 {
 	tl, ok := repo.TimeSinceLazyUpdate(now, m.LazyInterval)
+	return m.staleFactorAt(repo, staleness, now, tl, ok)
+}
+
+// staleFactorAt is StaleFactor with t_l already computed, so Evaluate can
+// share one TimeSinceLazyUpdate call between the staleness factor and the
+// fallback-U estimate.
+func (m Model) staleFactorAt(repo *repository.Repository, staleness int, now time.Time, tl time.Duration, ok bool) float64 {
 	if !ok {
 		return 1
 	}
@@ -56,6 +83,9 @@ func (m Model) StaleFactor(repo *repository.Repository, staleness int, now time.
 // Evaluate builds the selection Input for one read request. primaries and
 // secondaries are the live server replicas by group (excluding the
 // sequencer, which never serves requests).
+//
+// Evaluate allocates a fresh Input per call; the hot path is EvaluateInto,
+// which reuses a caller-held Input and the Model's sort cache.
 func (m Model) Evaluate(
 	repo *repository.Repository,
 	primaries, secondaries []node.ID,
@@ -63,12 +93,32 @@ func (m Model) Evaluate(
 	spec qos.Spec,
 	now time.Time,
 ) Input {
-	in := Input{
-		Candidates:  make([]Candidate, 0, len(primaries)+len(secondaries)),
-		StaleFactor: m.StaleFactor(repo, spec.Staleness, now),
-		MinProb:     spec.MinProb,
-		Sequencer:   sequencer,
-	}
+	var in Input
+	m.EvaluateInto(&in, repo, primaries, secondaries, sequencer, spec, now)
+	return in
+}
+
+// EvaluateInto builds the selection Input for one read request into in,
+// reusing in's candidate buffers across calls. Candidates appear in build
+// order (primaries, then secondaries, preserving the given slices' order);
+// the Algorithm-1 visit order is precomputed into the Input as well, so
+// Algorithm1.Select skips its sort. Callers that mutate in.Candidates
+// afterwards must call in.MarkDirty.
+func (m *Model) EvaluateInto(
+	in *Input,
+	repo *repository.Repository,
+	primaries, secondaries []node.ID,
+	sequencer node.ID,
+	spec qos.Spec,
+	now time.Time,
+) {
+	tl, tlOK := repo.TimeSinceLazyUpdate(now, m.LazyInterval)
+
+	in.Candidates = in.Candidates[:0]
+	in.presorted = false
+	in.StaleFactor = m.staleFactorAt(repo, spec.Staleness, now, tl, tlOK)
+	in.MinProb = spec.MinProb
+	in.Sequencer = sequencer
 
 	for _, id := range primaries {
 		in.Candidates = append(in.Candidates, Candidate{
@@ -82,7 +132,7 @@ func (m Model) Evaluate(
 	// Fallback estimate of the lazy-update wait U when a secondary has no
 	// defer-wait history: the remaining time to the next lazy update.
 	fallbackU := m.LazyInterval
-	if tl, ok := repo.TimeSinceLazyUpdate(now, m.LazyInterval); ok {
+	if tlOK {
 		fallbackU = m.LazyInterval - tl
 	}
 	for _, id := range secondaries {
@@ -94,5 +144,59 @@ func (m Model) Evaluate(
 			ERT:        repo.ERT(id, now),
 		})
 	}
-	return in
+
+	m.sortInto(in, repo.Generation(), spec.Deadline, len(primaries), len(secondaries))
+}
+
+// sortInto fills in.sorted with the Algorithm-1 visit order. The order is a
+// strict total order (ties end at the unique ID), so its sorted permutation
+// is unique: when the cached permutation from the previous read still
+// yields a sorted sequence — verified with one O(n) adjacent-pair pass — it
+// is the answer; otherwise an insertion sort (cheap for the nearly-sorted
+// candidate sets that arise between repository generations) rebuilds it.
+func (m *Model) sortInto(in *Input, gen uint64, deadline time.Duration, nPrim, nSec int) {
+	cs := in.Candidates
+	n := len(cs)
+	key := evalKey{valid: true, gen: gen, deadline: deadline, nPrim: nPrim, nSec: nSec}
+	if m.orderKey == key && len(m.order) == n && m.emitSorted(in) {
+		in.presorted = true
+		return
+	}
+
+	m.order = m.order[:0]
+	for i := 0; i < n; i++ {
+		m.order = append(m.order, int32(i))
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && candLess(cs[m.order[j]], cs[m.order[j-1]]); j-- {
+			m.order[j], m.order[j-1] = m.order[j-1], m.order[j]
+		}
+	}
+	if !m.emitSorted(in) {
+		// Unreachable: a freshly built permutation is sorted by
+		// construction. Guard anyway so a future bug cannot feed Select an
+		// unsorted visit order.
+		in.presorted = false
+		m.orderKey = evalKey{}
+		return
+	}
+	in.presorted = true
+	m.orderKey = key
+}
+
+// emitSorted applies m.order to in.Candidates, writing the permuted
+// candidates into in.sorted, and reports whether the result really is in
+// Algorithm-1 order.
+func (m *Model) emitSorted(in *Input) bool {
+	cs := in.Candidates
+	in.sorted = in.sorted[:0]
+	for _, idx := range m.order {
+		in.sorted = append(in.sorted, cs[idx])
+	}
+	for i := 1; i < len(in.sorted); i++ {
+		if candLess(in.sorted[i], in.sorted[i-1]) {
+			return false
+		}
+	}
+	return true
 }

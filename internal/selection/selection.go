@@ -37,7 +37,19 @@ type Input struct {
 	// Sequencer is appended to every selection; reads must reach it so it
 	// can broadcast the GSN they are ordered against.
 	Sequencer node.ID
+
+	// sorted optionally carries the candidates pre-arranged in Algorithm
+	// 1's visit order. Model.EvaluateInto fills it (reusing the buffer
+	// across reads) so Select need not copy and re-sort per request.
+	sorted    []Candidate
+	presorted bool
 }
+
+// MarkDirty invalidates any precomputed sort order carried by the Input.
+// Callers that mutate Candidates after Model.EvaluateInto (e.g. the client
+// gateway zeroing the CDFs of suspected replicas) must call it before
+// handing the Input to a Selector.
+func (in *Input) MarkDirty() { in.presorted = false }
 
 // Selector chooses the replica subset to service one read request.
 type Selector interface {
@@ -93,23 +105,35 @@ func PK(candidates []Candidate, staleFactor float64) float64 {
 	return p
 }
 
-// sortCandidates orders candidates in decreasing ert; ties break by
+// candLess is the Algorithm-1 visit order: decreasing ert; ties break by
 // decreasing immediate CDF, exactly as Section 5.3 prescribes. Remaining
-// ties break by ID for determinism.
-func sortCandidates(cs []Candidate) []Candidate {
-	sorted := make([]Candidate, len(cs))
-	copy(sorted, cs)
-	sort.Slice(sorted, func(i, j int) bool {
-		a, b := sorted[i], sorted[j]
-		if a.ERT != b.ERT {
-			return a.ERT > b.ERT
-		}
-		if a.ImmedCDF != b.ImmedCDF {
-			return a.ImmedCDF > b.ImmedCDF
-		}
-		return a.ID < b.ID
-	})
-	return sorted
+// ties break by ID, making the order strictly total (and the sorted
+// permutation unique) whenever candidate IDs are distinct.
+func candLess(a, b Candidate) bool {
+	if a.ERT != b.ERT {
+		return a.ERT > b.ERT
+	}
+	if a.ImmedCDF != b.ImmedCDF {
+		return a.ImmedCDF > b.ImmedCDF
+	}
+	return a.ID < b.ID
+}
+
+// sortCandidates returns the Input's candidates in Algorithm-1 visit
+// order, reusing the order precomputed by Model.EvaluateInto when present.
+func sortCandidates(in Input) []Candidate {
+	if in.presorted {
+		return in.sorted
+	}
+	sorted := make([]Candidate, len(in.Candidates))
+	copy(sorted, in.Candidates)
+	return sortCandidateSlice(sorted)
+}
+
+// sortCandidateSlice sorts cs in place by candLess and returns it.
+func sortCandidateSlice(cs []Candidate) []Candidate {
+	sort.Slice(cs, func(i, j int) bool { return candLess(cs[i], cs[j]) })
+	return cs
 }
 
 // appendSequencer adds the sequencer to ids unless already present or

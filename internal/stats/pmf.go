@@ -8,16 +8,21 @@ package stats
 
 import (
 	"sort"
+	"sync"
 	"time"
 )
 
 // PMF is a discrete probability mass function over durations. The zero
 // value is an empty PMF, which represents "no information" and reports a
-// CDF of 0 everywhere. A non-empty PMF keeps its support sorted ascending
-// and its masses summing to 1 (up to floating-point error).
+// CDF of 0 everywhere. A non-empty PMF keeps its support sorted ascending,
+// its masses summing to 1 (up to floating-point error), and a prefix-sum
+// table so CDF queries are a binary search plus one lookup.
 type PMF struct {
 	vals  []time.Duration
 	probs []float64
+	// cum[i] is the raw (unclamped) prefix sum probs[0]+…+probs[i],
+	// accumulated left to right; CDF reads clamp it to 1 in one place.
+	cum []float64
 }
 
 // FromSamples builds an empirical PMF assigning equal mass to every sample,
@@ -27,31 +32,83 @@ func FromSamples(samples []time.Duration) PMF {
 	if len(samples) == 0 {
 		return PMF{}
 	}
-	acc := make(map[time.Duration]float64, len(samples))
+	scratch := make([]time.Duration, len(samples))
+	copy(scratch, samples)
+	var p PMF
+	FromSamplesInto(&p, scratch)
+	return p
+}
+
+// FromSamplesInto builds the empirical PMF of samples into dst, reusing
+// dst's backing arrays. samples is sorted in place; pass a scratch copy if
+// the original order matters. An empty samples slice resets dst to the zero
+// PMF.
+func FromSamplesInto(dst *PMF, samples []time.Duration) {
+	dst.reset()
+	if len(samples) == 0 {
+		return
+	}
+	sortDurations(samples)
 	w := 1.0 / float64(len(samples))
 	for _, s := range samples {
-		acc[s] += w
+		dst.accumulate(s, w)
 	}
-	return fromMap(acc)
+	dst.finalize()
 }
 
 // Point is the degenerate PMF with all mass at v. It models the paper's use
 // of "the most recently recorded value" of the gateway delay as a constant.
 func Point(v time.Duration) PMF {
-	return PMF{vals: []time.Duration{v}, probs: []float64{1}}
+	var p PMF
+	PointInto(&p, v)
+	return p
 }
 
-func fromMap(acc map[time.Duration]float64) PMF {
-	vals := make([]time.Duration, 0, len(acc))
-	for v := range acc {
-		vals = append(vals, v)
+// PointInto writes the degenerate all-mass-at-v PMF into dst, reusing its
+// backing arrays.
+func PointInto(dst *PMF, v time.Duration) {
+	dst.reset()
+	dst.vals = append(dst.vals, v)
+	dst.probs = append(dst.probs, 1)
+	dst.cum = append(dst.cum, 1)
+}
+
+// reset empties p while keeping its backing arrays for reuse.
+func (p *PMF) reset() {
+	p.vals = p.vals[:0]
+	p.probs = p.probs[:0]
+	p.cum = p.cum[:0]
+}
+
+// accumulate merges mass at v into the PMF under construction. Calls must
+// arrive with non-decreasing v so the support stays sorted.
+func (p *PMF) accumulate(v time.Duration, mass float64) {
+	if n := len(p.vals); n > 0 && p.vals[n-1] == v {
+		p.probs[n-1] += mass
+		return
 	}
-	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
-	probs := make([]float64, len(vals))
-	for i, v := range vals {
-		probs[i] = acc[v]
+	p.vals = append(p.vals, v)
+	p.probs = append(p.probs, mass)
+}
+
+// finalize recomputes the prefix-sum table after the support and masses are
+// in place. Accumulation is left to right over the sorted support — the
+// same order the pre-prefix-sum CDF scan used — so lookups are bit-for-bit
+// identical to the old linear scan.
+func (p *PMF) finalize() {
+	p.cum = p.cum[:0]
+	var c float64
+	for _, q := range p.probs {
+		c += q
+		p.cum = append(p.cum, c)
 	}
-	return PMF{vals: vals, probs: probs}
+}
+
+// copyFrom makes dst an independent copy of src, reusing dst's arrays.
+func (p *PMF) copyFrom(src PMF) {
+	p.vals = append(p.vals[:0], src.vals...)
+	p.probs = append(p.probs[:0], src.probs...)
+	p.cum = append(p.cum[:0], src.cum...)
 }
 
 // Len returns the number of support points.
@@ -72,12 +129,35 @@ func (p PMF) Mass(i int) float64 { return p.probs[i] }
 
 // TotalMass returns the sum of all masses (≈1 for any non-empty PMF).
 func (p PMF) TotalMass() float64 {
-	var t float64
-	for _, q := range p.probs {
-		t += q
+	if len(p.cum) == 0 {
+		return 0
 	}
-	return t
+	return p.cum[len(p.cum)-1]
 }
+
+// ConvScratch holds the reusable buffers of the merge-based convolution
+// kernel: two (value, mass) pair arrays that ping-pong during the bottom-up
+// run merge. The zero value is ready to use; one scratch may be reused
+// across any number of ConvolveInto calls but not concurrently.
+type ConvScratch struct {
+	vals, vals2   []time.Duration
+	probs, probs2 []float64
+}
+
+func (sc *ConvScratch) grow(n int) {
+	if cap(sc.vals) < n {
+		sc.vals = make([]time.Duration, n)
+		sc.probs = make([]float64, n)
+		sc.vals2 = make([]time.Duration, n)
+		sc.probs2 = make([]float64, n)
+	}
+	sc.vals = sc.vals[:n]
+	sc.probs = sc.probs[:n]
+	sc.vals2 = sc.vals2[:n]
+	sc.probs2 = sc.probs2[:n]
+}
+
+var convPool = sync.Pool{New: func() any { return new(ConvScratch) }}
 
 // Convolve returns the distribution of X+Y for independent X~p, Y~q. The
 // result is the discrete convolution the paper uses to combine the service
@@ -91,14 +171,115 @@ func (p PMF) Convolve(q PMF) PMF {
 	if q.IsZero() {
 		return p
 	}
-	acc := make(map[time.Duration]float64, len(p.vals)*len(q.vals))
-	for i, pv := range p.vals {
-		pm := p.probs[i]
-		for j, qv := range q.vals {
-			acc[pv+qv] += pm * q.probs[j]
+	sc := convPool.Get().(*ConvScratch)
+	var out PMF
+	ConvolveInto(&out, p, q, sc)
+	convPool.Put(sc)
+	return out
+}
+
+// ConvolveInto computes the convolution of p and q into dst, reusing dst's
+// backing arrays and sc's pair buffers. dst must not alias p or q. It is
+// the allocation-free form of Convolve: the outer product is materialized
+// in scan order — row i holds p[i]+q[j] for ascending j, so each row is
+// already sorted — then the n sorted rows are combined by a bottom-up
+// stable merge that takes from the left run on ties. Left runs hold lower
+// scan positions, so equal sums end up ordered by scan position and the
+// final run-length pass accumulates masses in the exact order the old
+// map-based kernel added them — keeping results bit-for-bit identical.
+func ConvolveInto(dst *PMF, p, q PMF, sc *ConvScratch) {
+	if p.IsZero() {
+		dst.copyFrom(q)
+		return
+	}
+	if q.IsZero() {
+		dst.copyFrom(p)
+		return
+	}
+	n, m := len(p.vals), len(q.vals)
+	total := n * m
+	sc.grow(total)
+	k := 0
+	for i := 0; i < n; i++ {
+		pv, pm := p.vals[i], p.probs[i]
+		for j := 0; j < m; j++ {
+			sc.vals[k] = pv + q.vals[j]
+			sc.probs[k] = pm * q.probs[j]
+			k++
 		}
 	}
-	return fromMap(acc)
+	srcV, srcP := sc.vals, sc.probs
+	dstV, dstP := sc.vals2, sc.probs2
+	for run := m; run < total; run *= 2 {
+		for start := 0; start < total; start += 2 * run {
+			mid, end := start+run, start+2*run
+			if mid >= total {
+				// Lone tail run: already sorted, carry it over.
+				copy(dstV[start:], srcV[start:])
+				copy(dstP[start:], srcP[start:])
+				continue
+			}
+			if end > total {
+				end = total
+			}
+			i, j, o := start, mid, start
+			for i < mid && j < end {
+				if srcV[j] < srcV[i] {
+					dstV[o], dstP[o] = srcV[j], srcP[j]
+					j++
+				} else {
+					dstV[o], dstP[o] = srcV[i], srcP[i]
+					i++
+				}
+				o++
+			}
+			copy(dstV[o:end], srcV[i:mid])
+			copy(dstP[o:end], srcP[i:mid])
+			if i < mid {
+				o += mid - i
+			}
+			copy(dstV[o:end], srcV[j:end])
+			copy(dstP[o:end], srcP[j:end])
+		}
+		srcV, dstV = dstV, srcV
+		srcP, dstP = dstP, srcP
+	}
+	dst.reset()
+	for k := 0; k < total; k++ {
+		dst.accumulate(srcV[k], srcP[k])
+	}
+	dst.finalize()
+}
+
+// ConvolveCDF returns P(X+Y ≤ x) for independent X~p, Y~q without
+// materializing the convolved support: a single backward merge over the two
+// sorted supports using q's prefix sums, O(len(p)+len(q)). Note it computes
+// the exact (unbinned) convolution's CDF, so when a pipeline bins the
+// convolved PMF before evaluating it, the results legitimately differ by
+// the binning's rounding.
+func (p PMF) ConvolveCDF(q PMF, x time.Duration) float64 {
+	if p.IsZero() {
+		return q.CDF(x)
+	}
+	if q.IsZero() {
+		return p.CDF(x)
+	}
+	var c float64
+	j := len(q.vals)
+	for i := 0; i < len(p.vals); i++ {
+		t := x - p.vals[i]
+		for j > 0 && q.vals[j-1] > t {
+			j--
+		}
+		if j == 0 {
+			break // thresholds only shrink from here; no further mass ≤ x
+		}
+		c += p.probs[i] * q.cum[j-1]
+	}
+	if c > 1 {
+		c = 1
+	}
+	return c
 }
 
 // Shift returns the distribution of X+d.
@@ -106,13 +287,21 @@ func (p PMF) Shift(d time.Duration) PMF {
 	if p.IsZero() || d == 0 {
 		return p
 	}
-	vals := make([]time.Duration, len(p.vals))
-	for i, v := range p.vals {
-		vals[i] = v + d
+	var out PMF
+	out.copyFrom(p)
+	out.ShiftInPlace(d)
+	return out
+}
+
+// ShiftInPlace adds d to every support point, leaving masses (and the
+// prefix sums) untouched.
+func (p *PMF) ShiftInPlace(d time.Duration) {
+	if d == 0 {
+		return
 	}
-	probs := make([]float64, len(p.probs))
-	copy(probs, p.probs)
-	return PMF{vals: vals, probs: probs}
+	for i := range p.vals {
+		p.vals[i] += d
+	}
 }
 
 // Bin coarsens the support by rounding every value to the nearest multiple
@@ -122,12 +311,26 @@ func (p PMF) Bin(width time.Duration) PMF {
 	if p.IsZero() || width <= 0 {
 		return p
 	}
-	acc := make(map[time.Duration]float64, len(p.vals))
+	var out PMF
+	p.BinInto(&out, width)
+	return out
+}
+
+// BinInto writes p coarsened to width into dst, reusing dst's backing
+// arrays. dst must not alias p. A non-positive width copies p unchanged.
+// Rounding is monotone over the sorted support, so the merge is a single
+// run-length pass — no map, no re-sort.
+func (p PMF) BinInto(dst *PMF, width time.Duration) {
+	if width <= 0 {
+		dst.copyFrom(p)
+		return
+	}
+	dst.reset()
 	for i, v := range p.vals {
 		b := (v + width/2) / width * width
-		acc[b] += p.probs[i]
+		dst.accumulate(b, p.probs[i])
 	}
-	return fromMap(acc)
+	dst.finalize()
 }
 
 // CDF returns P(X ≤ x). For the empty PMF it returns 0, the conservative
@@ -136,16 +339,62 @@ func (p PMF) Bin(width time.Duration) PMF {
 // (its high elapsed response time puts it early in the sort order) before
 // relying on it.
 func (p PMF) CDF(x time.Duration) float64 {
-	// Support is sorted: binary search for the first value > x.
-	i := sort.Search(len(p.vals), func(i int) bool { return p.vals[i] > x })
-	var c float64
-	for j := 0; j < i; j++ {
-		c += p.probs[j]
+	// Support is sorted: binary search for the first value > x, then read
+	// the prefix sum. The search is hand-rolled so the hot path allocates
+	// nothing (sort.Search would box a closure).
+	lo, hi := 0, len(p.vals)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p.vals[mid] > x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
 	}
+	if lo == 0 {
+		return 0
+	}
+	c := p.cum[lo-1]
 	if c > 1 {
 		c = 1
 	}
 	return c
+}
+
+// CDFBatch evaluates the CDF at every x in xs, appending the results to out
+// and returning it. Ascending xs are answered with one merged forward walk
+// over the support (O(len(xs)+len(p))); unsorted inputs fall back to a
+// binary search per point.
+func (p PMF) CDFBatch(xs []time.Duration, out []float64) []float64 {
+	ascending := true
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			ascending = false
+			break
+		}
+	}
+	if !ascending {
+		for _, x := range xs {
+			out = append(out, p.CDF(x))
+		}
+		return out
+	}
+	i := 0 // first support index with vals[i] > current x
+	for _, x := range xs {
+		for i < len(p.vals) && p.vals[i] <= x {
+			i++
+		}
+		if i == 0 {
+			out = append(out, 0)
+			continue
+		}
+		c := p.cum[i-1]
+		if c > 1 {
+			c = 1
+		}
+		out = append(out, c)
+	}
+	return out
 }
 
 // Mean returns E[X], or 0 for the empty PMF.
@@ -163,12 +412,37 @@ func (p PMF) Quantile(q float64) time.Duration {
 	if p.IsZero() {
 		return 0
 	}
-	var c float64
-	for i, v := range p.vals {
-		c += p.probs[i]
-		if c >= q {
-			return v
+	// cum is non-decreasing: binary search for the first prefix sum ≥ q.
+	lo, hi := 0, len(p.cum)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p.cum[mid] >= q {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
 	}
-	return p.vals[len(p.vals)-1]
+	if lo == len(p.vals) {
+		return p.vals[len(p.vals)-1]
+	}
+	return p.vals[lo]
+}
+
+// sortDurations sorts ds ascending. Small slices — every sliding window in
+// the system — take an insertion sort to keep the hot path allocation-free;
+// sort.Slice would heap-allocate its closure.
+func sortDurations(ds []time.Duration) {
+	if len(ds) > 64 {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return
+	}
+	for i := 1; i < len(ds); i++ {
+		v := ds[i]
+		j := i - 1
+		for j >= 0 && ds[j] > v {
+			ds[j+1] = ds[j]
+			j--
+		}
+		ds[j+1] = v
+	}
 }

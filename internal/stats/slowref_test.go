@@ -1,0 +1,316 @@
+package stats
+
+// This file keeps the pre-optimization map+sort PMF kernels as a slow
+// reference implementation. The rewritten merge-based kernels must stay
+// BIT-FOR-BIT identical to them: every mass is the same sequence of
+// floating-point additions, only the data structures changed. The
+// properties below therefore compare with ==, not an epsilon.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func slowFromMap(acc map[time.Duration]float64) PMF {
+	vals := make([]time.Duration, 0, len(acc))
+	for v := range acc {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	probs := make([]float64, len(vals))
+	for i, v := range vals {
+		probs[i] = acc[v]
+	}
+	p := PMF{vals: vals, probs: probs}
+	p.finalize()
+	return p
+}
+
+func slowFromSamples(samples []time.Duration) PMF {
+	if len(samples) == 0 {
+		return PMF{}
+	}
+	acc := make(map[time.Duration]float64, len(samples))
+	w := 1.0 / float64(len(samples))
+	for _, s := range samples {
+		acc[s] += w
+	}
+	return slowFromMap(acc)
+}
+
+func slowConvolve(p, q PMF) PMF {
+	if p.IsZero() {
+		return q
+	}
+	if q.IsZero() {
+		return p
+	}
+	acc := make(map[time.Duration]float64, len(p.vals)*len(q.vals))
+	for i, pv := range p.vals {
+		pm := p.probs[i]
+		for j, qv := range q.vals {
+			acc[pv+qv] += pm * q.probs[j]
+		}
+	}
+	return slowFromMap(acc)
+}
+
+func slowBin(p PMF, width time.Duration) PMF {
+	if p.IsZero() || width <= 0 {
+		return p
+	}
+	acc := make(map[time.Duration]float64, len(p.vals))
+	for i, v := range p.vals {
+		b := (v + width/2) / width * width
+		acc[b] += p.probs[i]
+	}
+	return slowFromMap(acc)
+}
+
+func slowCDF(p PMF, x time.Duration) float64 {
+	i := sort.Search(len(p.vals), func(i int) bool { return p.vals[i] > x })
+	var c float64
+	for j := 0; j < i; j++ {
+		c += p.probs[j]
+	}
+	if c > 1 {
+		c = 1
+	}
+	return c
+}
+
+// identicalPMF demands bitwise equality of support and masses.
+func identicalPMF(a, b PMF) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.vals[i] != b.vals[i] || a.probs[i] != b.probs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// randomSamples converts quick-generated raw values into a duration sample
+// set with deliberately many duplicates (small modulus) so merge paths and
+// map paths both see collisions.
+func randomSamples(raw []uint16) []time.Duration {
+	out := make([]time.Duration, len(raw))
+	for i, v := range raw {
+		out[i] = time.Duration(v%97) * 250 * time.Microsecond
+	}
+	return out
+}
+
+func TestFromSamplesMatchesSlowReference(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		s := randomSamples(raw)
+		return identicalPMF(FromSamples(s), slowFromSamples(s))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvolveMatchesSlowReference(t *testing.T) {
+	prop := func(rawA, rawB []uint16) bool {
+		if len(rawA) > 24 {
+			rawA = rawA[:24]
+		}
+		if len(rawB) > 24 {
+			rawB = rawB[:24]
+		}
+		a := FromSamples(randomSamples(rawA))
+		b := FromSamples(randomSamples(rawB))
+		return identicalPMF(a.Convolve(b), slowConvolve(a, b))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinMatchesSlowReference(t *testing.T) {
+	prop := func(raw []uint16, widthUS uint16) bool {
+		p := FromSamples(randomSamples(raw))
+		w := time.Duration(widthUS%5000) * time.Microsecond
+		return identicalPMF(p.Bin(w), slowBin(p, w))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFMatchesSlowReference(t *testing.T) {
+	prop := func(raw []uint16, xsRaw []uint16) bool {
+		p := FromSamples(randomSamples(raw))
+		for _, xr := range xsRaw {
+			x := time.Duration(xr) * 100 * time.Microsecond
+			if p.CDF(x) != slowCDF(p, x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The full Equation 5/6 pipeline — bin, convolve, bin, shift, CDF at a
+// deadline — must match the slow reference bit-for-bit, since selection
+// decisions hang off these exact CDF values.
+func TestPipelineMatchesSlowReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 500; iter++ {
+		n := 1 + rng.Intn(25)
+		mk := func() []time.Duration {
+			s := make([]time.Duration, n)
+			for i := range s {
+				s[i] = time.Duration(rng.Intn(200_000)) * time.Microsecond
+			}
+			return s
+		}
+		width := time.Duration(rng.Intn(4)) * time.Millisecond // includes 0
+		shift := time.Duration(rng.Intn(5_000)) * time.Microsecond
+		deadline := time.Duration(rng.Intn(400)) * time.Millisecond
+
+		sS, wS := mk(), mk()
+		fast := FromSamples(sS).Bin(width).Convolve(FromSamples(wS).Bin(width)).Bin(width).Shift(shift)
+		slow := slowBin(slowConvolve(slowBin(slowFromSamples(sS), width), slowBin(slowFromSamples(wS), width)), width).Shift(shift)
+		if !identicalPMF(fast, slow) {
+			t.Fatalf("iter %d: pipeline PMFs diverge", iter)
+		}
+		if got, want := fast.CDF(deadline), slowCDF(slow, deadline); got != want {
+			t.Fatalf("iter %d: CDF(%v) = %v, slow %v", iter, deadline, got, want)
+		}
+	}
+}
+
+// In-place kernels must produce the same results as the value API while
+// reusing their destination buffers across calls.
+func TestIntoKernelsReuseBuffers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var dstA, dstB, conv PMF
+	var sc ConvScratch
+	samples := make([]time.Duration, 0, 32)
+	for iter := 0; iter < 200; iter++ {
+		samples = samples[:0]
+		n := 1 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			samples = append(samples, time.Duration(rng.Intn(50))*time.Millisecond)
+		}
+		want := FromSamples(samples)
+		FromSamplesInto(&dstA, samples)
+		if !identicalPMF(dstA, want) {
+			t.Fatalf("iter %d: FromSamplesInto diverged", iter)
+		}
+		width := time.Duration(rng.Intn(3)) * time.Millisecond
+		dstA.BinInto(&dstB, width)
+		if !identicalPMF(dstB, want.Bin(width)) {
+			t.Fatalf("iter %d: BinInto diverged", iter)
+		}
+		ConvolveInto(&conv, dstA, dstB, &sc)
+		if !identicalPMF(conv, dstA.Convolve(dstB)) {
+			t.Fatalf("iter %d: ConvolveInto diverged", iter)
+		}
+	}
+}
+
+func TestConvolveIntoZeroOperands(t *testing.T) {
+	p := FromSamples([]time.Duration{time.Millisecond, 2 * time.Millisecond})
+	var dst PMF
+	var sc ConvScratch
+	ConvolveInto(&dst, p, PMF{}, &sc)
+	if !identicalPMF(dst, p) {
+		t.Fatal("ConvolveInto with zero q must copy p")
+	}
+	ConvolveInto(&dst, PMF{}, p, &sc)
+	if !identicalPMF(dst, p) {
+		t.Fatal("ConvolveInto with zero p must copy q")
+	}
+	ConvolveInto(&dst, PMF{}, PMF{}, &sc)
+	if !dst.IsZero() {
+		t.Fatal("ConvolveInto of two zero PMFs must reset dst")
+	}
+}
+
+func TestPointInto(t *testing.T) {
+	var dst PMF
+	PointInto(&dst, 7*time.Millisecond)
+	if !identicalPMF(dst, Point(7*time.Millisecond)) {
+		t.Fatal("PointInto diverged from Point")
+	}
+	PointInto(&dst, 0)
+	if dst.Len() != 1 || dst.CDF(0) != 1 {
+		t.Fatal("PointInto(0) wrong")
+	}
+}
+
+func TestCDFBatchMatchesCDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 100; iter++ {
+		n := 1 + rng.Intn(30)
+		samples := make([]time.Duration, n)
+		for i := range samples {
+			samples[i] = time.Duration(rng.Intn(100)) * time.Millisecond
+		}
+		p := FromSamples(samples)
+		xs := make([]time.Duration, 1+rng.Intn(20))
+		for i := range xs {
+			xs[i] = time.Duration(rng.Intn(120)) * time.Millisecond
+		}
+		if iter%2 == 0 {
+			sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+		}
+		got := p.CDFBatch(xs, nil)
+		for i, x := range xs {
+			if got[i] != p.CDF(x) {
+				t.Fatalf("iter %d: CDFBatch[%d] = %v, CDF(%v) = %v", iter, i, got[i], x, p.CDF(x))
+			}
+		}
+		// Zero PMF answers 0 everywhere.
+		if z := (PMF{}).CDFBatch(xs, nil); len(z) != len(xs) {
+			t.Fatal("zero PMF batch length")
+		}
+	}
+}
+
+func TestConvolveCDFMatchesMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 200; iter++ {
+		mk := func() PMF {
+			n := 1 + rng.Intn(20)
+			s := make([]time.Duration, n)
+			for i := range s {
+				s[i] = time.Duration(rng.Intn(80)) * time.Millisecond
+			}
+			return FromSamples(s)
+		}
+		p, q := mk(), mk()
+		x := time.Duration(rng.Intn(250)) * time.Millisecond
+		got := p.ConvolveCDF(q, x)
+		want := p.Convolve(q).CDF(x)
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		// Accumulation order differs from the materialized path, so allow
+		// float tolerance here (this API is exact-convolution, not part of
+		// the bit-for-bit selection pipeline).
+		if diff > 1e-12 {
+			t.Fatalf("iter %d: ConvolveCDF = %v, materialized = %v", iter, got, want)
+		}
+	}
+	// Zero-operand degradation.
+	p := FromSamples([]time.Duration{time.Millisecond})
+	if got := p.ConvolveCDF(PMF{}, time.Millisecond); got != 1 {
+		t.Fatalf("ConvolveCDF with zero q = %v", got)
+	}
+	if got := (PMF{}).ConvolveCDF(p, time.Millisecond); got != 1 {
+		t.Fatalf("ConvolveCDF with zero p = %v", got)
+	}
+}

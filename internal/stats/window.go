@@ -38,12 +38,18 @@ func (w *Window) Cap() int { return len(w.buf) }
 
 // Samples returns the held samples, oldest first.
 func (w *Window) Samples() []time.Duration {
-	out := make([]time.Duration, 0, w.count)
+	return w.AppendSamples(make([]time.Duration, 0, w.count))
+}
+
+// AppendSamples appends the held samples, oldest first, to dst and returns
+// it — the allocation-free form of Samples for callers holding a scratch
+// buffer.
+func (w *Window) AppendSamples(dst []time.Duration) []time.Duration {
 	if w.count < len(w.buf) {
-		return append(out, w.buf[:w.count]...)
+		return append(dst, w.buf[:w.count]...)
 	}
-	out = append(out, w.buf[w.next:]...)
-	return append(out, w.buf[:w.next]...)
+	dst = append(dst, w.buf[w.next:]...)
+	return append(dst, w.buf[:w.next]...)
 }
 
 // PMF builds the empirical PMF of the window's contents.

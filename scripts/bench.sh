@@ -1,0 +1,62 @@
+#!/usr/bin/env sh
+# Runs the selection hot-path benchmarks (Figure 3 overhead, PMF
+# convolution kernels, Algorithm 1, and the steady-state evaluate loop) and
+# writes the results as JSON to BENCH_selection.json at the repo root.
+#
+# Usage: scripts/bench.sh [count]
+#   count: -count value passed to go test (default 5)
+set -eu
+
+cd "$(dirname "$0")/.."
+count="${1:-5}"
+out="BENCH_selection.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'Fig3|PMFConvolve|Selection|EvaluateSteadyState' \
+	-benchmem -count "$count" . | tee "$raw"
+
+# Convert `go test -bench` lines into a JSON array. A benchmark line looks
+# like:
+#   BenchmarkFoo/k=v-8   1000  1234 ns/op  56 B/op  7 allocs/op
+awk -v count="$count" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+	name = $1; iters = $2
+	ns = ""; bytes = ""; allocs = ""
+	for (i = 3; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		if ($(i + 1) == "B/op") bytes = $i
+		if ($(i + 1) == "allocs/op") allocs = $i
+	}
+	if (ns == "") next
+	line = sprintf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+	if (bytes != "") line = line sprintf(", \"bytes_per_op\": %s", bytes)
+	if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+	line = line "}"
+	rows[n++] = line
+}
+END {
+	printf "{\n"
+	printf "  \"bench_regexp\": \"Fig3|PMFConvolve|Selection|EvaluateSteadyState\",\n"
+	printf "  \"count\": %s,\n", count
+	# Pre-optimization numbers (map-based PMF kernels, no caching), taken on
+	# the same machine before the hot-path rewrite, kept for comparison.
+	printf "  \"baseline_pre_optimization\": [\n"
+	printf "    {\"name\": \"BenchmarkFig3SelectionOverhead/replicas=4/window=10\", \"ns_per_op\": 314463},\n"
+	printf "    {\"name\": \"BenchmarkFig3SelectionOverhead/replicas=10/window=10\", \"ns_per_op\": 764746},\n"
+	printf "    {\"name\": \"BenchmarkFig3SelectionOverhead/replicas=16/window=10\", \"ns_per_op\": 1155494},\n"
+	printf "    {\"name\": \"BenchmarkFig3SelectionOverhead/replicas=4/window=20\", \"ns_per_op\": 825767},\n"
+	printf "    {\"name\": \"BenchmarkFig3SelectionOverhead/replicas=10/window=20\", \"ns_per_op\": 2005523},\n"
+	printf "    {\"name\": \"BenchmarkFig3SelectionOverhead/replicas=16/window=20\", \"ns_per_op\": 3117736, \"bytes_per_op\": 1350984, \"allocs_per_op\": 1386},\n"
+	printf "    {\"name\": \"BenchmarkPMFConvolve/window=10\", \"ns_per_op\": 23482},\n"
+	printf "    {\"name\": \"BenchmarkPMFConvolve/window=20\", \"ns_per_op\": 59023},\n"
+	printf "    {\"name\": \"BenchmarkPMFConvolve/window=40\", \"ns_per_op\": 105379},\n"
+	printf "    {\"name\": \"BenchmarkSelectionAlgorithm1\", \"ns_per_op\": 1085}\n"
+	printf "  ],\n"
+	printf "  \"results\": [\n"
+	for (i = 0; i < n; i++) printf "  %s%s\n", rows[i], (i < n - 1 ? "," : "")
+	printf "  ]\n}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out"
