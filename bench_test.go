@@ -330,3 +330,55 @@ func BenchmarkEndToEndSimRead(b *testing.B) {
 		b.Fatalf("ran %d reads, want >= %d", r.Reads, b.N)
 	}
 }
+
+// BenchmarkFig4Point is the allocation contract for the simulator's hot
+// path: one full 200-request experiment per iteration, with allocs/op
+// reported. The free-listed scheduler events, pooled delivery/timer records,
+// and scratch-slice reuse in the protocol stack are all on this path.
+func BenchmarkFig4Point(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiment.RunFig4Point(experiment.Fig4Config{
+			Seed:     2002,
+			Deadline: 140 * time.Millisecond,
+			MinProb:  0.9,
+			LUI:      2 * time.Second,
+			Requests: benchRequests,
+		})
+	}
+}
+
+// BenchmarkSweepWallClock measures a reduced Figure 4 sweep end to end
+// through the parallel experiment engine, sequentially and at GOMAXPROCS.
+// The parallel/sequential ratio approaches the core count on multi-core
+// machines (points are share-nothing); the outputs are identical either way
+// (see TestFig4SweepParallelismInvariant).
+func BenchmarkSweepWallClock(b *testing.B) {
+	sweep := func(parallel int) {
+		sw := experiment.DefaultFig4Sweep()
+		sw.Base = experiment.Fig4Config{Seed: 2002, Requests: 50}
+		sw.Deadlines = sw.Deadlines[:4] // 4 deadlines x 4 (prob, lui) series = 16 points
+		var cfgs []experiment.Fig4Config
+		for _, d := range sw.Deadlines {
+			for _, c := range sw.Configs {
+				p := sw.Base
+				p.Deadline = d
+				p.MinProb = c.MinProb
+				p.LUI = c.LUI
+				p.Seed = sw.Base.Seed + int64(d/time.Millisecond)
+				cfgs = append(cfgs, p)
+			}
+		}
+		experiment.RunPoints(cfgs, parallel, nil, experiment.RunFig4Point)
+	}
+	b.Run("parallel=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweep(1)
+		}
+	})
+	b.Run("parallel=gomaxprocs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweep(0)
+		}
+	})
+}

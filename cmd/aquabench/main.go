@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"aqua/internal/experiment"
@@ -23,8 +24,17 @@ func main() {
 		requests = flag.Int("requests", 1000, "requests per client per run (paper: 1000)")
 		seed     = flag.Int64("seed", 2002, "base random seed")
 		iters    = flag.Int("iters", 2000, "iterations per fig3 measurement point")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count (1 = sequential; output is identical either way)")
+		progress = flag.Bool("progress", true, "report per-point sweep progress on stderr")
 	)
 	flag.Parse()
+
+	experiment.SetParallelism(*parallel)
+	if *progress {
+		experiment.SetProgress(func(done, total int) {
+			fmt.Fprintf(os.Stderr, "aquabench: point %d/%d\n", done, total)
+		})
+	}
 
 	if err := run(*which, *requests, *seed, *iters); err != nil {
 		fmt.Fprintln(os.Stderr, "aquabench:", err)

@@ -6,9 +6,10 @@ package apps
 
 import (
 	"bytes"
-	"encoding/gob"
+	"encoding/binary"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"aqua/internal/app"
 )
@@ -24,6 +25,14 @@ import (
 type KVStore struct {
 	data    map[string]string
 	version uint64
+
+	// snapCache memoizes the encoded snapshot for snapVersion: the lazy
+	// publisher snapshots every interval whether or not updates arrived, and
+	// the bytes are immutable once handed out, so re-encoding an unchanged
+	// store is pure waste. keyScratch is reused for the sort.
+	snapCache   []byte
+	snapVersion uint64
+	keyScratch  []string
 }
 
 var _ app.Application = (*KVStore)(nil)
@@ -33,15 +42,18 @@ func NewKVStore() *KVStore {
 	return &KVStore{data: make(map[string]string)}
 }
 
-// kvState is the gob snapshot form. Pairs are sorted by key so snapshots
-// are canonical: replicas with identical state produce identical bytes,
-// which the anti-entropy digest comparison depends on (gob map encoding is
-// iteration-order-dependent and therefore unusable here).
-type kvState struct {
-	Keys    []string
-	Values  []string
-	Version uint64
-}
+// Snapshot wire format (version 1): a canonical, allocation-lean binary
+// encoding. Pairs are sorted by key so snapshots are canonical: replicas
+// with identical state produce identical bytes, which the anti-entropy
+// digest comparison depends on. (The previous gob encoding was canonical
+// too, but rebuilt its type machinery — hundreds of allocations — on every
+// encode and decode; snapshots travel on every lazy update.)
+//
+//	byte    format tag (kvSnapFormat)
+//	uvarint version counter
+//	uvarint pair count n
+//	n ×     (uvarint key len, key bytes, uvarint value len, value bytes)
+const kvSnapFormat = 1
 
 // ApplyUpdate implements app.Application.
 func (k *KVStore) ApplyUpdate(method string, payload []byte) ([]byte, error) {
@@ -58,7 +70,14 @@ func (k *KVStore) ApplyUpdate(method string, payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("kvstore: unknown update method %q", method)
 	}
 	k.version++
-	return []byte(fmt.Sprintf("v%d", k.version)), nil
+	return versionReply(k.version), nil
+}
+
+// versionReply renders "v<N>" without the fmt machinery.
+func versionReply(v uint64) []byte {
+	buf := make([]byte, 1, 12)
+	buf[0] = 'v'
+	return strconv.AppendUint(buf, v, 10)
 }
 
 // Read implements app.Application.
@@ -67,7 +86,7 @@ func (k *KVStore) Read(method string, payload []byte) ([]byte, error) {
 	case "Get":
 		return []byte(k.data[string(payload)]), nil
 	case "Version":
-		return []byte(fmt.Sprintf("v%d", k.version)), nil
+		return versionReply(k.version), nil
 	default:
 		return nil, fmt.Errorf("kvstore: unknown read method %q", method)
 	}
@@ -77,39 +96,89 @@ func (k *KVStore) Read(method string, payload []byte) ([]byte, error) {
 func (k *KVStore) Version() uint64 { return k.version }
 
 // Snapshot implements app.Application; the encoding is canonical (sorted).
+// The returned bytes are shared with later callers until the store changes
+// again; receivers must treat snapshots as read-only (they already do — the
+// bytes travel inside simulator messages by reference).
 func (k *KVStore) Snapshot() ([]byte, error) {
-	st := kvState{
-		Keys:    make([]string, 0, len(k.data)),
-		Values:  make([]string, 0, len(k.data)),
-		Version: k.version,
+	if k.snapCache != nil && k.snapVersion == k.version {
+		return k.snapCache, nil
 	}
-	for key := range k.data {
-		st.Keys = append(st.Keys, key)
+	keys := k.keyScratch[:0]
+	size := 1 + binary.MaxVarintLen64 + binary.MaxVarintLen64
+	for key, value := range k.data {
+		keys = append(keys, key)
+		size += 2*binary.MaxVarintLen64 + len(key) + len(value)
 	}
-	sort.Strings(st.Keys)
-	for _, key := range st.Keys {
-		st.Values = append(st.Values, k.data[key])
+	sort.Strings(keys)
+	k.keyScratch = keys
+
+	buf := make([]byte, 1, size)
+	buf[0] = kvSnapFormat
+	buf = binary.AppendUvarint(buf, k.version)
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, key := range keys {
+		buf = binary.AppendUvarint(buf, uint64(len(key)))
+		buf = append(buf, key...)
+		value := k.data[key]
+		buf = binary.AppendUvarint(buf, uint64(len(value)))
+		buf = append(buf, value...)
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
-		return nil, fmt.Errorf("kvstore snapshot: %w", err)
-	}
-	return buf.Bytes(), nil
+	k.snapCache = buf
+	k.snapVersion = k.version
+	return buf, nil
 }
 
 // Restore implements app.Application.
 func (k *KVStore) Restore(snapshot []byte) error {
-	var st kvState
-	if err := gob.NewDecoder(bytes.NewReader(snapshot)).Decode(&st); err != nil {
-		return fmt.Errorf("kvstore restore: %w", err)
+	if len(snapshot) == 0 || snapshot[0] != kvSnapFormat {
+		return fmt.Errorf("kvstore restore: bad snapshot format")
 	}
-	if len(st.Keys) != len(st.Values) {
-		return fmt.Errorf("kvstore restore: %d keys vs %d values", len(st.Keys), len(st.Values))
+	rest := snapshot[1:]
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, fmt.Errorf("kvstore restore: truncated snapshot")
+		}
+		rest = rest[n:]
+		return v, nil
 	}
-	k.data = make(map[string]string, len(st.Keys))
-	for i, key := range st.Keys {
-		k.data[key] = st.Values[i]
+	readString := func() (string, error) {
+		l, err := readUvarint()
+		if err != nil {
+			return "", err
+		}
+		if uint64(len(rest)) < l {
+			return "", fmt.Errorf("kvstore restore: truncated snapshot")
+		}
+		s := string(rest[:l])
+		rest = rest[l:]
+		return s, nil
 	}
-	k.version = st.Version
+	version, err := readUvarint()
+	if err != nil {
+		return err
+	}
+	n, err := readUvarint()
+	if err != nil {
+		return err
+	}
+	data := make(map[string]string, n)
+	for i := uint64(0); i < n; i++ {
+		key, err := readString()
+		if err != nil {
+			return err
+		}
+		value, err := readString()
+		if err != nil {
+			return err
+		}
+		data[key] = value
+	}
+	k.data = data
+	k.version = version
+	// The incoming bytes are the canonical encoding of the state just
+	// adopted, so they can serve future Snapshot calls directly.
+	k.snapCache = snapshot
+	k.snapVersion = version
 	return nil
 }

@@ -232,7 +232,7 @@ func (r *Replica) onRead(from node.ID, req ReadReq) {
 		})
 	}
 	if r.cfg.ServiceDelay != nil {
-		r.ctx.SetTimer(r.cfg.ServiceDelay(r.ctx.Rand()), serve)
+		r.ctx.Post(r.cfg.ServiceDelay(r.ctx.Rand()), serve)
 		return
 	}
 	serve()

@@ -1,5 +1,7 @@
 package consistency
 
+import "sort"
+
 // CommitBuffer implements the primary replica's commit-in-GSN-order logic
 // from Section 4.1.1. A replica holds two pieces of state, my_GSN and
 // my_CSN; an update may be delivered to the application only when both the
@@ -18,6 +20,15 @@ type CommitBuffer struct {
 	pendingBody map[RequestID]Request
 	// ready holds fully-paired updates keyed by GSN, awaiting their turn.
 	ready map[uint64]Request
+
+	// drainScratch and idScratch back the slices returned by
+	// AddBody/AddAssign/SkipTo and PendingBodies/PendingAssignments. The
+	// returned slices are valid only until the next call on the buffer;
+	// every caller consumes them synchronously (the runtimes serialize all
+	// callbacks of the owning node), and commits flow on every update, so
+	// reusing the backing array removes a per-commit allocation.
+	drainScratch []Request
+	idScratch    []RequestID
 }
 
 // NewCommitBuffer creates an empty buffer with my_GSN = my_CSN = 0.
@@ -92,11 +103,18 @@ func (b *CommitBuffer) HasBody(id RequestID) bool {
 
 // PendingBodies returns the IDs of update bodies still awaiting a GSN
 // assignment; the replica gateway uses it to chase lost assignments after a
-// sequencer failover.
+// sequencer failover. The result is sorted (client, then sequence number) so
+// chase messages go out in a reproducible order, and is valid only until the
+// next PendingBodies/PendingAssignments call.
 func (b *CommitBuffer) PendingBodies() []RequestID {
-	out := make([]RequestID, 0, len(b.pendingBody))
+	out := b.idScratch[:0]
 	for id := range b.pendingBody {
 		out = append(out, id)
+	}
+	b.idScratch = out
+	sortRequestIDs(out)
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
@@ -104,13 +122,29 @@ func (b *CommitBuffer) PendingBodies() []RequestID {
 // PendingAssignments returns the IDs of GSN assignments whose update bodies
 // have not arrived. A body that reached only part of the primary group
 // stalls everyone else's commit stream at that GSN; the gateway chases
-// these with BodyRequests to its peers.
+// these with BodyRequests to its peers. Sorting and slice reuse follow
+// PendingBodies.
 func (b *CommitBuffer) PendingAssignments() []RequestID {
-	out := make([]RequestID, 0, len(b.pendingGSN))
+	out := b.idScratch[:0]
 	for id := range b.pendingGSN {
 		out = append(out, id)
 	}
+	b.idScratch = out
+	sortRequestIDs(out)
+	if len(out) == 0 {
+		return nil
+	}
 	return out
+}
+
+// sortRequestIDs orders ids by client then per-client sequence number.
+func sortRequestIDs(ids []RequestID) {
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Client != ids[j].Client {
+			return ids[i].Client < ids[j].Client
+		}
+		return ids[i].Seq < ids[j].Seq
+	})
 }
 
 // Body returns the buffered body for id, if this replica still holds one.
@@ -146,15 +180,23 @@ func (b *CommitBuffer) stage(gsn uint64, req Request) []Request {
 	return b.drain()
 }
 
+// drain emits the commits that have become sequential. The returned slice
+// shares the buffer's scratch array and is valid only until the next
+// AddBody/AddAssign/SkipTo call.
 func (b *CommitBuffer) drain() []Request {
-	var out []Request
+	out := b.drainScratch[:0]
 	for {
 		req, ok := b.ready[b.myCSN+1]
 		if !ok {
-			return out
+			break
 		}
 		delete(b.ready, b.myCSN+1)
 		b.myCSN++
 		out = append(out, req)
 	}
+	b.drainScratch = out
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }

@@ -47,35 +47,29 @@ func RunBaselines(base Fig4Config) []SelectorResult {
 		selection.Single{},
 		&selection.RandomK{K: 3, Rand: rand.New(rand.NewSource(base.Seed + 77))},
 	}
-	var out []SelectorResult
-	for _, sel := range selectors {
+	return runSelectorPoints(base, selectors)
+}
+
+// runSelectorPoints runs one Fig4 point per selector in parallel. Selector
+// instances are not shared between points, so each worker owns its
+// selector's state (RandomK's private rand included).
+func runSelectorPoints(base Fig4Config, selectors []selection.Selector) []SelectorResult {
+	return runPoints(selectors, func(sel selection.Selector) SelectorResult {
 		cfg := base
 		cfg.Selector = sel
 		r := RunFig4Point(cfg)
-		out = append(out, SelectorResult{
+		return SelectorResult{
 			Name:       sel.Name(),
 			Fig4Result: r,
 			LoadCV:     selectionCV(r),
-		})
-	}
-	return out
+		}
+	})
 }
 
 // RunHotspot compares Algorithm 1's LRU (ert) ordering against the greedy
 // best-CDF-first ablation: same stopping rule, no load spreading.
 func RunHotspot(base Fig4Config) []SelectorResult {
-	var out []SelectorResult
-	for _, sel := range []selection.Selector{selection.Algorithm1{}, selection.CDFGreedy{}} {
-		cfg := base
-		cfg.Selector = sel
-		r := RunFig4Point(cfg)
-		out = append(out, SelectorResult{
-			Name:       sel.Name(),
-			Fig4Result: r,
-			LoadCV:     selectionCV(r),
-		})
-	}
-	return out
+	return runSelectorPoints(base, []selection.Selector{selection.Algorithm1{}, selection.CDFGreedy{}})
 }
 
 func selectionCV(r Fig4Result) float64 {
@@ -98,41 +92,35 @@ type FailoverResult struct {
 func RunFailover(base Fig4Config) []FailoverResult {
 	runLen := time.Duration(base.Requests) * (base.RequestDelay + 300*time.Millisecond)
 	scenarios := []string{"none", "p01", "sequencer", "publisher"}
-	var out []FailoverResult
-	for _, sc := range scenarios {
+	return runPoints(scenarios, func(sc string) FailoverResult {
 		cfg := base
 		if sc != "none" {
 			cfg.Crash = sc
 			cfg.CrashAt = runLen / 3
 		}
-		out = append(out, FailoverResult{Crash: sc, Fig4Result: RunFig4Point(cfg)})
-	}
-	return out
+		return FailoverResult{Crash: sc, Fig4Result: RunFig4Point(cfg)}
+	})
 }
 
 // RunLUISweep reproduces the conclusions' "varying the lazy update
 // interval" study at a fixed deadline.
 func RunLUISweep(base Fig4Config, luis []time.Duration) []Fig4Result {
-	var out []Fig4Result
-	for _, lui := range luis {
+	return runPoints(luis, func(lui time.Duration) Fig4Result {
 		cfg := base
 		cfg.LUI = lui
 		cfg.Seed = base.Seed + int64(lui/time.Millisecond)
-		out = append(out, RunFig4Point(cfg))
-	}
-	return out
+		return RunFig4Point(cfg)
+	})
 }
 
 // RunRequestDelaySweep reproduces the conclusions' "varying the request
 // delay" study: faster clients mean higher update rates and staler
 // secondaries.
 func RunRequestDelaySweep(base Fig4Config, delays []time.Duration) []Fig4Result {
-	var out []Fig4Result
-	for _, d := range delays {
+	return runPoints(delays, func(d time.Duration) Fig4Result {
 		cfg := base
 		cfg.RequestDelay = d
 		cfg.Seed = base.Seed + int64(d/time.Millisecond)
-		out = append(out, RunFig4Point(cfg))
-	}
-	return out
+		return RunFig4Point(cfg)
+	})
 }

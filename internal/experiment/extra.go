@@ -113,19 +113,17 @@ type GroupSplitResult struct {
 // sweeping the primary/secondary split at a fixed total of serving
 // replicas.
 func RunGroupSplitSweep(base Fig4Config, splits [][2]int) []GroupSplitResult {
-	var out []GroupSplitResult
-	for _, sp := range splits {
+	return runPoints(splits, func(sp [2]int) GroupSplitResult {
 		cfg := base
 		cfg.Primaries = sp[0]
 		cfg.Secondaries = sp[1]
 		cfg.Seed = base.Seed + int64(sp[0]*100+sp[1])
-		out = append(out, GroupSplitResult{
+		return GroupSplitResult{
 			Primaries:   sp[0],
 			Secondaries: sp[1],
 			Fig4Result:  RunFig4Point(cfg),
-		})
-	}
-	return out
+		}
+	})
 }
 
 // WriteGroupSplitTable renders the split sweep.
@@ -156,16 +154,14 @@ type WindowResult struct {
 // eliminating obsolete measurements"): prediction quality (failure rate)
 // versus selection overhead.
 func RunWindowSweep(base Fig4Config, windows []int) []WindowResult {
-	var out []WindowResult
-	for _, wsize := range windows {
+	return runPoints(windows, func(wsize int) WindowResult {
 		cfg := base
 		cfg.WindowSize = wsize
 		cfg.Seed = base.Seed + int64(wsize)
 		r := RunFig4Point(cfg)
 		fp := RunFig3Point(10, wsize, 300, base.Seed)
-		out = append(out, WindowResult{Window: wsize, Fig4Result: r, Overhead: fp.Overhead})
-	}
-	return out
+		return WindowResult{Window: wsize, Fig4Result: r, Overhead: fp.Overhead}
+	})
 }
 
 // WriteWindowTable renders the window sweep.
@@ -191,17 +187,15 @@ type EstimatorResult struct {
 // RunEstimatorAblation compares the paper's pure-Poisson staleness factor
 // (Equation 4) against the n_L-anchored counted estimator.
 func RunEstimatorAblation(base Fig4Config) []EstimatorResult {
-	var out []EstimatorResult
-	for _, counted := range []bool{false, true} {
+	return runPoints([]bool{false, true}, func(counted bool) EstimatorResult {
 		cfg := base
 		cfg.CountedEstimator = counted
 		name := "poisson(eq4)"
 		if counted {
 			name = "counted(nL)"
 		}
-		out = append(out, EstimatorResult{Name: name, Fig4Result: RunFig4Point(cfg)})
-	}
-	return out
+		return EstimatorResult{Name: name, Fig4Result: RunFig4Point(cfg)}
+	})
 }
 
 // WriteEstimatorTable renders the estimator ablation.

@@ -160,7 +160,7 @@ func alternatingDriver(total int, thinkTime time.Duration, key string, onRead fu
 				return
 			}
 			next := func(client.Result) {
-				ctx.SetTimer(thinkTime, func() { issue(k + 1) })
+				ctx.Post(thinkTime, func() { issue(k + 1) })
 			}
 			if k%2 == 0 {
 				gw.Invoke("Set", []byte(fmt.Sprintf("%s=%d", key, k)), next)
@@ -176,7 +176,7 @@ func alternatingDriver(total int, thinkTime time.Duration, key string, onRead fu
 		// Small deterministic stagger so the two clients do not start in
 		// lockstep.
 		stagger := time.Duration(ctx.Rand().Int63n(int64(200 * time.Millisecond)))
-		ctx.SetTimer(stagger, func() { issue(0) })
+		ctx.Post(stagger, func() { issue(0) })
 	}
 }
 
@@ -349,9 +349,11 @@ func DefaultFig4Sweep() Fig4Sweep {
 	return sw
 }
 
-// Run executes every point of the sweep.
+// Run executes every point of the sweep, fanned across the package's
+// configured worker count (see SetParallelism). Results are in grid order
+// regardless of parallelism.
 func (sw Fig4Sweep) Run() []Fig4Result {
-	var out []Fig4Result
+	points := make([]Fig4Config, 0, len(sw.Configs)*len(sw.Deadlines))
 	for _, cfg := range sw.Configs {
 		for _, d := range sw.Deadlines {
 			point := sw.Base
@@ -359,8 +361,8 @@ func (sw Fig4Sweep) Run() []Fig4Result {
 			point.MinProb = cfg.MinProb
 			point.LUI = cfg.LUI
 			point.Seed = sw.Base.Seed + int64(d/time.Millisecond) + int64(cfg.MinProb*1000) + int64(cfg.LUI/time.Millisecond)
-			out = append(out, RunFig4Point(point))
+			points = append(points, point)
 		}
 	}
-	return out
+	return runPoints(points, RunFig4Point)
 }

@@ -21,25 +21,42 @@ type ScalabilityResult struct {
 // clients and comparing Algorithm 1 against the select-all baseline for the
 // measured client.
 func RunScalability(base Fig4Config, clientCounts []int) []ScalabilityResult {
-	var out []ScalabilityResult
-	for _, sel := range []selection.Selector{selection.Algorithm1{}, selection.All{}} {
-		for _, n := range clientCounts {
-			if n < 2 {
-				n = 2
-			}
-			cfg := base
-			cfg.Selector = sel
-			cfg.SelectorForAll = true
-			cfg.ExtraClients = n - 2
-			cfg.Seed = base.Seed + int64(n*10)
-			out = append(out, ScalabilityResult{
-				Clients:    n,
-				Selector:   sel.Name(),
-				Fig4Result: RunFig4Point(cfg),
-			})
+	// Clamp to the two mandatory clients and dedupe before deriving seeds:
+	// clamping inside the loop used to alias e.g. counts 1 and 2 onto the
+	// same seed (and an identical run), silently double-counting one point.
+	counts := make([]int, 0, len(clientCounts))
+	seen := make(map[int]bool, len(clientCounts))
+	for _, n := range clientCounts {
+		if n < 2 {
+			n = 2
+		}
+		if !seen[n] {
+			seen[n] = true
+			counts = append(counts, n)
 		}
 	}
-	return out
+	type point struct {
+		sel selection.Selector
+		n   int
+	}
+	var points []point
+	for _, sel := range []selection.Selector{selection.Algorithm1{}, selection.All{}} {
+		for _, n := range counts {
+			points = append(points, point{sel: sel, n: n})
+		}
+	}
+	return runPoints(points, func(p point) ScalabilityResult {
+		cfg := base
+		cfg.Selector = p.sel
+		cfg.SelectorForAll = true
+		cfg.ExtraClients = p.n - 2
+		cfg.Seed = base.Seed + int64(p.n*10)
+		return ScalabilityResult{
+			Clients:    p.n,
+			Selector:   p.sel.Name(),
+			Fig4Result: RunFig4Point(cfg),
+		}
+	})
 }
 
 // WriteScalabilityTable renders the client-scaling experiment.
@@ -67,14 +84,12 @@ type LossResult struct {
 // channels play in the paper) must keep the protocol correct, trading
 // latency for delivery.
 func RunLossSweep(base Fig4Config, rates []float64) []LossResult {
-	var out []LossResult
-	for _, p := range rates {
+	return runPoints(rates, func(p float64) LossResult {
 		cfg := base
 		cfg.Loss = p
 		cfg.Seed = base.Seed + int64(p*10000)
-		out = append(out, LossResult{Loss: p, Fig4Result: RunFig4Point(cfg)})
-	}
-	return out
+		return LossResult{Loss: p, Fig4Result: RunFig4Point(cfg)}
+	})
 }
 
 // WriteLossTable renders the loss sweep.

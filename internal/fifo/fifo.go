@@ -107,7 +107,7 @@ func (r *Replica) startNext() {
 	if r.cfg.ServiceDelay != nil {
 		delay = r.cfg.ServiceDelay(r.ctx.Rand())
 	}
-	r.ctx.SetTimer(delay, func() { r.complete(j) })
+	r.ctx.Post(delay, func() { r.complete(j) })
 }
 
 func (r *Replica) complete(j fifoJob) {

@@ -65,7 +65,10 @@ type (
 type sendLink struct {
 	gen     uint64
 	nextSeq uint64
-	unacked map[uint64]*pendingMsg
+	// unacked holds pendingMsg by value: links carry one entry per in-flight
+	// message and churn constantly, and the extra pointer allocation per
+	// transmit was measurable across a whole experiment run.
+	unacked map[uint64]pendingMsg
 	// peerEpoch is the receiver incarnation we are talking to (0 until the
 	// first ack reveals it).
 	peerEpoch uint64
@@ -89,10 +92,14 @@ type recvLink struct {
 	gen      uint64
 	expected uint64
 	buffer   map[uint64]node.Message
+	// deliverScratch backs receive's result; the slice is valid only until
+	// the next receive on this link, which is fine because the stack hands
+	// the payloads to the deliver callback synchronously.
+	deliverScratch []node.Message
 }
 
 func newSendLink() *sendLink {
-	return &sendLink{gen: 1, nextSeq: 1, unacked: make(map[uint64]*pendingMsg)}
+	return &sendLink{gen: 1, nextSeq: 1, unacked: make(map[uint64]pendingMsg)}
 }
 
 func newRecvLink(srcEpoch, gen uint64) *recvLink {
@@ -105,7 +112,7 @@ func (l *sendLink) reset(peerEpoch uint64) []node.Message {
 	out := l.backlog()
 	l.gen++
 	l.nextSeq = 1
-	l.unacked = make(map[uint64]*pendingMsg)
+	l.unacked = make(map[uint64]pendingMsg)
 	l.peerEpoch = peerEpoch
 	l.droppedMax = 0
 	return out
@@ -153,7 +160,7 @@ func (l *recvLink) receive(m DataMsg) []node.Message {
 		l.buffer[m.Seq] = m.Payload // early: hold for reordering
 		return nil
 	}
-	out := []node.Message{m.Payload}
+	out := append(l.deliverScratch[:0], m.Payload)
 	l.expected++
 	for {
 		p, ok := l.buffer[l.expected]
@@ -164,7 +171,13 @@ func (l *recvLink) receive(m DataMsg) []node.Message {
 		out = append(out, p)
 		l.expected++
 	}
+	l.deliverScratch = out
 	return out
+}
+
+// sortUint64s sorts s ascending in place.
+func sortUint64s(s []uint64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 }
 
 // sortedIDs returns a sorted copy of ids.

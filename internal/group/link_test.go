@@ -54,9 +54,9 @@ func TestRecvLinkDropsDuplicates(t *testing.T) {
 
 func TestSendLinkCumulativeAck(t *testing.T) {
 	l := newSendLink()
-	l.unacked[1] = &pendingMsg{}
-	l.unacked[2] = &pendingMsg{}
-	l.unacked[3] = &pendingMsg{}
+	l.unacked[1] = pendingMsg{}
+	l.unacked[2] = pendingMsg{}
+	l.unacked[3] = pendingMsg{}
 	l.ack(3) // receiver expects 3: 1 and 2 are delivered
 	if _, ok := l.unacked[1]; ok {
 		t.Fatal("seq 1 still pending after cumulative ack")
@@ -77,8 +77,8 @@ func TestSendLinkStuckAndReset(t *testing.T) {
 	l := newSendLink()
 	l.nextSeq = 6
 	l.droppedMax = 2 // seqs 1-2 given up
-	l.unacked[4] = &pendingMsg{msg: DataMsg{Seq: 4, Payload: "a"}}
-	l.unacked[5] = &pendingMsg{msg: DataMsg{Seq: 5, Payload: "b"}}
+	l.unacked[4] = pendingMsg{msg: DataMsg{Seq: 4, Payload: "a"}}
+	l.unacked[5] = pendingMsg{msg: DataMsg{Seq: 5, Payload: "b"}}
 	if !l.stuck(1) || !l.stuck(2) {
 		t.Fatal("receiver below the hole not reported stuck")
 	}

@@ -59,6 +59,10 @@ type groupState struct {
 	dead     map[node.ID]bool
 	version  int
 	onView   func(View)
+	// hbMsg is the group's heartbeat pre-boxed as a node.Message once at
+	// Join; heartbeats fire every interval to every peer, and re-boxing the
+	// same immutable value was a measurable share of simulator allocations.
+	hbMsg node.Message
 }
 
 // Stack gives one node reliable FIFO links to its peers and membership
@@ -71,14 +75,32 @@ type Stack struct {
 	// the same node ID across restarts.
 	incarnation uint64
 	out         map[node.ID]*sendLink
-	in          map[node.ID]*recvLink
-	groups      map[string]*groupState
-	deliver     func(from node.ID, m node.Message)
-	stopped     bool
+	// outOrder lists send-link peers in creation order: the retransmit tick
+	// walks links in this fixed order because iterating the out map would
+	// resend (and thus draw network randomness) in a different order every
+	// run, making loss-experiment results irreproducible.
+	outOrder []node.ID
+	in       map[node.ID]*recvLink
+	// seqScratch is reused by retransmitTick to sort unacked sequence
+	// numbers without a fresh slice per tick.
+	seqScratch []uint64
+	// groups indexes by name; groupList holds the same states in Join order
+	// so periodic ticks iterate (and therefore send) in a deterministic
+	// order — map iteration would perturb the simulator's network random
+	// stream from run to run once a node joins more than one group.
+	groupList []*groupState
+	groups    map[string]*groupState
+	deliver   func(from node.ID, m node.Message)
+	stopped   bool
 
 	// retransmitArmed tracks whether the retransmit timer is scheduled; it
 	// is armed on demand so idle stacks generate no events.
 	retransmitArmed bool
+
+	// heartbeatFn/retransmitFn are the tick methods bound once at creation;
+	// rebinding the method value on every rearm allocates.
+	heartbeatFn  func()
+	retransmitFn func()
 }
 
 // NewStack creates the substrate for the node owning ctx. deliver receives
@@ -97,8 +119,10 @@ func NewStack(ctx node.Context, cfg Config, deliver func(from node.ID, m node.Me
 	for s.incarnation == 0 {
 		s.incarnation = uint64(ctx.Rand().Int63())
 	}
+	s.heartbeatFn = s.heartbeatTick
+	s.retransmitFn = s.retransmitTick
 	if cfg.HeartbeatInterval > 0 {
-		s.ctx.SetTimer(cfg.HeartbeatInterval, s.heartbeatTick)
+		s.ctx.Post(cfg.HeartbeatInterval, s.heartbeatFn)
 	}
 	return s
 }
@@ -117,12 +141,14 @@ func (s *Stack) Join(name string, members []node.ID, onView func(View)) {
 		lastSeen: make(map[node.ID]time.Time, len(members)),
 		dead:     make(map[node.ID]bool),
 		onView:   onView,
+		hbMsg:    HeartbeatMsg{Group: name},
 	}
 	now := s.ctx.Now()
 	for _, m := range g.members {
 		g.lastSeen[m] = now
 	}
 	s.groups[name] = g
+	s.groupList = append(s.groupList, g)
 	if onView != nil {
 		onView(s.viewOf(g))
 	}
@@ -162,6 +188,7 @@ func (s *Stack) Send(to node.ID, m node.Message) {
 	if !ok {
 		l = newSendLink()
 		s.out[to] = l
+		s.outOrder = append(s.outOrder, to)
 	}
 	s.transmit(to, l, m)
 	s.armRetransmit()
@@ -171,7 +198,7 @@ func (s *Stack) Send(to node.ID, m node.Message) {
 func (s *Stack) transmit(to node.ID, l *sendLink, m node.Message) {
 	dm := DataMsg{SrcEpoch: s.incarnation, Gen: l.gen, Seq: l.nextSeq, Payload: m}
 	l.nextSeq++
-	l.unacked[dm.Seq] = &pendingMsg{msg: dm, sentAt: s.ctx.Now()}
+	l.unacked[dm.Seq] = pendingMsg{msg: dm, sentAt: s.ctx.Now()}
 	s.ctx.Send(to, dm)
 }
 
@@ -180,7 +207,7 @@ func (s *Stack) armRetransmit() {
 		return
 	}
 	s.retransmitArmed = true
-	s.ctx.SetTimer(s.cfg.RetransmitInterval, s.retransmitTick)
+	s.ctx.Post(s.cfg.RetransmitInterval, s.retransmitFn)
 }
 
 // Multicast sends m to every live member of a joined group except the local
@@ -274,7 +301,7 @@ func (s *Stack) Handle(from node.ID, m node.Message) bool {
 // partition heals).
 func (s *Stack) noteAlive(peer node.ID) {
 	now := s.ctx.Now()
-	for _, g := range s.groups {
+	for _, g := range s.groupList {
 		if _, member := g.lastSeen[peer]; !member {
 			continue
 		}
@@ -296,8 +323,22 @@ func (s *Stack) retransmitTick() {
 	}
 	now := s.ctx.Now()
 	pending := false
-	for peer, l := range s.out {
-		for seq, p := range l.unacked {
+	for _, peer := range s.outOrder {
+		l := s.out[peer]
+		if len(l.unacked) == 0 {
+			continue
+		}
+		// Walk sequence numbers in sorted order: resends draw from the
+		// network's random stream, so their order must not depend on map
+		// iteration.
+		seqs := s.seqScratch[:0]
+		for seq := range l.unacked {
+			seqs = append(seqs, seq)
+		}
+		sortUint64s(seqs)
+		s.seqScratch = seqs
+		for _, seq := range seqs {
+			p := l.unacked[seq]
 			if now.Sub(p.sentAt) < s.cfg.RetransmitInterval {
 				pending = true
 				continue
@@ -312,6 +353,7 @@ func (s *Stack) retransmitTick() {
 			}
 			p.retries++
 			p.sentAt = now
+			l.unacked[seq] = p
 			s.ctx.Send(peer, p.msg)
 			pending = true
 		}
@@ -326,23 +368,23 @@ func (s *Stack) heartbeatTick() {
 		return
 	}
 	self := s.ctx.ID()
-	for name, g := range s.groups {
+	for _, g := range s.groupList {
 		for _, member := range g.members {
 			if member != self {
-				s.ctx.Send(member, HeartbeatMsg{Group: name})
+				s.ctx.Send(member, g.hbMsg)
 			}
 		}
 	}
 	if s.cfg.FailTimeout > 0 {
 		s.checkFailures()
 	}
-	s.ctx.SetTimer(s.cfg.HeartbeatInterval, s.heartbeatTick)
+	s.ctx.Post(s.cfg.HeartbeatInterval, s.heartbeatFn)
 }
 
 func (s *Stack) checkFailures() {
 	now := s.ctx.Now()
 	self := s.ctx.ID()
-	for _, g := range s.groups {
+	for _, g := range s.groupList {
 		changed := false
 		for _, member := range g.members {
 			if member == self || g.dead[member] {

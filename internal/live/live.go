@@ -320,6 +320,13 @@ func (l *liveNode) SetTimer(d time.Duration, f func()) node.CancelFunc {
 	}
 }
 
+// Post implements node.Context: SetTimer without the cancel machinery.
+func (l *liveNode) Post(d time.Duration, f func()) {
+	time.AfterFunc(d, func() {
+		l.enqueue(envelope{timer: f})
+	})
+}
+
 // Logf implements node.Context.
 func (l *liveNode) Logf(format string, args ...interface{}) {
 	l.rt.logf("%-14s "+format, append([]interface{}{l.id}, args...)...)

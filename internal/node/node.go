@@ -48,6 +48,12 @@ type Context interface {
 	// returned CancelFunc prevents f from running if invoked first.
 	SetTimer(d time.Duration, f func()) CancelFunc
 
+	// Post schedules f like SetTimer but returns no cancel handle. It is
+	// the allocation-lean path for fire-and-forget timers (periodic ticks,
+	// service delays, think times): the simulator runs it without the
+	// per-timer cancel closure SetTimer must allocate.
+	Post(d time.Duration, f func())
+
 	// Rand returns this node's private random source. The simulator seeds
 	// it deterministically from the run seed and the node ID.
 	Rand() *rand.Rand

@@ -142,6 +142,11 @@ type Gateway struct {
 	lastLazyAt            time.Time // start of tL
 	lazyTimerSet          bool
 
+	// Tick callbacks bound once at Init so re-arming a periodic timer does
+	// not allocate a fresh method-value closure per tick.
+	chaseFn func()
+	lazyFn  func()
+
 	// Stuck-stream detection: the last time my_CSN advanced, and its value
 	// then. A commit stream with my_GSN ahead of my_CSN that makes no
 	// progress across chase ticks has a hole nothing will fill (both the
@@ -182,6 +187,10 @@ func New(cfg Config) *Gateway {
 // Init implements node.Node.
 func (g *Gateway) Init(ctx node.Context) {
 	g.ctx = ctx
+	// Bind the tick callbacks before anything (including the synchronous
+	// first view callback out of Join) can schedule them.
+	g.chaseFn = g.chaseTick
+	g.lazyFn = g.lazyTick
 	g.lastBroadcastAt = ctx.Now()
 	g.lastLazyAt = ctx.Now()
 	g.stack = group.NewStack(ctx, g.cfg.Group, g.handleDelivery)
@@ -192,7 +201,7 @@ func (g *Gateway) Init(ctx node.Context) {
 	}
 	g.started = true
 	g.lastCSNAt = ctx.Now()
-	g.ctx.SetTimer(g.cfg.ChaseInterval, g.chaseTick)
+	g.ctx.Post(g.cfg.ChaseInterval, g.chaseFn)
 
 	// Bootstrap/restart state sync: ask the sequencer for a snapshot so a
 	// rejoining replica converges immediately instead of waiting for the

@@ -298,7 +298,7 @@ func (g *Gateway) chaseTick() {
 			}
 		}
 	}
-	g.ctx.SetTimer(g.cfg.ChaseInterval, g.chaseTick)
+	g.ctx.Post(g.cfg.ChaseInterval, g.chaseFn)
 }
 
 // lonePrimary reports whether this node is the only live member of the

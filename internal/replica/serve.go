@@ -286,7 +286,7 @@ func (g *Gateway) startNext() {
 		// primary, however, really is serving.
 		delay = g.cfg.ServiceDelay(g.ctx.Rand())
 	}
-	g.ctx.SetTimer(delay, func() { g.complete(j) })
+	g.ctx.Post(delay, func() { g.complete(j) })
 }
 
 // complete finishes a job: executes the application call, replies, and (for
@@ -453,7 +453,7 @@ func (g *Gateway) scheduleLazyTick() {
 		return
 	}
 	g.lazyTimerSet = true
-	g.ctx.SetTimer(g.cfg.LazyInterval, g.lazyTick)
+	g.ctx.Post(g.cfg.LazyInterval, g.lazyFn)
 }
 
 // lazyTick propagates the publisher's applied state to every secondary and

@@ -69,7 +69,7 @@ func TestRuntimeCrashStopsDelivery(t *testing.T) {
 	})
 	rt.Start()
 
-	a := rt.nodes["a"]
+	a := rt.lookup("a")
 	a.Send("b", ping{})
 	s.RunUntilIdle()
 	if bGot != 1 {
@@ -229,7 +229,7 @@ func TestRuntimeRestartReplacesNode(t *testing.T) {
 		OnRecv: func(node.ID, node.Message) { oldGot++ },
 	})
 	rt.Start()
-	a := rt.nodes["a"]
+	a := rt.lookup("a")
 	a.Send("b", ping{})
 	s.RunUntilIdle()
 	if oldGot != 1 {
@@ -248,7 +248,7 @@ func TestRuntimeRestartReplacesNode(t *testing.T) {
 	if rt.Crashed("b") {
 		t.Fatal("restarted node still reported crashed")
 	}
-	a = rt.nodes["a"]
+	a = rt.lookup("a")
 	a.Send("b", ping{})
 	s.RunUntilIdle()
 	if newGot != 1 || oldGot != 1 {

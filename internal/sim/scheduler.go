@@ -15,10 +15,18 @@ import (
 
 // event is a scheduled callback. Events with equal times fire in scheduling
 // order (seq breaks ties), which keeps runs deterministic.
+//
+// Event structs are recycled through the scheduler's free list: experiment
+// runs churn through millions of events, and allocating each one separately
+// dominated the simulator's cost. gen increments every time an event object
+// is returned to the free list, so a stale cancel handle (or any other
+// reference from a previous tenancy) can detect that the object has moved on
+// and must not be touched.
 type event struct {
 	at       time.Time
 	seq      uint64
 	fn       func()
+	gen      uint32
 	canceled bool
 	index    int // heap index, maintained by eventHeap
 }
@@ -58,11 +66,13 @@ func (h *eventHeap) Pop() interface{} {
 // Scheduler is a single-threaded discrete-event scheduler with a virtual
 // clock. It is not safe for concurrent use; all interaction must happen from
 // the goroutine that calls Run (which is also the goroutine that executes
-// every event callback).
+// every event callback). Distinct Scheduler instances share nothing, so
+// independent simulations may run on separate goroutines concurrently.
 type Scheduler struct {
 	now     time.Time
 	seq     uint64
 	pending eventHeap
+	free    []*event // recycled event structs
 	seed    int64
 	stopped bool
 	ran     uint64
@@ -87,16 +97,51 @@ func (s *Scheduler) Seed() int64 { return s.seed }
 // Events returns the number of events executed so far.
 func (s *Scheduler) Events() uint64 { return s.ran }
 
-// At schedules fn to run at virtual time t. Times in the past run "now":
-// they are clamped to the current clock so the clock never moves backwards.
-func (s *Scheduler) At(t time.Time, fn func()) func() {
+// post schedules fn at t (clamped to now) on a recycled or fresh event and
+// returns the event. The caller must not retain the event past its firing
+// without checking gen.
+func (s *Scheduler) post(t time.Time, fn func()) *event {
 	if t.Before(s.now) {
 		t = s.now
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		ev = new(event)
+	}
+	ev.at = t
+	ev.seq = s.seq
+	ev.fn = fn
+	ev.canceled = false
 	s.seq++
 	heap.Push(&s.pending, ev)
-	return func() { ev.canceled = true }
+	return ev
+}
+
+// recycle returns a popped event to the free list, bumping its generation so
+// stale handles from its previous tenancy become inert.
+func (s *Scheduler) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	s.free = append(s.free, ev)
+}
+
+// At schedules fn to run at virtual time t. Times in the past run "now":
+// they are clamped to the current clock so the clock never moves backwards.
+// The returned function cancels the callback; calling it after the event
+// fired (even if the underlying event object has been recycled for a later
+// callback) is a safe no-op.
+func (s *Scheduler) At(t time.Time, fn func()) func() {
+	ev := s.post(t, fn)
+	gen := ev.gen
+	return func() {
+		if ev.gen == gen {
+			ev.canceled = true
+		}
+	}
 }
 
 // After schedules fn to run d from the current virtual time and returns a
@@ -106,6 +151,18 @@ func (s *Scheduler) After(d time.Duration, fn func()) func() {
 		d = 0
 	}
 	return s.At(s.now.Add(d), fn)
+}
+
+// Post schedules fn to run d from the current virtual time with no way to
+// cancel it. It is the allocation-lean sibling of After for fire-and-forget
+// work (message delivery, periodic ticks): it allocates nothing once the
+// event free list is warm, where After must allocate a cancel closure per
+// call.
+func (s *Scheduler) Post(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.post(s.now.Add(d), fn)
 }
 
 // Stop makes the currently running Run/RunUntilIdle call return after the
@@ -145,10 +202,16 @@ func (s *Scheduler) run(deadline time.Time, bounded bool) uint64 {
 		}
 		heap.Pop(&s.pending)
 		if next.canceled {
+			s.recycle(next)
 			continue
 		}
 		s.now = next.at
-		next.fn()
+		fn := next.fn
+		// Recycle before running: fn may itself schedule events and is the
+		// common producer of the next tenancy. The generation bump has
+		// already invalidated any cancel handle to this firing.
+		s.recycle(next)
+		fn()
 		n++
 		s.ran++
 	}

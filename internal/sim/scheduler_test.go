@@ -191,3 +191,84 @@ func TestSchedulerOrderingProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The free-list tests below pin down the recycling contract: an event struct
+// is reused across tenancies, and only the generation counter keeps stale
+// cancel handles from reaching into a later tenancy.
+
+func TestSchedulerRecycledEventIgnoresStaleCancel(t *testing.T) {
+	s := NewScheduler(1)
+	fired := 0
+	cancel := s.After(time.Millisecond, func() { fired++ })
+	s.RunUntilIdle()
+	if fired != 1 {
+		t.Fatalf("first tenancy fired %d times, want 1", fired)
+	}
+	// The event struct is now on the free list; the next After reuses it.
+	second := 0
+	s.After(time.Millisecond, func() { second++ })
+	cancel() // stale handle from the first tenancy: must be inert
+	s.RunUntilIdle()
+	if second != 1 {
+		t.Fatalf("stale cancel suppressed the recycled event (fired %d times, want 1)", second)
+	}
+}
+
+func TestSchedulerCanceledEventRecyclesWithoutFiring(t *testing.T) {
+	s := NewScheduler(1)
+	fired := 0
+	cancel := s.After(time.Millisecond, func() { fired++ })
+	cancel()
+	s.RunUntilIdle()
+	if fired != 0 {
+		t.Fatal("canceled event fired")
+	}
+	// The canceled event was recycled at pop; its struct must serve a new
+	// tenancy with a fresh callback, not the canceled flag or old fn.
+	second := 0
+	s.After(time.Millisecond, func() { second++ })
+	s.RunUntilIdle()
+	if second != 1 {
+		t.Fatalf("recycled canceled event fired %d times, want 1", second)
+	}
+}
+
+func TestSchedulerCancelAfterRecycleManyTenancies(t *testing.T) {
+	// A single retained cancel handle must stay inert across many reuses of
+	// its event struct (the generation counter keeps advancing).
+	s := NewScheduler(1)
+	var stale func()
+	fired := 0
+	stale = s.After(time.Millisecond, func() { fired++ })
+	s.RunUntilIdle()
+	for i := 0; i < 100; i++ {
+		s.After(time.Millisecond, func() { fired++ })
+		stale()
+		s.RunUntilIdle()
+	}
+	if fired != 101 {
+		t.Fatalf("fired %d times, want 101 (stale cancel must never suppress a later tenancy)", fired)
+	}
+}
+
+func TestSchedulerPostReusesEvents(t *testing.T) {
+	// Post must recycle event structs: schedule->fire->schedule in a chain
+	// and verify the free list keeps the heap from growing.
+	s := NewScheduler(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 1000 {
+			s.Post(time.Millisecond, tick)
+		}
+	}
+	s.Post(time.Millisecond, tick)
+	s.RunUntilIdle()
+	if n != 1000 {
+		t.Fatalf("chain ran %d ticks, want 1000", n)
+	}
+	if got := len(s.free); got != 1 {
+		t.Fatalf("free list holds %d events after a serial chain, want 1", got)
+	}
+}

@@ -40,10 +40,10 @@ func Writes(n int, key string, next func(r interface{ Float64() float64 }) time.
 				}
 			})
 			if issued < n {
-				ctx.SetTimer(next(ctx.Rand()), schedule)
+				ctx.Post(next(ctx.Rand()), schedule)
 			}
 		}
-		ctx.SetTimer(next(ctx.Rand()), schedule)
+		ctx.Post(next(ctx.Rand()), schedule)
 	}
 }
 
@@ -92,9 +92,9 @@ func PeriodicReads(n int, method string, payload []byte, period time.Duration, o
 				if onRead != nil {
 					onRead(r)
 				}
-				ctx.SetTimer(period, func() { issue(i + 1) })
+				ctx.Post(period, func() { issue(i + 1) })
 			})
 		}
-		ctx.SetTimer(period, func() { issue(0) })
+		ctx.Post(period, func() { issue(0) })
 	}
 }

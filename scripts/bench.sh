@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
 # Runs the selection hot-path benchmarks (Figure 3 overhead, PMF
 # convolution kernels, Algorithm 1, and the steady-state evaluate loop) and
-# writes the results as JSON to BENCH_selection.json at the repo root.
+# writes the results as JSON to BENCH_selection.json at the repo root, then
+# runs the simulator/sweep benchmarks (full Fig4 points, scheduler event
+# throughput, parallel sweep wall clock) and writes BENCH_sweep.json.
 #
 # Usage: scripts/bench.sh [count]
 #   count: -count value passed to go test (default 5)
@@ -60,3 +62,50 @@ END {
 }' "$raw" > "$out"
 
 echo "wrote $out"
+
+# ---- Simulator core + parallel sweep engine ----
+# BenchmarkFig4Point is the per-point cost of a full 200-request experiment
+# (ns_per_op = ns/point); BenchmarkSimulator is raw scheduler throughput
+# (events_per_sec derived from ns/op); BenchmarkSweepWallClock compares a
+# 16-point sweep run sequentially and at GOMAXPROCS.
+sweep_out="BENCH_sweep.json"
+sweep_raw="$(mktemp)"
+trap 'rm -f "$raw" "$sweep_raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkFig4Point$|BenchmarkSimulator$|BenchmarkSweepWallClock' \
+	-benchmem -count 3 . | tee "$sweep_raw"
+
+awk '
+BEGIN { n = 0 }
+/^Benchmark/ {
+	name = $1; iters = $2
+	ns = ""; bytes = ""; allocs = ""
+	for (i = 3; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		if ($(i + 1) == "B/op") bytes = $i
+		if ($(i + 1) == "allocs/op") allocs = $i
+	}
+	if (ns == "") next
+	line = sprintf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+	if (name ~ /BenchmarkSimulator/)
+		line = line sprintf(", \"events_per_sec\": %d", 1e9 / ns)
+	if (bytes != "") line = line sprintf(", \"bytes_per_op\": %s", bytes)
+	if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+	line = line "}"
+	rows[n++] = line
+}
+END {
+	printf "{\n"
+	printf "  \"bench_regexp\": \"BenchmarkFig4Point$|BenchmarkSimulator$|BenchmarkSweepWallClock\",\n"
+	# Pre-PR numbers (per-event/per-message allocation, sequential sweeps
+	# only), taken on the same machine before the free-list/pooling rewrite.
+	printf "  \"baseline_pre_optimization\": [\n"
+	printf "    {\"name\": \"BenchmarkFig4Point\", \"ns_per_op\": 89005114, \"bytes_per_op\": 26899997, \"allocs_per_op\": 497656},\n"
+	printf "    {\"name\": \"BenchmarkSimulator\", \"ns_per_op\": 115.2, \"events_per_sec\": 8680555, \"bytes_per_op\": 79, \"allocs_per_op\": 1}\n"
+	printf "  ],\n"
+	printf "  \"results\": [\n"
+	for (i = 0; i < n; i++) printf "  %s%s\n", rows[i], (i < n - 1 ? "," : "")
+	printf "  ]\n}\n"
+}' "$sweep_raw" > "$sweep_out"
+
+echo "wrote $sweep_out"
