@@ -1,0 +1,37 @@
+package aqua_test
+
+import (
+	"testing"
+	"time"
+
+	"aqua/internal/experiment"
+	"aqua/internal/qos"
+	"aqua/internal/repository"
+	"aqua/internal/selection"
+)
+
+// TestEvaluateSteadyStateZeroAlloc is the CI-enforced form of
+// BenchmarkEvaluateSteadyState's allocation contract: with observability
+// disabled (no registry anywhere near the hot path), repeated model
+// evaluation against a warm repository must not allocate. The observability
+// subsystem's nil-receiver no-ops ride this same path, so a regression here
+// usually means an instrument call stopped being free when disabled.
+func TestEvaluateSteadyStateZeroAlloc(t *testing.T) {
+	rng := seededRand(42)
+	now := time.Date(2002, 6, 23, 0, 0, 0, 0, time.UTC)
+	repo := repository.New(20)
+	prim, sec := experiment.SeedRepository(repo, 16, 20, rng, now)
+	model := selection.Model{BinWidth: 2 * time.Millisecond, LazyInterval: 4 * time.Second}
+	spec := qos.Spec{Staleness: 2, Deadline: 150 * time.Millisecond, MinProb: 0.9}
+	var in selection.Input
+	model.EvaluateInto(&in, repo, prim, sec, "seq", spec, now) // warm caches
+	targets := selection.Algorithm1{}.Select(in)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		model.EvaluateInto(&in, repo, prim, sec, "seq", spec, now)
+		selection.PKOf(&in, targets)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state evaluate+observe allocated %.1f/op, want 0", allocs)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"aqua/internal/experiment"
 	"aqua/internal/netsim"
 	"aqua/internal/node"
+	"aqua/internal/obs"
 	"aqua/internal/qos"
 	"aqua/internal/repository"
 	"aqua/internal/selection"
@@ -344,6 +345,26 @@ func BenchmarkFig4Point(b *testing.B) {
 			MinProb:  0.9,
 			LUI:      2 * time.Second,
 			Requests: benchRequests,
+		})
+	}
+}
+
+// BenchmarkFig4PointObs is BenchmarkFig4Point with a live metrics registry
+// attached to every gateway plus the simulator — the observability
+// subsystem's overhead budget. Compare ns/op against BenchmarkFig4Point
+// (scripts/bench.sh emits the ratio into BENCH_obs.json; the contract is
+// ≤5% overhead with metrics enabled, zero added allocs when disabled).
+func BenchmarkFig4PointObs(b *testing.B) {
+	reg := obs.NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiment.RunFig4Point(experiment.Fig4Config{
+			Seed:     2002,
+			Deadline: 140 * time.Millisecond,
+			MinProb:  0.9,
+			LUI:      2 * time.Second,
+			Requests: benchRequests,
+			Obs:      reg,
 		})
 	}
 }

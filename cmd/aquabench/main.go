@@ -16,16 +16,20 @@ import (
 	"time"
 
 	"aqua/internal/experiment"
+	"aqua/internal/obs"
+	"aqua/internal/sim"
 )
 
 func main() {
 	var (
-		which    = flag.String("experiment", "all", "experiment id: fig3, fig4a, fig4b, lui, reqdelay, baselines, hotspot, failover, calibration, groupsplit, window, estimator, scalability, loss, arrivals, all")
-		requests = flag.Int("requests", 1000, "requests per client per run (paper: 1000)")
-		seed     = flag.Int64("seed", 2002, "base random seed")
-		iters    = flag.Int("iters", 2000, "iterations per fig3 measurement point")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count (1 = sequential; output is identical either way)")
-		progress = flag.Bool("progress", true, "report per-point sweep progress on stderr")
+		which     = flag.String("experiment", "all", "experiment id: fig3, fig4a, fig4b, lui, reqdelay, baselines, hotspot, failover, calibration, groupsplit, window, estimator, scalability, loss, arrivals, all")
+		requests  = flag.Int("requests", 1000, "requests per client per run (paper: 1000)")
+		seed      = flag.Int64("seed", 2002, "base random seed")
+		iters     = flag.Int("iters", 2000, "iterations per fig3 measurement point")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count (1 = sequential; output is identical either way)")
+		progress  = flag.Bool("progress", true, "report per-point sweep progress on stderr")
+		obsPath   = flag.String("obs", "", "write an aggregated Prometheus-text metrics snapshot of all runs to this file")
+		tracePath = flag.String("trace", "", "stream per-request JSONL trace spans (run-labelled) to this file")
 	)
 	flag.Parse()
 
@@ -36,19 +40,46 @@ func main() {
 		})
 	}
 
-	if err := run(*which, *requests, *seed, *iters); err != nil {
+	if err := run(*which, *requests, *seed, *iters, *obsPath, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "aquabench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which string, requests int, seed int64, iters int) error {
+func run(which string, requests int, seed int64, iters int, obsPath, tracePath string) error {
 	base := experiment.Fig4Config{
 		Seed:     seed,
 		Deadline: 140 * time.Millisecond,
 		MinProb:  0.9,
 		LUI:      2 * time.Second,
 		Requests: requests,
+	}
+
+	// Observability rides along without touching the tables: instruments
+	// only record, so the virtual-time output below is byte-identical with
+	// or without these flags.
+	if obsPath != "" {
+		base.Obs = obs.NewRegistry()
+		defer func() {
+			f, err := os.Create(obsPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "aquabench: -obs:", err)
+				return
+			}
+			defer f.Close()
+			if err := base.Obs.WritePrometheus(f); err != nil {
+				fmt.Fprintln(os.Stderr, "aquabench: -obs:", err)
+			}
+		}()
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		defer f.Close()
+		base.Trace = obs.NewTracer(f, sim.Epoch)
+		defer base.Trace.Flush()
 	}
 
 	out := os.Stdout

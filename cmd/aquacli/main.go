@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
@@ -19,7 +20,9 @@ import (
 	"aqua/internal/cluster"
 	"aqua/internal/live"
 	"aqua/internal/node"
+	"aqua/internal/obs"
 	"aqua/internal/qos"
+	"aqua/internal/stats"
 	"aqua/internal/tcpnet"
 )
 
@@ -38,11 +41,13 @@ func main() {
 		staleness   = flag.Int("staleness", 2, "QoS staleness threshold (versions)")
 		deadline    = flag.Duration("deadline", 200*time.Millisecond, "QoS response-time deadline")
 		prob        = flag.Float64("prob", 0.9, "QoS minimum probability of timely response")
+		metricsAddr = flag.String("metrics-addr", "", "HTTP address serving Prometheus text on /metrics — includes the selection calibration counters (empty = metrics off)")
+		tracePath   = flag.String("trace", "", "JSONL trace output file (empty = tracing off)")
 	)
 	flag.Parse()
 
 	if err := run(*clusterSpec, *primaries, *clients, *id, *listen, *lazy,
-		*op, *key, *value, *n,
+		*op, *key, *value, *n, *metricsAddr, *tracePath,
 		qos.Spec{Staleness: *staleness, Deadline: *deadline, MinProb: *prob}); err != nil {
 		fmt.Fprintln(os.Stderr, "aquacli:", err)
 		os.Exit(1)
@@ -50,7 +55,7 @@ func main() {
 }
 
 func run(clusterSpec, primaries, clients, id, listen string, lazy time.Duration,
-	op, key, value string, n int, spec qos.Spec) error {
+	op, key, value string, n int, metricsAddr, tracePath string, spec qos.Spec) error {
 	if err := spec.Validate(); err != nil {
 		return err
 	}
@@ -59,15 +64,43 @@ func run(clusterSpec, primaries, clients, id, listen string, lazy time.Duration,
 		return err
 	}
 
+	var o cluster.Observability
+	if metricsAddr != "" {
+		o.Obs = obs.NewRegistry()
+	}
+	if tracePath != "" {
+		traceFile, err := os.Create(tracePath)
+		if err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		defer traceFile.Close()
+		o.Tracer = obs.NewTracer(traceFile, time.Now())
+		defer o.Tracer.Flush()
+	}
+
 	rt := live.NewRuntime(live.WithSeed(time.Now().UnixNano()))
 	tr, err := tcpnet.New(rt, listen, cs.PeersFor(cluster.IDList{node.ID(id)}))
 	if err != nil {
 		return err
 	}
 	defer tr.Close()
+	tr.Instrument(o.Obs)
 	rt.SetRemote(tr.Send)
 
-	gw, err := cs.NewClient(node.ID(id), spec, qos.NewMethods("Get", "Version"), lazy)
+	if metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(o.Obs))
+		srv := &http.Server{Addr: metricsAddr, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "aquacli: metrics server:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("aquacli: metrics on http://%s/metrics\n", metricsAddr)
+	}
+
+	gw, err := cs.NewClient(node.ID(id), spec, qos.NewMethods("Get", "Version"), lazy, o)
 	if err != nil {
 		return err
 	}
@@ -96,12 +129,19 @@ func run(clusterSpec, primaries, clients, id, listen string, lazy time.Duration,
 				done <- nil
 			})
 		case "bench":
+			var readMS []float64
 			var issue func(i int)
 			issue = func(i int) {
 				if i >= n {
 					m := gw.Metrics()
 					fmt.Printf("\nbench: %d updates, %d reads, %d timing failures (rate %.3f)\n",
 						m.Updates, m.Reads, m.TimingFailures, gw.FailureRate())
+					if len(readMS) > 0 {
+						fmt.Printf("bench: read latency p50=%.1fms p95=%.1fms p99=%.1fms\n",
+							stats.Percentile(readMS, 0.50),
+							stats.Percentile(readMS, 0.95),
+							stats.Percentile(readMS, 0.99))
+					}
 					done <- nil
 					return
 				}
@@ -116,6 +156,9 @@ func run(clusterSpec, primaries, clients, id, listen string, lazy time.Duration,
 				} else {
 					gw.Invoke("Get", []byte(key), func(r client.Result) {
 						report(fmt.Sprintf("get#%d", i), r)
+						if r.Err == "" {
+							readMS = append(readMS, float64(r.ResponseTime)/1e6)
+						}
 						next(r)
 					})
 				}
@@ -132,6 +175,12 @@ func run(clusterSpec, primaries, clients, id, listen string, lazy time.Duration,
 
 	select {
 	case err := <-done:
+		if err == nil && o.Obs != nil {
+			fmt.Println("\naquacli: final metrics snapshot:")
+			if werr := o.Obs.WritePrometheus(os.Stdout); werr != nil {
+				fmt.Fprintln(os.Stderr, "aquacli: metrics dump:", werr)
+			}
+		}
 		return err
 	case <-time.After(2 * time.Minute):
 		return fmt.Errorf("timed out")

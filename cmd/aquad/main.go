@@ -22,6 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -32,6 +33,7 @@ import (
 	"aqua/internal/apps"
 	"aqua/internal/cluster"
 	"aqua/internal/live"
+	"aqua/internal/obs"
 	"aqua/internal/tcpnet"
 )
 
@@ -44,11 +46,14 @@ func main() {
 		listen      = flag.String("listen", "127.0.0.1:7100", "TCP listen address of this process")
 		lazy        = flag.Duration("lazy", 2*time.Second, "lazy update interval T_L")
 		appName     = flag.String("app", "kv", "replicated application: kv, document, ticker")
+		metricsAddr = flag.String("metrics-addr", "", "HTTP address serving Prometheus text on /metrics (empty = metrics off)")
+		tracePath   = flag.String("trace", "", "JSONL trace output file (empty = tracing off)")
 		verbose     = flag.Bool("v", false, "log gateway diagnostics")
 	)
 	flag.Parse()
 
-	if err := run(*clusterSpec, *primaries, *clients, *host, *listen, *lazy, *appName, *verbose); err != nil {
+	if err := run(*clusterSpec, *primaries, *clients, *host, *listen, *lazy, *appName,
+		*metricsAddr, *tracePath, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "aquad:", err)
 		os.Exit(1)
 	}
@@ -67,7 +72,8 @@ func newApp(name string) (func() app.Application, error) {
 	}
 }
 
-func run(clusterSpec, primaries, clients, host, listen string, lazy time.Duration, appName string, verbose bool) error {
+func run(clusterSpec, primaries, clients, host, listen string, lazy time.Duration, appName string,
+	metricsAddr, tracePath string, verbose bool) error {
 	spec, err := cluster.Parse(clusterSpec, primaries, clients)
 	if err != nil {
 		return err
@@ -81,6 +87,20 @@ func run(clusterSpec, primaries, clients, host, listen string, lazy time.Duratio
 		return fmt.Errorf("-host must name at least one replica")
 	}
 
+	var o cluster.Observability
+	if metricsAddr != "" {
+		o.Obs = obs.NewRegistry()
+	}
+	var traceFile *os.File
+	if tracePath != "" {
+		traceFile, err = os.Create(tracePath)
+		if err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		defer traceFile.Close()
+		o.Tracer = obs.NewTracer(traceFile, time.Now())
+	}
+
 	opts := []live.Option{live.WithSeed(time.Now().UnixNano())}
 	if verbose {
 		opts = append(opts, live.WithLog(os.Stderr))
@@ -92,10 +112,11 @@ func run(clusterSpec, primaries, clients, host, listen string, lazy time.Duratio
 		return err
 	}
 	defer tr.Close()
+	tr.Instrument(o.Obs)
 	rt.SetRemote(tr.Send)
 
 	for _, id := range hosted {
-		gw, err := spec.NewReplica(id, lazy, mkApp())
+		gw, err := spec.NewReplica(id, lazy, mkApp(), o)
 		if err != nil {
 			return err
 		}
@@ -104,11 +125,36 @@ func run(clusterSpec, primaries, clients, host, listen string, lazy time.Duratio
 	rt.Start()
 	defer rt.Stop()
 
+	if metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(o.Obs))
+		srv := &http.Server{Addr: metricsAddr, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "aquad: metrics server:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("aquad: metrics on http://%s/metrics\n", metricsAddr)
+	}
+
 	fmt.Printf("aquad: hosting %s on %s (sequencer %s)\n",
 		strings.Join(hosted.Strings(), ","), listen, spec.Sequencer)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("aquad: shutting down")
+	if o.Tracer != nil {
+		if err := o.Tracer.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "aquad: trace flush:", err)
+		}
+	}
+	if o.Obs != nil {
+		// Final metrics snapshot so a scrape-less run still leaves evidence.
+		fmt.Println("aquad: final metrics snapshot:")
+		if err := o.Obs.WritePrometheus(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "aquad: metrics dump:", err)
+		}
+	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"aqua/internal/consistency"
 	"aqua/internal/group"
 	"aqua/internal/node"
+	"aqua/internal/obs"
 	"aqua/internal/qos"
 	"aqua/internal/repository"
 	"aqua/internal/selection"
@@ -77,6 +78,12 @@ type Config struct {
 	// the deadline (P_K over the full chosen set), and the set size. Used by
 	// the model-calibration experiment.
 	OnSelect func(predicted float64, selected int)
+	// Obs, when non-nil, receives request counters, the response-time
+	// histogram, and the prediction-vs-observed calibration tables. The nil
+	// default keeps every per-request path allocation-free.
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives one JSONL span per completed request.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) setDefaults() {
@@ -147,6 +154,12 @@ type pendingReq struct {
 	done      bool
 	cb        func(Result)
 	stopRetry node.CancelFunc
+
+	// predicted is the model's P_K(d) over the initial selection, captured
+	// only when observability is enabled (hasPred) so the disabled path does
+	// no extra float work.
+	predicted float64
+	hasPred   bool
 }
 
 // Gateway is the client-side gateway handler; it implements node.Node.
@@ -177,6 +190,12 @@ type Gateway struct {
 	servingBuf []node.ID
 
 	metrics Metrics
+
+	// ins holds the resolved observability instruments (all nil no-ops when
+	// Config.Obs is nil); obsOn gates the prediction capture shared by
+	// metrics and traces.
+	ins   instruments
+	obsOn bool
 }
 
 var _ node.Node = (*Gateway)(nil)
@@ -204,6 +223,8 @@ func New(cfg Config) *Gateway {
 func (g *Gateway) Init(ctx node.Context) {
 	g.ctx = ctx
 	g.stack = group.NewStack(ctx, g.cfg.Group, g.handleDelivery)
+	g.ins = newInstruments(g.cfg.Obs, ctx.ID(), g.cfg.Service)
+	g.obsOn = g.cfg.Obs != nil || g.cfg.Tracer != nil
 }
 
 // Recv implements node.Node.
@@ -247,8 +268,10 @@ func (g *Gateway) Invoke(method string, payload []byte, cb func(Result)) {
 	if readOnly {
 		req.Staleness = g.cfg.Spec.Staleness
 		g.metrics.Reads++
+		g.ins.reads.Inc()
 	} else {
 		g.metrics.Updates++
+		g.ins.updates.Inc()
 	}
 	p := &pendingReq{id: id, req: req, readOnly: readOnly, t0: now, cb: cb}
 	g.track(p)
@@ -260,6 +283,9 @@ func (g *Gateway) Invoke(method string, payload []byte, cb func(Result)) {
 func (g *Gateway) transmit(p *pendingReq) {
 	now := g.ctx.Now()
 	p.attempts++
+	if p.attempts > 1 {
+		g.ins.retries.Inc()
+	}
 
 	var targets []node.ID
 	if p.readOnly {
@@ -279,6 +305,11 @@ func (g *Gateway) transmit(p *pendingReq) {
 			g.metrics.SelectedTotal += p.selected
 			if g.cfg.OnSelect != nil {
 				g.cfg.OnSelect(predictedPK(*in, targets), p.selected)
+			}
+			g.ins.selectedTotal.Add(uint64(p.selected))
+			if g.obsOn {
+				p.predicted = g.observeSelection(in, targets)
+				p.hasPred = true
 			}
 		}
 	} else {
@@ -317,6 +348,12 @@ func (g *Gateway) retry(p *pendingReq) {
 			if res.TimingFailure {
 				g.metrics.TimingFailures++
 			}
+			if g.obsOn {
+				g.observeReadOutcome(p, &res)
+			}
+		}
+		if g.cfg.Tracer != nil {
+			g.recordSpan(p, &res, false)
 		}
 		if p.cb != nil {
 			p.cb(res)
@@ -392,6 +429,18 @@ func (g *Gateway) onReply(r consistency.Reply) {
 	// tg = tp − tm − t1 (Section 5.4); RecordReply clamps negatives.
 	g.repo.RecordReply(r.Replica, now.Sub(p.tm)-r.T1, now)
 
+	// Calibration counts every reply, first or not: the per-replica model
+	// predicts whether *this replica* answers within d, independent of who
+	// wins the race.
+	if p.readOnly {
+		if rc := g.ins.perReplica[r.Replica]; rc != nil {
+			rc.replies.Inc()
+			if now.Sub(p.tm) <= g.cfg.Spec.Deadline {
+				rc.timely.Inc()
+			}
+		}
+	}
+
 	if p.done {
 		return
 	}
@@ -412,6 +461,12 @@ func (g *Gateway) onReply(r consistency.Reply) {
 		if res.TimingFailure {
 			g.metrics.TimingFailures++
 		}
+		if g.obsOn {
+			g.observeReadOutcome(p, &res)
+		}
+	}
+	if g.cfg.Tracer != nil {
+		g.recordSpan(p, &res, r.Deferred)
 	}
 	if p.cb != nil {
 		p.cb(res)

@@ -1,0 +1,184 @@
+package client
+
+import (
+	"fmt"
+
+	"aqua/internal/node"
+	"aqua/internal/obs"
+	"aqua/internal/selection"
+)
+
+// calBins is the number of predicted-probability bins in the calibration
+// table: bin k covers predictions in [k/10, (k+1)/10).
+const calBins = 10
+
+// replicaCal is the per-replica prediction-vs-observed calibration row: how
+// often the model selected the replica, the summed per-replica timely
+// probability it predicted, and how the replica's replies actually landed
+// against the deadline. avg(predicted) ≈ timely/replies is a calibrated
+// model.
+type replicaCal struct {
+	selections   *obs.Counter
+	predictedSum *obs.FloatCounter
+	replies      *obs.Counter
+	timely       *obs.Counter
+}
+
+// instruments holds the client gateway's resolved metrics. The zero value
+// (observability disabled) is fully usable: every field is a nil instrument
+// whose methods are no-ops, and perReplica lookups on the nil map return
+// nil.
+type instruments struct {
+	reads          *obs.Counter
+	updates        *obs.Counter
+	timingFailures *obs.Counter
+	retries        *obs.Counter
+	failureRate    *obs.FloatGauge
+	respMS         *obs.Histogram
+	selectedTotal  *obs.Counter
+
+	// Prediction-accuracy telemetry: P_K(d) predictions summed and binned
+	// against observed timely completions.
+	predictedSum *obs.FloatCounter
+	timelyReads  *obs.Counter
+	binTotal     [calBins]*obs.Counter
+	binTimely    [calBins]*obs.Counter
+
+	perReplica map[node.ID]*replicaCal
+}
+
+// newInstruments resolves every instrument once; reg == nil yields the
+// all-nil zero value so the per-request paths stay allocation-free.
+func newInstruments(reg *obs.Registry, self node.ID, service ServiceInfo) instruments {
+	if reg == nil {
+		return instruments{}
+	}
+	c := string(self)
+	ins := instruments{
+		reads:          reg.Counter("aqua_client_reads_total", "client", c),
+		updates:        reg.Counter("aqua_client_updates_total", "client", c),
+		timingFailures: reg.Counter("aqua_client_timing_failures_total", "client", c),
+		retries:        reg.Counter("aqua_client_retries_total", "client", c),
+		failureRate:    reg.FloatGauge("aqua_client_failure_rate", "client", c),
+		respMS:         reg.Histogram("aqua_client_read_response_ms", obs.LatencyBucketsMS(), "client", c),
+		selectedTotal:  reg.Counter("aqua_client_selected_replicas_total", "client", c),
+		predictedSum:   reg.FloatCounter("aqua_client_predicted_pk_sum", "client", c),
+		timelyReads:    reg.Counter("aqua_client_timely_reads_total", "client", c),
+		perReplica:     make(map[node.ID]*replicaCal, len(service.Primaries)+len(service.Secondaries)),
+	}
+	for i := 0; i < calBins; i++ {
+		bin := fmt.Sprintf("%.1f", float64(i)/calBins)
+		ins.binTotal[i] = reg.Counter("aqua_client_prediction_bin_total", "client", c, "bin", bin)
+		ins.binTimely[i] = reg.Counter("aqua_client_prediction_bin_timely_total", "client", c, "bin", bin)
+	}
+	addReplica := func(id node.ID) {
+		if _, dup := ins.perReplica[id]; dup {
+			return
+		}
+		r := string(id)
+		ins.perReplica[id] = &replicaCal{
+			selections:   reg.Counter("aqua_client_selections_total", "client", c, "replica", r),
+			predictedSum: reg.FloatCounter("aqua_client_replica_predicted_sum", "client", c, "replica", r),
+			replies:      reg.Counter("aqua_client_replica_replies_total", "client", c, "replica", r),
+			timely:       reg.Counter("aqua_client_replica_timely_total", "client", c, "replica", r),
+		}
+	}
+	for _, id := range service.Primaries {
+		addReplica(id)
+	}
+	for _, id := range service.Secondaries {
+		addReplica(id)
+	}
+	return ins
+}
+
+// binIndex maps a probability into its calibration bin.
+func binIndex(p float64) int {
+	i := int(p * calBins)
+	if i < 0 {
+		i = 0
+	}
+	if i >= calBins {
+		i = calBins - 1
+	}
+	return i
+}
+
+// observeSelection records the initial selection of a read: the chosen set
+// size, the per-replica predicted timely probabilities, and the model's
+// P_K(d) for the whole set (returned so the caller can store it on the
+// pending request for outcome pairing). Called only when observability is
+// enabled.
+func (g *Gateway) observeSelection(in *selection.Input, targets []node.ID) float64 {
+	for i := range in.Candidates {
+		c := in.Candidates[i]
+		selected := false
+		for _, id := range targets {
+			if id == c.ID {
+				selected = true
+				break
+			}
+		}
+		if !selected {
+			continue
+		}
+		rc := g.ins.perReplica[c.ID]
+		if rc == nil {
+			continue
+		}
+		rc.selections.Inc()
+		p := c.ImmedCDF
+		if !c.Primary {
+			p = c.ImmedCDF*in.StaleFactor + c.DelayedCDF*(1-in.StaleFactor)
+		}
+		rc.predictedSum.Add(p)
+	}
+	return selection.PKOf(in, targets)
+}
+
+// observeReadOutcome pairs a read's completion with its selection-time
+// prediction: the calibration bins, the response-time histogram, and the
+// observed failure rate.
+func (g *Gateway) observeReadOutcome(p *pendingReq, res *Result) {
+	g.ins.respMS.Observe(float64(res.ResponseTime) / 1e6)
+	if res.TimingFailure {
+		g.ins.timingFailures.Inc()
+	} else {
+		g.ins.timelyReads.Inc()
+	}
+	g.ins.failureRate.Set(g.fd.FailureRate())
+	if p.hasPred {
+		g.ins.predictedSum.Add(p.predicted)
+		bin := binIndex(p.predicted)
+		g.ins.binTotal[bin].Inc()
+		if !res.TimingFailure {
+			g.ins.binTimely[bin].Inc()
+		}
+	}
+}
+
+// recordSpan emits the per-request trace record. Callers guard on
+// g.cfg.Tracer != nil so the disabled path never builds the span.
+func (g *Gateway) recordSpan(p *pendingReq, res *Result, deferred bool) {
+	kind := "update"
+	if p.readOnly {
+		kind = "read"
+	}
+	span := obs.Span{
+		Kind:          kind,
+		Node:          string(g.ctx.ID()),
+		Client:        string(p.id.Client),
+		Seq:           p.id.Seq,
+		Method:        p.req.Method,
+		Replica:       string(res.Replica),
+		Selected:      p.selected,
+		Deferred:      deferred,
+		ResponseMS:    float64(res.ResponseTime) / 1e6,
+		TimingFailure: res.TimingFailure,
+		Err:           res.Err,
+	}
+	if p.hasPred {
+		span.Predicted = p.predicted
+	}
+	g.cfg.Tracer.Record(g.ctx.Now(), &span)
+}

@@ -14,9 +14,17 @@ import (
 	"aqua/internal/client"
 	"aqua/internal/group"
 	"aqua/internal/node"
+	"aqua/internal/obs"
 	"aqua/internal/qos"
 	"aqua/internal/replica"
 )
+
+// Observability bundles the optional metrics registry and trace sink a
+// process attaches to the gateways it hosts. The zero value disables both.
+type Observability struct {
+	Obs    *obs.Registry
+	Tracer *obs.Tracer
+}
 
 // IDList is a parsed, order-preserving list of node IDs.
 type IDList []node.ID
@@ -141,7 +149,7 @@ func (s *Spec) ServiceInfo(lazy time.Duration) client.ServiceInfo {
 }
 
 // NewReplica builds a replica gateway config for one hosted ID.
-func (s *Spec) NewReplica(id node.ID, lazy time.Duration, application app.Application) (*replica.Gateway, error) {
+func (s *Spec) NewReplica(id node.ID, lazy time.Duration, application app.Application, o Observability) (*replica.Gateway, error) {
 	if _, ok := s.Addresses[id]; !ok {
 		return nil, fmt.Errorf("cluster: unknown replica %q", id)
 	}
@@ -156,11 +164,13 @@ func (s *Spec) NewReplica(id node.ID, lazy time.Duration, application app.Applic
 		Group:        group.DefaultConfig(),
 		LazyInterval: lazy,
 		App:          application,
+		Obs:          o.Obs,
+		Tracer:       o.Tracer,
 	}), nil
 }
 
 // NewClient builds a client gateway for one client ID.
-func (s *Spec) NewClient(id node.ID, spec qos.Spec, methods *qos.Methods, lazy time.Duration) (*client.Gateway, error) {
+func (s *Spec) NewClient(id node.ID, spec qos.Spec, methods *qos.Methods, lazy time.Duration, o Observability) (*client.Gateway, error) {
 	if !s.Clients.Contains(id) {
 		return nil, fmt.Errorf("cluster: %q is not declared in -clients", id)
 	}
@@ -172,5 +182,7 @@ func (s *Spec) NewClient(id node.ID, spec qos.Spec, methods *qos.Methods, lazy t
 		Spec:    spec,
 		Methods: methods,
 		Group:   gcfg,
+		Obs:     o.Obs,
+		Tracer:  o.Tracer,
 	}), nil
 }

@@ -97,13 +97,13 @@ func TestServiceInfo(t *testing.T) {
 
 func TestNewReplicaValidation(t *testing.T) {
 	s, _ := Parse(spec, "p00,p01,p02", "c00")
-	if _, err := s.NewReplica("zz", time.Second, apps.NewKVStore()); err == nil {
+	if _, err := s.NewReplica("zz", time.Second, apps.NewKVStore(), Observability{}); err == nil {
 		t.Fatal("unknown replica accepted")
 	}
-	if _, err := s.NewReplica("c00", time.Second, apps.NewKVStore()); err == nil {
+	if _, err := s.NewReplica("c00", time.Second, apps.NewKVStore(), Observability{}); err == nil {
 		t.Fatal("client accepted as replica")
 	}
-	gw, err := s.NewReplica("s00", time.Second, apps.NewKVStore())
+	gw, err := s.NewReplica("s00", time.Second, apps.NewKVStore(), Observability{})
 	if err != nil || gw == nil {
 		t.Fatalf("NewReplica(s00) = %v", err)
 	}
@@ -112,10 +112,10 @@ func TestNewReplicaValidation(t *testing.T) {
 func TestNewClientValidation(t *testing.T) {
 	s, _ := Parse(spec, "p00,p01,p02", "c00")
 	qspec := qos.Spec{Staleness: 1, Deadline: time.Second, MinProb: 0.5}
-	if _, err := s.NewClient("p00", qspec, qos.NewMethods("Get"), time.Second); err == nil {
+	if _, err := s.NewClient("p00", qspec, qos.NewMethods("Get"), time.Second, Observability{}); err == nil {
 		t.Fatal("replica accepted as client")
 	}
-	gw, err := s.NewClient("c00", qspec, qos.NewMethods("Get"), time.Second)
+	gw, err := s.NewClient("c00", qspec, qos.NewMethods("Get"), time.Second, Observability{})
 	if err != nil || gw == nil {
 		t.Fatalf("NewClient = %v", err)
 	}

@@ -73,7 +73,7 @@ func TestClusterEndToEndOverTCP(t *testing.T) {
 	const lazy = 500 * time.Millisecond
 	for _, idStr := range []string{"p00", "p01", "p02", "s00"} {
 		id := node.ID(idStr)
-		gw, err := spec.NewReplica(id, lazy, apps.NewKVStore())
+		gw, err := spec.NewReplica(id, lazy, apps.NewKVStore(), Observability{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +81,7 @@ func TestClusterEndToEndOverTCP(t *testing.T) {
 	}
 
 	qspec := qos.Spec{Staleness: 0, Deadline: time.Second, MinProb: 0.5}
-	cgw, err := spec.NewClient("c00", qspec, qos.NewMethods("Get", "Version"), lazy)
+	cgw, err := spec.NewClient("c00", qspec, qos.NewMethods("Get", "Version"), lazy, Observability{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -51,6 +51,13 @@ func (b *CommitBuffer) MyCSN() uint64 { return b.myCSN }
 // Section 4.1.2.
 func (b *CommitBuffer) Staleness() int { return int(b.myGSN - b.myCSN) }
 
+// StagedLen returns how many updates sit in the buffer waiting to commit:
+// paired updates out of sequence plus half-arrived bodies and assignments.
+// It is an O(1) depth reading for the observability layer.
+func (b *CommitBuffer) StagedLen() int {
+	return len(b.ready) + len(b.pendingBody) + len(b.pendingGSN)
+}
+
 // ObserveGSN folds any externally learned GSN (e.g. from a read's GSNAssign
 // broadcast) into my_GSN.
 func (b *CommitBuffer) ObserveGSN(gsn uint64) {

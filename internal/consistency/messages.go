@@ -43,6 +43,9 @@ type Reply struct {
 	CSN uint64
 	// Replica identifies the responding server gateway.
 	Replica node.ID
+	// Deferred reports that this reply served a read deferred until a lazy
+	// state update (diagnostic; feeds client-side trace spans).
+	Deferred bool
 }
 
 // GSNAssign is the sequencer's broadcast assigning (for updates) or

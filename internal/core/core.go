@@ -18,6 +18,7 @@ import (
 	"aqua/internal/consistency"
 	"aqua/internal/group"
 	"aqua/internal/node"
+	"aqua/internal/obs"
 	"aqua/internal/qos"
 	"aqua/internal/replica"
 	"aqua/internal/selection"
@@ -50,6 +51,13 @@ type ServiceConfig struct {
 	// OnApply, if set, observes every (replica, gsn, request) application —
 	// the ordering-invariant hook used by the protocol fuzzer.
 	OnApply func(replica node.ID, gsn uint64, id consistency.RequestID)
+	// Obs, when non-nil, receives metrics from every deployed gateway
+	// (replicas and — unless overridden per client — clients). Nil keeps the
+	// whole deployment's request paths allocation-free.
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives per-request trace spans from every
+	// deployed gateway.
+	Tracer *obs.Tracer
 }
 
 // ClientConfig describes one client gateway and its workload driver.
@@ -84,6 +92,10 @@ type ClientConfig struct {
 	// Driver, if set, runs once at Init in the client's node context —
 	// the workload generator's entry point.
 	Driver func(ctx node.Context, gw *client.Gateway)
+	// Obs and Tracer override the ServiceConfig-level observability sinks
+	// for this client (nil inherits the service's).
+	Obs    *obs.Registry
+	Tracer *obs.Tracer
 }
 
 // Deployment is a wired service: every gateway, addressed by node ID.
@@ -141,6 +153,8 @@ func (d *Deployment) NewReplicaGateway(id node.ID) (*replica.Gateway, error) {
 		ChaseInterval:   d.svc.ChaseInterval,
 		TakeoverTimeout: d.svc.TakeoverTimeout,
 		App:             d.svc.NewApp(),
+		Obs:             d.svc.Obs,
+		Tracer:          d.svc.Tracer,
 	})
 	d.Replicas[id] = gw
 	return gw, nil
@@ -219,6 +233,8 @@ func Deploy(rt Runtime, svc ServiceConfig, clients []ClientConfig) (*Deployment,
 			ChaseInterval:   svc.ChaseInterval,
 			TakeoverTimeout: svc.TakeoverTimeout,
 			App:             svc.NewApp(),
+			Obs:             svc.Obs,
+			Tracer:          svc.Tracer,
 		}
 	}
 	for _, id := range d.PrimaryGroup {
@@ -237,6 +253,13 @@ func Deploy(rt Runtime, svc ServiceConfig, clients []ClientConfig) (*Deployment,
 		if c.Group != nil {
 			gcfg = *c.Group
 		}
+		reg, tracer := c.Obs, c.Tracer
+		if reg == nil {
+			reg = svc.Obs
+		}
+		if tracer == nil {
+			tracer = svc.Tracer
+		}
 		gw := client.New(client.Config{
 			Service:          d.Info,
 			Spec:             c.Spec,
@@ -250,6 +273,8 @@ func Deploy(rt Runtime, svc ServiceConfig, clients []ClientConfig) (*Deployment,
 			OnSelect:         c.OnSelect,
 			RetryInterval:    c.RetryInterval,
 			MaxRetries:       c.MaxRetries,
+			Obs:              reg,
+			Tracer:           tracer,
 		})
 		d.Clients[c.ID] = gw
 		var n node.Node = gw

@@ -17,6 +17,7 @@ import (
 	"aqua/internal/group"
 	"aqua/internal/netsim"
 	"aqua/internal/node"
+	"aqua/internal/obs"
 	"aqua/internal/qos"
 	"aqua/internal/selection"
 	"aqua/internal/sim"
@@ -91,6 +92,22 @@ type Fig4Config struct {
 	// Loss drops each network message independently with this probability
 	// (the substrate's ARQ recovers) — the loss-tolerance experiment.
 	Loss float64
+
+	// Obs, when non-nil, collects metrics from every gateway in the run
+	// plus the simulator's event/message totals. Instruments only record —
+	// they never read clocks or schedule work — so enabling them leaves the
+	// virtual-time event order, and therefore every result, bit-identical.
+	// Sweeps share one registry across points: instruments are atomic, so
+	// parallel workers aggregate into it safely.
+	Obs *obs.Registry
+	// Trace, when non-nil, streams per-request spans; each point derives a
+	// run-labelled sub-tracer so one JSONL file serves a whole sweep.
+	Trace *obs.Tracer
+}
+
+// runLabel names one experimental point in trace output.
+func (c *Fig4Config) runLabel() string {
+	return fmt.Sprintf("fig4 d=%s p=%g lui=%s seed=%d", c.Deadline, c.MinProb, c.LUI, c.Seed)
 }
 
 func (c *Fig4Config) setDefaults() {
@@ -204,6 +221,8 @@ func RunFig4Point(cfg Fig4Config) Fig4Result {
 		ServiceDelay: func(r *rand.Rand) time.Duration {
 			return stats.TruncNormalDuration(r, cfg.ServiceMean, cfg.ServiceStd, 0)
 		},
+		Obs:    cfg.Obs,
+		Tracer: cfg.Trace.WithRun(cfg.runLabel(), sim.Epoch),
 	}
 
 	var (
@@ -292,6 +311,7 @@ func RunFig4Point(cfg Fig4Config) Fig4Result {
 		s.RunFor(time.Minute)
 	}
 	s.RunFor(5 * time.Second) // drain stragglers
+	rt.ObserveInto(cfg.Obs)
 
 	m := d.Clients["c01"].Metrics()
 	res := Fig4Result{

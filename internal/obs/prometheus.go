@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one family per instrument name, histogram
+// `_bucket`/`_sum`/`_count` expansion, label escaping. Safe on nil (writes
+// nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	lastType := map[string]bool{}
+	for _, s := range r.Snapshot() {
+		if !lastType[s.Name] {
+			lastType[s.Name] = true
+			fmt.Fprintf(bw, "# TYPE %s %s\n", s.Name, s.Kind)
+		}
+		switch s.Kind {
+		case KindHistogram:
+			for _, b := range s.Buckets {
+				fmt.Fprintf(bw, "%s_bucket%s %d\n",
+					s.Name, labelString(s.Labels, "le", formatBound(b.UpperBound)), b.Cumulative)
+			}
+			fmt.Fprintf(bw, "%s_sum%s %s\n", s.Name, labelString(s.Labels), formatValue(s.Sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", s.Name, labelString(s.Labels), s.Count)
+		default:
+			fmt.Fprintf(bw, "%s%s %s\n", s.Name, labelString(s.Labels), formatValue(s.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+// labelString renders {k="v",...}; extra appends one more pair (used for
+// the histogram "le" label). Returns "" when there are no labels at all.
+func labelString(labels []string, extra ...string) string {
+	if len(labels) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	wrote := false
+	emit := func(k, v string) {
+		if wrote {
+			sb.WriteByte(',')
+		}
+		wrote = true
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(v))
+		sb.WriteByte('"')
+	}
+	for i := 0; i+1 < len(labels); i += 2 {
+		emit(labels[i], labels[i+1])
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		emit(extra[i], extra[i+1])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return formatValue(b)
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry at GET /metrics (any path) in Prometheus text
+// format — plug it into aquad's -metrics-addr HTTP server. A nil registry
+// serves an empty exposition.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

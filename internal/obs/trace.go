@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one traced request event, serialized as a single JSONL record.
+// Client gateways record one span per completed invocation; replica
+// gateways record one per served job. Times are expressed relative to the
+// tracer's epoch, so virtual-time (sim) and wall-time (live) runs read the
+// same way.
+type Span struct {
+	// TMS is milliseconds since the tracer epoch, filled by Record.
+	TMS float64 `json:"t_ms"`
+	// Run labels the experiment point or process that produced the span.
+	Run string `json:"run,omitempty"`
+	// Kind is "read", "update" (client side), "serve_read", "serve_update"
+	// (replica side).
+	Kind string `json:"kind"`
+	// Node is the gateway that recorded the span.
+	Node string `json:"node,omitempty"`
+	// Client/Seq identify the request.
+	Client string `json:"client,omitempty"`
+	Seq    uint64 `json:"seq,omitempty"`
+	Method string `json:"method,omitempty"`
+	// Replica is the gateway whose reply was delivered (client spans).
+	Replica string `json:"replica,omitempty"`
+	// Selected is the serving-replica count of the initial selection.
+	Selected int `json:"selected,omitempty"`
+	// Predicted is the model's P_K(d) for the chosen set at selection time.
+	Predicted float64 `json:"predicted,omitempty"`
+	// Deferred reports whether the winning reply (client spans) or the
+	// served read (replica spans) waited for a lazy state update.
+	Deferred bool `json:"deferred,omitempty"`
+	// ResponseMS is the observed response time tr (client spans).
+	ResponseMS float64 `json:"response_ms,omitempty"`
+	// ServiceMS/QueueMS/DeferMS are ts/tq/tb (replica spans).
+	ServiceMS float64 `json:"service_ms,omitempty"`
+	QueueMS   float64 `json:"queue_ms,omitempty"`
+	DeferMS   float64 `json:"defer_ms,omitempty"`
+	// Staleness is my_GSN − my_CSN at read admission (replica spans).
+	Staleness int64 `json:"staleness,omitempty"`
+	// TimingFailure reports tr > d (client read spans).
+	TimingFailure bool   `json:"timing_failure,omitempty"`
+	Err           string `json:"err,omitempty"`
+}
+
+// traceWriter is the shared sink behind a tracer and all its derived
+// sub-tracers: one mutex, one buffered writer, whole-line writes.
+type traceWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	err error
+}
+
+// Tracer records spans as JSON lines. A nil *Tracer is the disabled state:
+// Record is a no-op costing one nil check and zero allocations. Derived
+// tracers (WithRun) share the underlying writer, so a parallel experiment
+// sweep can stream every point into one file; each line is written
+// atomically.
+type Tracer struct {
+	w     *traceWriter
+	run   string
+	epoch time.Time
+}
+
+// NewTracer creates a tracer writing to w with times relative to epoch
+// (sim.Epoch for virtual-time runs, process start for live runs).
+func NewTracer(w io.Writer, epoch time.Time) *Tracer {
+	return &Tracer{w: &traceWriter{bw: bufio.NewWriter(w)}, epoch: epoch}
+}
+
+// WithRun returns a tracer labeling every span with run and measuring times
+// from epoch, sharing this tracer's output. Safe on nil (returns nil).
+func (t *Tracer) WithRun(run string, epoch time.Time) *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{w: t.w, run: run, epoch: epoch}
+}
+
+// Record stamps s with the tracer's run label and epoch-relative time and
+// appends it as one JSON line. Safe on nil.
+func (t *Tracer) Record(at time.Time, s *Span) {
+	if t == nil {
+		return
+	}
+	s.TMS = float64(at.Sub(t.epoch)) / float64(time.Millisecond)
+	if s.Run == "" {
+		s.Run = t.run
+	}
+	line, err := json.Marshal(s)
+	t.w.mu.Lock()
+	defer t.w.mu.Unlock()
+	if err != nil {
+		if t.w.err == nil {
+			t.w.err = err
+		}
+		return
+	}
+	if t.w.err != nil {
+		return
+	}
+	if _, err := t.w.bw.Write(line); err != nil {
+		t.w.err = err
+		return
+	}
+	if err := t.w.bw.WriteByte('\n'); err != nil {
+		t.w.err = err
+	}
+}
+
+// Flush drains buffered spans to the underlying writer and reports the
+// first error seen. Safe on nil.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.w.mu.Lock()
+	defer t.w.mu.Unlock()
+	if err := t.w.bw.Flush(); err != nil && t.w.err == nil {
+		t.w.err = err
+	}
+	return t.w.err
+}

@@ -15,6 +15,7 @@ import (
 	"aqua/internal/consistency"
 	"aqua/internal/group"
 	"aqua/internal/node"
+	"aqua/internal/obs"
 )
 
 // PrimaryGroupName is the heartbeating group of primary replicas; its
@@ -62,6 +63,11 @@ type Config struct {
 	// application, in execution order — test hooks use it to verify the
 	// sequential-consistency prefix property across replicas.
 	OnApply func(gsn uint64, id consistency.RequestID)
+	// Obs, when non-nil, receives served-request counters, the
+	// staleness-at-read histogram, and commit/defer/work queue depth gauges.
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives one JSONL span per served job.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) setDefaults() {
@@ -159,6 +165,11 @@ type Gateway struct {
 	// paper's secondaries defer until a lazy update; a primary's state
 	// converges through its commit stream instead).
 	commitWaiters []consistency.PendingRead
+
+	// ins holds the resolved observability instruments (all nil no-ops when
+	// Config.Obs is nil); obsOn gates the depth-gauge refreshes.
+	ins   replicaInstruments
+	obsOn bool
 }
 
 var _ node.Node = (*Gateway)(nil)
@@ -195,6 +206,8 @@ func (g *Gateway) Init(ctx node.Context) {
 	g.lastLazyAt = ctx.Now()
 	g.stack = group.NewStack(ctx, g.cfg.Group, g.handleDelivery)
 	g.sequencerID = sortedFirst(g.cfg.PrimaryGroup)
+	g.ins = newReplicaInstruments(g.cfg.Obs, ctx.ID())
+	g.obsOn = g.cfg.Obs != nil
 
 	if g.cfg.Primary {
 		g.stack.Join(PrimaryGroupName, g.cfg.PrimaryGroup, g.onPrimaryView)

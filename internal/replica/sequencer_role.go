@@ -174,6 +174,7 @@ func (g *Gateway) sequence(from node.ID, req consistency.Request) {
 	if req.ReadOnly {
 		// Broadcast the current GSN, without advancing it, to the primary
 		// and secondary replicas.
+		g.ins.readSnapshots.Inc()
 		gsn := g.seqState.SnapshotRead(req.ID)
 		assign := consistency.GSNAssign{ID: req.ID, GSN: gsn}
 		for _, id := range g.replicaTargets() {
@@ -191,6 +192,7 @@ func (g *Gateway) sequence(from node.ID, req consistency.Request) {
 	gsn, seen := g.observedAssigns[req.ID]
 	if !seen {
 		gsn = g.seqState.AssignUpdate(req.ID)
+		g.ins.gsnAssigned.Inc()
 	}
 	assign := consistency.GSNAssign{ID: req.ID, GSN: gsn, Update: true}
 	for _, id := range g.otherPrimaries() {

@@ -116,6 +116,7 @@ func (g *Gateway) enqueueCommits(commits []consistency.Request) {
 		g.updatesSinceLazy++
 	}
 	g.releaseCommitWaiters()
+	g.observeDepths()
 }
 
 // observeAssign records an update assignment in the cross-era memo.
@@ -219,6 +220,7 @@ func (g *Gateway) onBodyRequest(from node.ID, br consistency.BodyRequest) {
 // its body and its GSN.
 func (g *Gateway) readReady(pr consistency.PendingRead) {
 	staleness := int64(pr.GSN) - int64(g.commit.MyCSN())
+	g.ins.stalenessAtRead.Observe(float64(staleness))
 	if staleness <= int64(pr.Req.Staleness) {
 		g.enqueueRead(pr)
 		return
@@ -230,7 +232,9 @@ func (g *Gateway) readReady(pr consistency.PendingRead) {
 		return
 	}
 	// Secondary: deferred read until the next lazy update (tb starts now).
+	g.ins.readsDeferred.Inc()
 	g.reads.Defer(pr, g.ctx.Now())
+	g.observeDepths()
 }
 
 // releaseCommitWaiters re-checks primary-held reads after CSN advances.
@@ -268,6 +272,7 @@ func (g *Gateway) enqueueRead(pr consistency.PendingRead) {
 func (g *Gateway) enqueue(j job) {
 	g.queue = append(g.queue, j)
 	g.startNext()
+	g.observeDepths()
 }
 
 func (g *Gateway) startNext() {
@@ -305,6 +310,7 @@ func (g *Gateway) complete(j job) {
 		var err error
 		if j.gsn > g.applied && !j.dup {
 			result, err = g.cfg.App.ApplyUpdate(j.req.Method, j.req.Payload)
+			g.ins.updatesApplied.Inc()
 			if g.cfg.OnApply != nil {
 				g.cfg.OnApply(j.gsn, j.req.ID)
 			}
@@ -328,19 +334,26 @@ func (g *Gateway) complete(j job) {
 		}
 	case jobRead:
 		result, err := g.cfg.App.Read(j.req.Method, j.req.Payload)
+		g.ins.readsServed.Inc()
 		g.stack.Send(j.from, consistency.Reply{
-			ID:      j.req.ID,
-			Payload: result,
-			Err:     errString(err),
-			T1:      ts + tq + j.deferWait,
-			CSN:     g.commit.MyCSN(),
-			Replica: g.ctx.ID(),
+			ID:       j.req.ID,
+			Payload:  result,
+			Err:      errString(err),
+			T1:       ts + tq + j.deferWait,
+			CSN:      g.commit.MyCSN(),
+			Replica:  g.ctx.ID(),
+			Deferred: j.deferWait > 0,
 		})
 		g.publishPerf(ts, tq, j.deferWait)
+	}
+	g.ins.serviceTimeHist.Observe(float64(ts) / 1e6)
+	if g.cfg.Tracer != nil {
+		g.recordServeSpan(&j, float64(ts)/1e6, float64(tq)/1e6)
 	}
 
 	g.busy = false
 	g.startNext()
+	g.observeDepths()
 }
 
 // publishPerf broadcasts newly measured (ts, tq, tb) to every client, with
@@ -366,6 +379,7 @@ func (g *Gateway) publishPerf(ts, tq, tb time.Duration) {
 		g.updatesSinceBroadcast = 0
 		g.lastBroadcastAt = now
 	}
+	g.ins.perfBroadcasts.Inc()
 	for _, c := range g.cfg.Clients {
 		g.stack.Send(c, pb)
 	}
@@ -463,6 +477,8 @@ func (g *Gateway) lazyTick() {
 	if !g.isPublisher {
 		return // role moved on; the new publisher has its own timer
 	}
+	g.ins.lazyTicks.Inc()
+	g.ins.lazyBatchHist.Observe(float64(g.updatesSinceLazy))
 	snapshot, err := g.cfg.App.Snapshot()
 	if err != nil {
 		g.ctx.Logf("replica: snapshot failed: %v", err)

@@ -105,6 +105,31 @@ func PK(candidates []Candidate, staleFactor float64) float64 {
 	return p
 }
 
+// PKOf evaluates P_K(d) over the candidates of in that appear in targets,
+// without allocating: the calibration-telemetry path calls it once per read
+// with metrics enabled. Candidates are folded in Input order, so the result
+// can differ from PK over a differently ordered slice only in float
+// rounding.
+func PKOf(in *Input, targets []node.ID) float64 {
+	a := accumulator{primCDF: 1, secImmedCDF: 1, secDelayedCDF: 1, staleFactor: in.StaleFactor}
+	p := 0.0
+	n := 0
+	for i := range in.Candidates {
+		c := in.Candidates[i]
+		for _, id := range targets {
+			if id == c.ID {
+				p = a.include(c)
+				n++
+				break
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return p
+}
+
 // candLess is the Algorithm-1 visit order: decreasing ert; ties break by
 // decreasing immediate CDF, exactly as Section 5.3 prescribes. Remaining
 // ties break by ID, making the order strictly total (and the sorted

@@ -9,6 +9,7 @@ import (
 
 	"aqua/internal/netsim"
 	"aqua/internal/node"
+	"aqua/internal/obs"
 )
 
 // Runtime executes nodes on a Scheduler. It implements message delivery with
@@ -40,6 +41,12 @@ type Runtime struct {
 	dropped   uint64
 	freeDeliv []*delivery
 	freeTimer []*timerRec
+
+	// High-water marks of the last ObserveInto, so repeated observations
+	// export deltas rather than double-counting.
+	obsEvents  uint64
+	obsSent    uint64
+	obsDropped uint64
 }
 
 // Option configures a Runtime.
@@ -154,6 +161,23 @@ func (r *Runtime) IDs() []node.ID { return r.ids }
 
 // Stats returns the number of messages sent and dropped so far.
 func (r *Runtime) Stats() (sent, dropped uint64) { return r.sent, r.dropped }
+
+// ObserveInto folds the runtime's counters into reg as deltas since the
+// previous ObserveInto call. The simulator itself carries no instruments —
+// hot-path hooks could never perturb virtual time, but keeping them out
+// makes that property trivially true — so observability reads the totals
+// after (or between) runs instead. Safe to call repeatedly; a nil registry
+// is a no-op.
+func (r *Runtime) ObserveInto(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	events := r.sched.Events()
+	reg.Counter("sim_scheduler_events_total").Add(events - r.obsEvents)
+	reg.Counter("sim_messages_sent_total").Add(r.sent - r.obsSent)
+	reg.Counter("sim_messages_dropped_total").Add(r.dropped - r.obsDropped)
+	r.obsEvents, r.obsSent, r.obsDropped = events, r.sent, r.dropped
+}
 
 // delivery is a pooled in-flight message. run is bound to fire once, at
 // record creation, so scheduling a delivery allocates nothing once the pool

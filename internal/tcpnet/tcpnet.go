@@ -14,13 +14,16 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"time"
 
 	"aqua/internal/consistency"
 	"aqua/internal/group"
 	"aqua/internal/live"
 	"aqua/internal/node"
+	"aqua/internal/obs"
 )
 
 // Frame is the wire unit: addressed, self-contained.
@@ -54,17 +57,44 @@ func RegisterProtocolTypes() {
 	})
 }
 
+// Dial retry policy: a missing peer at startup (processes come up in
+// arbitrary order) gets a few quick retries with doubling backoff; after
+// that the address enters a cooldown during which sends drop immediately,
+// so a long outage costs each Send a map lookup instead of a backoff wait.
+const (
+	dialAttempts     = 4
+	dialBackoffBase  = 25 * time.Millisecond
+	dialCooldownSpan = 250 * time.Millisecond
+)
+
+var errDialCooldown = errors.New("tcpnet: peer in dial cooldown")
+
+// instruments holds the transport's traffic counters; the zero value (no
+// registry) is all nil no-ops.
+type instruments struct {
+	messagesSent *obs.Counter
+	bytesSent    *obs.Counter
+	messagesRecv *obs.Counter
+	bytesRecv    *obs.Counter
+	dials        *obs.Counter
+	dialFailures *obs.Counter
+	accepts      *obs.Counter
+	drops        *obs.Counter
+}
+
 // Transport is one process's TCP endpoint.
 type Transport struct {
 	rt       *live.Runtime
 	listener net.Listener
+	ins      instruments
 
-	mu      sync.Mutex
-	peers   map[node.ID]string // node -> address
-	conns   map[string]*peerConn
-	inbound map[net.Conn]bool
-	closed  bool
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	peers    map[node.ID]string // node -> address
+	conns    map[string]*peerConn
+	inbound  map[net.Conn]bool
+	cooldown map[string]time.Time // addr -> no redial before
+	closed   bool
+	wg       sync.WaitGroup
 }
 
 type peerConn struct {
@@ -89,6 +119,7 @@ func New(rt *live.Runtime, listenAddr string, peers map[node.ID]string) (*Transp
 		peers:    make(map[node.ID]string, len(peers)),
 		conns:    make(map[string]*peerConn),
 		inbound:  make(map[net.Conn]bool),
+		cooldown: make(map[string]time.Time),
 	}
 	for id, addr := range peers {
 		t.peers[id] = addr
@@ -100,6 +131,49 @@ func New(rt *live.Runtime, listenAddr string, peers map[node.ID]string) (*Transp
 
 // Addr returns the bound listen address (useful with port 0).
 func (t *Transport) Addr() string { return t.listener.Addr().String() }
+
+// Instrument attaches traffic counters from reg (nil detaches nothing and
+// is a no-op). Call before traffic flows; counters cover frames and bytes
+// in both directions plus dial and accept activity.
+func (t *Transport) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	t.ins = instruments{
+		messagesSent: reg.Counter("tcpnet_messages_sent_total"),
+		bytesSent:    reg.Counter("tcpnet_bytes_sent_total"),
+		messagesRecv: reg.Counter("tcpnet_messages_recv_total"),
+		bytesRecv:    reg.Counter("tcpnet_bytes_recv_total"),
+		dials:        reg.Counter("tcpnet_dials_total"),
+		dialFailures: reg.Counter("tcpnet_dial_failures_total"),
+		accepts:      reg.Counter("tcpnet_accepts_total"),
+		drops:        reg.Counter("tcpnet_drops_total"),
+	}
+}
+
+// countingWriter/countingReader tee byte totals into a counter; a nil
+// counter costs one no-op method call per I/O.
+type countingWriter struct {
+	w io.Writer
+	c *obs.Counter
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.c.Add(uint64(n))
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	c *obs.Counter
+}
+
+func (cr countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.c.Add(uint64(n))
+	return n, err
+}
 
 // AddPeer maps (or remaps) a node ID to an address.
 func (t *Transport) AddPeer(id node.ID, addr string) {
@@ -153,19 +227,23 @@ func (t *Transport) Send(from, to node.ID, m node.Message) {
 	addr, ok := t.peers[to]
 	t.mu.Unlock()
 	if !ok {
+		t.ins.drops.Inc()
 		return
 	}
 	pc, err := t.dial(addr)
 	if err != nil {
+		t.ins.drops.Inc()
 		return
 	}
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	if pc.conn == nil {
+		t.ins.drops.Inc()
 		return
 	}
 	if err := pc.enc.Encode(Frame{From: from, To: to, Payload: m}); err != nil {
 		// Broken pipe: drop the connection; the next Send re-dials.
+		t.ins.drops.Inc()
 		pc.conn.Close()
 		pc.conn = nil
 		t.mu.Lock()
@@ -173,7 +251,9 @@ func (t *Transport) Send(from, to node.ID, m node.Message) {
 			delete(t.conns, addr)
 		}
 		t.mu.Unlock()
+		return
 	}
+	t.ins.messagesSent.Inc()
 }
 
 func (t *Transport) dial(addr string) (*peerConn, error) {
@@ -182,13 +262,45 @@ func (t *Transport) dial(addr string) (*peerConn, error) {
 		t.mu.Unlock()
 		return pc, nil
 	}
+	if until, cooling := t.cooldown[addr]; cooling {
+		if time.Now().Before(until) {
+			t.mu.Unlock()
+			return nil, errDialCooldown
+		}
+		delete(t.cooldown, addr)
+	}
 	t.mu.Unlock()
 
-	conn, err := net.Dial("tcp", addr)
+	// Bounded retry with doubling backoff: absorbs the startup window where
+	// a peer process has not bound its listener yet.
+	var conn net.Conn
+	var err error
+	backoff := dialBackoffBase
+	for attempt := 0; attempt < dialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			t.mu.Lock()
+			closed := t.closed
+			t.mu.Unlock()
+			if closed {
+				return nil, errors.New("tcpnet: transport closed")
+			}
+		}
+		t.ins.dials.Inc()
+		conn, err = net.Dial("tcp", addr)
+		if err == nil {
+			break
+		}
+		t.ins.dialFailures.Inc()
+	}
 	if err != nil {
+		t.mu.Lock()
+		t.cooldown[addr] = time.Now().Add(dialCooldownSpan)
+		t.mu.Unlock()
 		return nil, err
 	}
-	pc := &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
+	pc := &peerConn{conn: conn, enc: gob.NewEncoder(countingWriter{w: conn, c: t.ins.bytesSent})}
 
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -219,6 +331,7 @@ func (t *Transport) acceptLoop() {
 		}
 		t.inbound[conn] = true
 		t.mu.Unlock()
+		t.ins.accepts.Inc()
 		t.wg.Add(1)
 		go t.readLoop(conn)
 	}
@@ -232,12 +345,13 @@ func (t *Transport) readLoop(conn net.Conn) {
 		delete(t.inbound, conn)
 		t.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+	dec := gob.NewDecoder(countingReader{r: conn, c: t.ins.bytesRecv})
 	for {
 		var f Frame
 		if err := dec.Decode(&f); err != nil {
 			return
 		}
+		t.ins.messagesRecv.Inc()
 		t.rt.Inject(f.From, f.To, f.Payload)
 	}
 }

@@ -1,6 +1,9 @@
 package tcpnet
 
 import (
+	"fmt"
+	"net"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -8,6 +11,7 @@ import (
 	"aqua/internal/consistency"
 	"aqua/internal/live"
 	"aqua/internal/node"
+	"aqua/internal/obs"
 )
 
 func waitFor(t *testing.T, cond func() bool, msg string) {
@@ -157,6 +161,170 @@ func TestTCPAddrReportsBoundPort(t *testing.T) {
 	defer tr.Close()
 	if tr.Addr() == "127.0.0.1:0" || tr.Addr() == "" {
 		t.Fatalf("Addr = %q", tr.Addr())
+	}
+}
+
+// counterValue reads one named counter out of a registry snapshot.
+func counterValue(t *testing.T, reg *obs.Registry, name string) uint64 {
+	t.Helper()
+	for _, s := range reg.Snapshot() {
+		if s.Name == name {
+			return uint64(s.Value)
+		}
+	}
+	t.Fatalf("counter %s not in snapshot", name)
+	return 0
+}
+
+// TestTCPConcurrentSendersFraming hammers one connection from many
+// goroutines at once: every frame must arrive intact (gob frames from
+// concurrent Sends must never interleave on the wire) and the traffic
+// counters must account for each one exactly once.
+func TestTCPConcurrentSendersFraming(t *testing.T) {
+	const senders, perSender = 8, 50
+
+	var got atomic.Int64
+	var wrong atomic.Int64
+	b := &node.FuncNode{
+		OnRecv: func(from node.ID, m node.Message) {
+			req, ok := m.(consistency.Request)
+			if !ok || req.Method != "Set" || string(req.Payload) != "k=v" {
+				wrong.Add(1)
+				return
+			}
+			got.Add(1)
+		},
+	}
+
+	rtA, rtB := live.NewRuntime(), live.NewRuntime()
+	trA, err := New(rtA, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trA.Close()
+	trB, err := New(rtB, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trB.Close()
+	trA.AddPeer("b", trB.Addr())
+	reg := obs.NewRegistry()
+	trA.Instrument(reg)
+	rtB.SetRemote(trB.Send)
+	rtB.Register("b", b)
+	rtB.Start()
+	defer rtB.Stop()
+
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			from := node.ID(fmt.Sprintf("a%02d", s))
+			for i := uint64(0); i < perSender; i++ {
+				trA.Send(from, "b", consistency.Request{
+					ID:      consistency.RequestID{Client: from, Seq: i},
+					Method:  "Set",
+					Payload: []byte("k=v"),
+				})
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	waitFor(t, func() bool { return got.Load() == senders*perSender }, "all concurrent frames")
+	if wrong.Load() != 0 {
+		t.Fatalf("%d frames arrived corrupted", wrong.Load())
+	}
+	if sent := counterValue(t, reg, "tcpnet_messages_sent_total"); sent != senders*perSender {
+		t.Fatalf("messagesSent = %d, want %d", sent, senders*perSender)
+	}
+	if counterValue(t, reg, "tcpnet_bytes_sent_total") == 0 {
+		t.Fatal("bytesSent = 0, want > 0")
+	}
+}
+
+// TestTCPDialRetryAbsorbsLateListener reproduces the startup race the retry
+// policy exists for: the first Send happens before the peer process has
+// bound its listener, and a retry within the backoff ladder (0/25/50/100 ms)
+// must still deliver the frame.
+func TestTCPDialRetryAbsorbsLateListener(t *testing.T) {
+	// Reserve an address, then free it so the late listener can bind it.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	rtA := live.NewRuntime()
+	trA, err := New(rtA, "127.0.0.1:0", map[node.ID]string{"b": addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trA.Close()
+
+	var got atomic.Int64
+	var trB *Transport
+	var trBMu sync.Mutex
+	time.AfterFunc(60*time.Millisecond, func() {
+		rtB := live.NewRuntime()
+		tr, err := New(rtB, addr, nil)
+		if err != nil {
+			return // port stolen between probe and bind; Send fails the test
+		}
+		rtB.SetRemote(tr.Send)
+		rtB.Register("b", &node.FuncNode{
+			OnRecv: func(node.ID, node.Message) { got.Add(1) },
+		})
+		rtB.Start()
+		trBMu.Lock()
+		trB = tr
+		trBMu.Unlock()
+	})
+	defer func() {
+		trBMu.Lock()
+		if trB != nil {
+			trB.Close()
+		}
+		trBMu.Unlock()
+	}()
+
+	trA.Send("a", "b", consistency.GSNQuery{Epoch: 1}) // blocks through the retries
+	waitFor(t, func() bool { return got.Load() == 1 }, "delivery after dial retry")
+}
+
+// TestTCPDialCooldownBoundsOutageCost verifies that once the retry budget is
+// exhausted, subsequent sends during the cooldown window drop immediately
+// instead of re-paying the backoff ladder.
+func TestTCPDialCooldownBoundsOutageCost(t *testing.T) {
+	rt := live.NewRuntime()
+	// 127.0.0.1:1 refuses instantly, so the first Send costs only the
+	// backoff sleeps (~175 ms) before entering cooldown.
+	tr, err := New(rt, "127.0.0.1:0", map[node.ID]string{"b": "127.0.0.1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	reg := obs.NewRegistry()
+	tr.Instrument(reg)
+
+	tr.Send("a", "b", consistency.GSNQuery{Epoch: 1}) // exhausts the retries
+	dialsAfterFirst := counterValue(t, reg, "tcpnet_dial_failures_total")
+	if dialsAfterFirst != dialAttempts {
+		t.Fatalf("first send made %d dial attempts, want %d", dialsAfterFirst, dialAttempts)
+	}
+
+	start := time.Now()
+	tr.Send("a", "b", consistency.GSNQuery{Epoch: 2}) // in cooldown: drops fast
+	if elapsed := time.Since(start); elapsed > dialCooldownSpan/2 {
+		t.Fatalf("send during cooldown took %v, want immediate drop", elapsed)
+	}
+	if counterValue(t, reg, "tcpnet_dial_failures_total") != dialsAfterFirst {
+		t.Fatal("send during cooldown re-dialed")
+	}
+	if drops := counterValue(t, reg, "tcpnet_drops_total"); drops != 2 {
+		t.Fatalf("drops = %d, want 2", drops)
 	}
 }
 

@@ -109,3 +109,54 @@ END {
 }' "$sweep_raw" > "$sweep_out"
 
 echo "wrote $sweep_out"
+
+# ---- Observability overhead ----
+# BenchmarkFig4PointObs re-runs the full-experiment benchmark with a metrics
+# registry attached everywhere; the overhead_percent summary compares its
+# mean ns/op against the plain run above. The contract is <= 5% overhead with
+# metrics enabled and zero allocs on the disabled steady-state path
+# (BenchmarkEvaluateSteadyState's allocs/op column, enforced by
+# TestEvaluateSteadyStateZeroAlloc in CI).
+obs_out="BENCH_obs.json"
+obs_raw="$(mktemp)"
+trap 'rm -f "$raw" "$sweep_raw" "$obs_raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkFig4Point$|BenchmarkFig4PointObs$|BenchmarkEvaluateSteadyState' \
+	-benchmem -count 3 . | tee "$obs_raw"
+
+awk '
+BEGIN { n = 0 }
+/^Benchmark/ {
+	name = $1; iters = $2
+	ns = ""; bytes = ""; allocs = ""
+	for (i = 3; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		if ($(i + 1) == "B/op") bytes = $i
+		if ($(i + 1) == "allocs/op") allocs = $i
+	}
+	if (ns == "") next
+	if (name ~ /^BenchmarkFig4PointObs/) { obsSum += ns; obsN++ }
+	else if (name ~ /^BenchmarkFig4Point/) { plainSum += ns; plainN++ }
+	if (name ~ /^BenchmarkEvaluateSteadyState/ && allocs != "" && allocs + 0 > ssAllocs)
+		ssAllocs = allocs + 0
+	line = sprintf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+	if (bytes != "") line = line sprintf(", \"bytes_per_op\": %s", bytes)
+	if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+	line = line "}"
+	rows[n++] = line
+}
+END {
+	printf "{\n"
+	printf "  \"bench_regexp\": \"BenchmarkFig4Point$|BenchmarkFig4PointObs$|BenchmarkEvaluateSteadyState\",\n"
+	if (plainN > 0 && obsN > 0) {
+		overhead = (obsSum / obsN) / (plainSum / plainN) * 100 - 100
+		printf "  \"metrics_enabled_overhead_percent\": %.2f,\n", overhead
+		printf "  \"overhead_target_percent\": 5,\n"
+	}
+	printf "  \"disabled_steady_state_allocs_per_op\": %d,\n", ssAllocs
+	printf "  \"results\": [\n"
+	for (i = 0; i < n; i++) printf "  %s%s\n", rows[i], (i < n - 1 ? "," : "")
+	printf "  ]\n}\n"
+}' "$obs_raw" > "$obs_out"
+
+echo "wrote $obs_out"
