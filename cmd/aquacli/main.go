@@ -33,6 +33,7 @@ func main() {
 		clients     = flag.String("clients", "", "comma-separated client IDs")
 		id          = flag.String("id", "c00", "this client's node ID")
 		listen      = flag.String("listen", "127.0.0.1:7300", "TCP listen address of this process")
+		sendq       = flag.Int("sendq", tcpnet.DefaultSendQueue, "per-peer send queue capacity in frames (overflow drops are recovered by retransmission)")
 		lazy        = flag.Duration("lazy", 2*time.Second, "lazy update interval T_L (must match aquad)")
 		op          = flag.String("op", "bench", "operation: set, get, version, bench")
 		key         = flag.String("key", "k", "key for set/get")
@@ -46,7 +47,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*clusterSpec, *primaries, *clients, *id, *listen, *lazy,
+	if err := run(*clusterSpec, *primaries, *clients, *id, *listen, *sendq, *lazy,
 		*op, *key, *value, *n, *metricsAddr, *tracePath,
 		qos.Spec{Staleness: *staleness, Deadline: *deadline, MinProb: *prob}); err != nil {
 		fmt.Fprintln(os.Stderr, "aquacli:", err)
@@ -54,7 +55,7 @@ func main() {
 	}
 }
 
-func run(clusterSpec, primaries, clients, id, listen string, lazy time.Duration,
+func run(clusterSpec, primaries, clients, id, listen string, sendq int, lazy time.Duration,
 	op, key, value string, n int, metricsAddr, tracePath string, spec qos.Spec) error {
 	if err := spec.Validate(); err != nil {
 		return err
@@ -79,7 +80,7 @@ func run(clusterSpec, primaries, clients, id, listen string, lazy time.Duration,
 	}
 
 	rt := live.NewRuntime(live.WithSeed(time.Now().UnixNano()))
-	tr, err := tcpnet.New(rt, listen, cs.PeersFor(cluster.IDList{node.ID(id)}))
+	tr, err := tcpnet.New(rt, listen, cs.PeersFor(cluster.IDList{node.ID(id)}), tcpnet.WithSendQueue(sendq))
 	if err != nil {
 		return err
 	}

@@ -44,6 +44,7 @@ func main() {
 		clients     = flag.String("clients", "", "comma-separated client IDs")
 		host        = flag.String("host", "", "comma-separated replica IDs hosted by this process")
 		listen      = flag.String("listen", "127.0.0.1:7100", "TCP listen address of this process")
+		sendq       = flag.Int("sendq", tcpnet.DefaultSendQueue, "per-peer send queue capacity in frames (overflow drops are recovered by retransmission)")
 		lazy        = flag.Duration("lazy", 2*time.Second, "lazy update interval T_L")
 		appName     = flag.String("app", "kv", "replicated application: kv, document, ticker")
 		metricsAddr = flag.String("metrics-addr", "", "HTTP address serving Prometheus text on /metrics (empty = metrics off)")
@@ -52,7 +53,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*clusterSpec, *primaries, *clients, *host, *listen, *lazy, *appName,
+	if err := run(*clusterSpec, *primaries, *clients, *host, *listen, *sendq, *lazy, *appName,
 		*metricsAddr, *tracePath, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "aquad:", err)
 		os.Exit(1)
@@ -72,7 +73,7 @@ func newApp(name string) (func() app.Application, error) {
 	}
 }
 
-func run(clusterSpec, primaries, clients, host, listen string, lazy time.Duration, appName string,
+func run(clusterSpec, primaries, clients, host, listen string, sendq int, lazy time.Duration, appName string,
 	metricsAddr, tracePath string, verbose bool) error {
 	spec, err := cluster.Parse(clusterSpec, primaries, clients)
 	if err != nil {
@@ -107,7 +108,7 @@ func run(clusterSpec, primaries, clients, host, listen string, lazy time.Duratio
 	}
 	rt := live.NewRuntime(opts...)
 
-	tr, err := tcpnet.New(rt, listen, spec.PeersFor(hosted))
+	tr, err := tcpnet.New(rt, listen, spec.PeersFor(hosted), tcpnet.WithSendQueue(sendq))
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,16 @@
 // gateways, the sequencer and the lazy publisher, plus the pure protocol
 // state machines — GSN assignment, commit-in-GSN-order buffering, and
 // deferred-read queueing — that the replica gateway composes.
+//
+// The message types in this file cross process boundaries: the live TCP
+// transport encodes each with a hand-written case in its binary codec
+// (internal/tcpnet/wire.go, format in DESIGN.md §9), keyed by a per-type
+// wire tag. Evolving a message therefore means evolving the codec in the
+// same change: a new field extends the matching encode/decode pair (old
+// peers reject the frame rather than misread it), a new message gets a new
+// tag appended to the table, and anything incompatible bumps WireVersion.
+// The codec-vs-gob differential test in tcpnet catches a struct and codec
+// that have drifted apart.
 package consistency
 
 import (

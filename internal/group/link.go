@@ -22,8 +22,10 @@ import (
 	"aqua/internal/node"
 )
 
-// Wire messages. Exported fields so the live TCP transport can gob-encode
-// them; RegisterGobTypes in the tcpnet package registers the concrete types.
+// Wire messages. The live TCP transport encodes them with its hand-written
+// binary codec (internal/tcpnet/wire.go has the tag table; DESIGN.md §9 the
+// format), so adding a field here requires extending the matching
+// encode/decode case there — the codec differential test fails otherwise.
 //
 // Both carry incarnation numbers: each Stack instance draws a random
 // SrcEpoch at creation, so a restarted process is distinguishable from its

@@ -48,6 +48,7 @@ func FromSamplesInto(dst *PMF, samples []time.Duration) {
 	if len(samples) == 0 {
 		return
 	}
+	dst.growFor(len(samples))
 	sortDurations(samples)
 	w := 1.0 / float64(len(samples))
 	for _, s := range samples {
@@ -78,6 +79,19 @@ func (p *PMF) reset() {
 	p.vals = p.vals[:0]
 	p.probs = p.probs[:0]
 	p.cum = p.cum[:0]
+}
+
+// growFor ensures the (empty) backing arrays can hold n support points, so
+// the accumulate/finalize passes that follow never re-grow them. A kernel
+// that knows its output bound pays at most three right-sized allocations
+// instead of O(log n) append doublings per array — the difference between
+// ~80 and ~9 allocs for a convolve→bin→convolve chain on a cold PMF.
+func (p *PMF) growFor(n int) {
+	if cap(p.vals) < n {
+		p.vals = make([]time.Duration, 0, n)
+		p.probs = make([]float64, 0, n)
+		p.cum = make([]float64, 0, n)
+	}
 }
 
 // accumulate merges mass at v into the PMF under construction. Calls must
@@ -208,6 +222,8 @@ func ConvolveInto(dst *PMF, p, q PMF, sc *ConvScratch) {
 			k++
 		}
 	}
+	dst.reset()
+	dst.growFor(total)
 	srcV, srcP := sc.vals, sc.probs
 	dstV, dstP := sc.vals2, sc.probs2
 	for run := m; run < total; run *= 2 {
@@ -244,7 +260,6 @@ func ConvolveInto(dst *PMF, p, q PMF, sc *ConvScratch) {
 		srcV, dstV = dstV, srcV
 		srcP, dstP = dstP, srcP
 	}
-	dst.reset()
 	for k := 0; k < total; k++ {
 		dst.accumulate(srcV[k], srcP[k])
 	}
@@ -326,6 +341,7 @@ func (p PMF) BinInto(dst *PMF, width time.Duration) {
 		return
 	}
 	dst.reset()
+	dst.growFor(len(p.vals))
 	for i, v := range p.vals {
 		b := (v + width/2) / width * width
 		dst.accumulate(b, p.probs[i])

@@ -235,3 +235,31 @@ func TestBinProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestConvolveChainAllocBudget guards the convolution cold path's
+// allocation fix: with the destination arrays pre-sized to the output
+// bound, a full convolve→bin→convolve chain (the per-replica distribution
+// pipeline of Section 5.2, cold — no Into-style reuse) costs at most three
+// right-sized slice allocations per produced PMF, not an append-doubling
+// ladder per array. Budget 12 = 3 stages x 3 arrays + slack for an
+// occasional pool refill.
+func TestConvolveChainAllocBudget(t *testing.T) {
+	mk := func(seed int64, n int) PMF {
+		samples := make([]time.Duration, n)
+		for i := range samples {
+			samples[i] = time.Duration((seed+int64(i)*7919)%200) * time.Millisecond
+		}
+		return FromSamples(samples)
+	}
+	s, w := mk(1, 20), mk(2, 20)
+	g := Point(2 * time.Millisecond)
+	allocs := testing.AllocsPerRun(100, func() {
+		p := s.Convolve(w).Bin(2 * time.Millisecond).Convolve(g)
+		if p.CDF(140*time.Millisecond) < 0 {
+			t.Fatal("impossible CDF")
+		}
+	})
+	if allocs > 12 {
+		t.Fatalf("convolve chain cost %.0f allocs/op, budget 12", allocs)
+	}
+}

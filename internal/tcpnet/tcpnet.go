@@ -1,18 +1,28 @@
-// Package tcpnet carries node messages between processes over TCP with gob
-// encoding — the real-network transport for the live runtime. One Transport
-// per process: it listens for inbound frames and injects them into the
-// local live.Runtime, and its Send method plugs into live.WithRemote to
-// forward frames addressed to nodes hosted elsewhere.
+// Package tcpnet carries node messages between processes over TCP — the
+// real-network transport for the live runtime. Frames travel in a
+// length-prefixed binary wire format (see wire.go and DESIGN.md §9), not
+// gob: one hand-written encoder/decoder per registered protocol message,
+// so the hot path does no reflection and the steady-state encode performs
+// zero heap allocations per frame.
+//
+// One Transport per process: it listens for inbound frames and injects
+// them into the local live.Runtime, and its Send method plugs into
+// live.WithRemote to forward frames addressed to nodes hosted elsewhere.
+// Send never blocks: it enqueues onto a bounded per-peer ring serviced by
+// a writer goroutine that batches queued frames into single writes and
+// performs all dialing (retry, backoff, cooldown) off the caller path.
 //
 // Reliability note: TCP provides ordering per connection, but connections
-// may drop and be re-dialed; end-to-end reliability and FIFO across
-// reconnects come from the group substrate's sequence numbers and
-// ack/retransmit, exactly as with the simulated lossy network.
+// may drop and be re-dialed (and overflowing send rings shed frames);
+// end-to-end reliability and FIFO across reconnects come from the group
+// substrate's sequence numbers and ack/retransmit, exactly as with the
+// simulated lossy network.
 package tcpnet
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/gob"
-	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -26,7 +36,10 @@ import (
 	"aqua/internal/obs"
 )
 
-// Frame is the wire unit: addressed, self-contained.
+// Frame is the wire unit: addressed, self-contained. The binary codec in
+// wire.go flattens it as version|From|To|tagged-payload; the struct (and
+// the gob registrations below) remain for programs that decode recorded
+// traffic themselves and for the codec-vs-gob differential tests.
 type Frame struct {
 	From    node.ID
 	To      node.ID
@@ -35,9 +48,10 @@ type Frame struct {
 
 var registerOnce sync.Once
 
-// RegisterProtocolTypes registers every protocol message with gob. It is
-// idempotent and called automatically by New; exposed for programs that
-// decode frames themselves.
+// RegisterProtocolTypes registers every protocol message with gob. The live
+// transport itself no longer speaks gob, but the registrations keep
+// recorded-traffic tooling and the differential tests working. It is
+// idempotent and called automatically by New.
 func RegisterProtocolTypes() {
 	registerOnce.Do(func() {
 		gob.Register(group.DataMsg{})
@@ -54,20 +68,20 @@ func RegisterProtocolTypes() {
 		gob.Register(consistency.StateUpdate{})
 		gob.Register(consistency.PerfBroadcast{})
 		gob.Register(consistency.SequencerAnnounce{})
+		gob.Register(consistency.DigestAnnounce{})
 	})
 }
 
 // Dial retry policy: a missing peer at startup (processes come up in
 // arbitrary order) gets a few quick retries with doubling backoff; after
-// that the address enters a cooldown during which sends drop immediately,
-// so a long outage costs each Send a map lookup instead of a backoff wait.
+// that the address enters a cooldown during which queued frames drop
+// immediately. All of it runs on the peer's writer goroutine — a Send
+// caller never sleeps in a dial.
 const (
 	dialAttempts     = 4
 	dialBackoffBase  = 25 * time.Millisecond
 	dialCooldownSpan = 250 * time.Millisecond
 )
-
-var errDialCooldown = errors.New("tcpnet: peer in dial cooldown")
 
 // instruments holds the transport's traffic counters; the zero value (no
 // registry) is all nil no-ops.
@@ -80,6 +94,8 @@ type instruments struct {
 	dialFailures *obs.Counter
 	accepts      *obs.Counter
 	drops        *obs.Counter
+	queueDepth   *obs.Gauge
+	flushBatch   *obs.Histogram
 }
 
 // Transport is one process's TCP endpoint.
@@ -87,27 +103,35 @@ type Transport struct {
 	rt       *live.Runtime
 	listener net.Listener
 	ins      instruments
+	queueCap int
 
-	mu       sync.Mutex
-	peers    map[node.ID]string // node -> address
-	conns    map[string]*peerConn
-	inbound  map[net.Conn]bool
-	cooldown map[string]time.Time // addr -> no redial before
-	closed   bool
-	wg       sync.WaitGroup
+	mu      sync.Mutex
+	peers   map[node.ID]string // node -> address
+	writers map[string]*peerWriter
+	inbound map[net.Conn]bool
+	closed  bool
+	wg      sync.WaitGroup
 }
 
-type peerConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
+// Option configures a Transport.
+type Option func(*Transport)
+
+// WithSendQueue sets the per-peer send ring capacity in frames (default
+// DefaultSendQueue). Overflow frames are counted drops recovered by the
+// group substrate's retransmission.
+func WithSendQueue(n int) Option {
+	return func(t *Transport) {
+		if n > 0 {
+			t.queueCap = n
+		}
+	}
 }
 
 // New starts a transport listening on listenAddr (e.g. ":7100" or
 // "127.0.0.1:0"). peers maps every remote node ID to the address of the
 // process hosting it; local IDs need no entry. Pass the returned
 // Transport's Send to live.WithRemote.
-func New(rt *live.Runtime, listenAddr string, peers map[node.ID]string) (*Transport, error) {
+func New(rt *live.Runtime, listenAddr string, peers map[node.ID]string, opts ...Option) (*Transport, error) {
 	RegisterProtocolTypes()
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
@@ -116,13 +140,16 @@ func New(rt *live.Runtime, listenAddr string, peers map[node.ID]string) (*Transp
 	t := &Transport{
 		rt:       rt,
 		listener: ln,
+		queueCap: DefaultSendQueue,
 		peers:    make(map[node.ID]string, len(peers)),
-		conns:    make(map[string]*peerConn),
+		writers:  make(map[string]*peerWriter),
 		inbound:  make(map[net.Conn]bool),
-		cooldown: make(map[string]time.Time),
 	}
 	for id, addr := range peers {
 		t.peers[id] = addr
+	}
+	for _, o := range opts {
+		o(t)
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -134,7 +161,8 @@ func (t *Transport) Addr() string { return t.listener.Addr().String() }
 
 // Instrument attaches traffic counters from reg (nil detaches nothing and
 // is a no-op). Call before traffic flows; counters cover frames and bytes
-// in both directions plus dial and accept activity.
+// in both directions, dial and accept activity, the aggregate send-queue
+// depth, and the per-flush batch size distribution.
 func (t *Transport) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
@@ -148,22 +176,14 @@ func (t *Transport) Instrument(reg *obs.Registry) {
 		dialFailures: reg.Counter("tcpnet_dial_failures_total"),
 		accepts:      reg.Counter("tcpnet_accepts_total"),
 		drops:        reg.Counter("tcpnet_drops_total"),
+		queueDepth:   reg.Gauge("tcpnet_send_queue_depth"),
+		flushBatch:   reg.Histogram("tcpnet_flush_batch_size", obs.DepthBuckets()),
 	}
 }
 
-// countingWriter/countingReader tee byte totals into a counter; a nil
-// counter costs one no-op method call per I/O.
-type countingWriter struct {
-	w io.Writer
-	c *obs.Counter
-}
-
-func (cw countingWriter) Write(p []byte) (int, error) {
-	n, err := cw.w.Write(p)
-	cw.c.Add(uint64(n))
-	return n, err
-}
-
+// countingReader tees byte totals into a counter; a nil counter costs one
+// no-op method call per read. (Outbound bytes are counted at flush time in
+// the writer, where the whole batch is one length-known write.)
 type countingReader struct {
 	r io.Reader
 	c *obs.Counter
@@ -182,7 +202,7 @@ func (t *Transport) AddPeer(id node.ID, addr string) {
 	t.peers[id] = addr
 }
 
-// Close stops the listener and all connections.
+// Close stops the listener, every writer goroutine, and all connections.
 func (t *Transport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -190,9 +210,9 @@ func (t *Transport) Close() error {
 		return nil
 	}
 	t.closed = true
-	conns := make([]*peerConn, 0, len(t.conns))
-	for _, c := range t.conns {
-		conns = append(conns, c)
+	writers := make([]*peerWriter, 0, len(t.writers))
+	for _, w := range t.writers {
+		writers = append(writers, w)
 	}
 	in := make([]net.Conn, 0, len(t.inbound))
 	for c := range t.inbound {
@@ -201,12 +221,8 @@ func (t *Transport) Close() error {
 	t.mu.Unlock()
 
 	err := t.listener.Close()
-	for _, c := range conns {
-		c.mu.Lock()
-		if c.conn != nil {
-			c.conn.Close()
-		}
-		c.mu.Unlock()
+	for _, w := range writers {
+		w.shutdown()
 	}
 	for _, c := range in {
 		c.Close()
@@ -215,9 +231,12 @@ func (t *Transport) Close() error {
 	return err
 }
 
-// Send forwards a frame to the process hosting 'to'. Messages to unknown
-// or unreachable peers are dropped silently — the group substrate's
-// retransmission recovers once the peer is reachable.
+// Send forwards a frame to the process hosting 'to'. It is non-blocking:
+// the frame is enqueued on the peer's bounded send ring and the per-peer
+// writer goroutine does all encoding, dialing, and writing. Messages to
+// unknown peers, and frames shed by a full ring or an unreachable peer,
+// are counted drops — the group substrate's retransmission recovers once
+// the peer is reachable.
 func (t *Transport) Send(from, to node.ID, m node.Message) {
 	t.mu.Lock()
 	if t.closed {
@@ -225,95 +244,43 @@ func (t *Transport) Send(from, to node.ID, m node.Message) {
 		return
 	}
 	addr, ok := t.peers[to]
-	t.mu.Unlock()
 	if !ok {
-		t.ins.drops.Inc()
-		return
-	}
-	pc, err := t.dial(addr)
-	if err != nil {
-		t.ins.drops.Inc()
-		return
-	}
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	if pc.conn == nil {
-		t.ins.drops.Inc()
-		return
-	}
-	if err := pc.enc.Encode(Frame{From: from, To: to, Payload: m}); err != nil {
-		// Broken pipe: drop the connection; the next Send re-dials.
-		t.ins.drops.Inc()
-		pc.conn.Close()
-		pc.conn = nil
-		t.mu.Lock()
-		if t.conns[addr] == pc {
-			delete(t.conns, addr)
-		}
 		t.mu.Unlock()
+		t.ins.drops.Inc()
 		return
 	}
-	t.ins.messagesSent.Inc()
+	w := t.writers[addr]
+	if w == nil {
+		w = newPeerWriter(t, addr, t.queueCap)
+		t.writers[addr] = w
+		t.wg.Add(1)
+		go w.run()
+	}
+	t.mu.Unlock()
+	w.enqueue(from, to, m)
 }
 
-func (t *Transport) dial(addr string) (*peerConn, error) {
+// dropConnections closes every established connection — outbound writer
+// conns and inbound accepted conns — without touching queues, cooldowns,
+// or the listener. Test hook simulating a mid-stream network failure; the
+// writers re-dial on their next flush.
+func (t *Transport) dropConnections() {
 	t.mu.Lock()
-	if pc, ok := t.conns[addr]; ok {
-		t.mu.Unlock()
-		return pc, nil
+	writers := make([]*peerWriter, 0, len(t.writers))
+	for _, w := range t.writers {
+		writers = append(writers, w)
 	}
-	if until, cooling := t.cooldown[addr]; cooling {
-		if time.Now().Before(until) {
-			t.mu.Unlock()
-			return nil, errDialCooldown
-		}
-		delete(t.cooldown, addr)
+	in := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		in = append(in, c)
 	}
 	t.mu.Unlock()
-
-	// Bounded retry with doubling backoff: absorbs the startup window where
-	// a peer process has not bound its listener yet.
-	var conn net.Conn
-	var err error
-	backoff := dialBackoffBase
-	for attempt := 0; attempt < dialAttempts; attempt++ {
-		if attempt > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
-			t.mu.Lock()
-			closed := t.closed
-			t.mu.Unlock()
-			if closed {
-				return nil, errors.New("tcpnet: transport closed")
-			}
-		}
-		t.ins.dials.Inc()
-		conn, err = net.Dial("tcp", addr)
-		if err == nil {
-			break
-		}
-		t.ins.dialFailures.Inc()
+	for _, w := range writers {
+		w.setConn(nil)
 	}
-	if err != nil {
-		t.mu.Lock()
-		t.cooldown[addr] = time.Now().Add(dialCooldownSpan)
-		t.mu.Unlock()
-		return nil, err
+	for _, c := range in {
+		c.Close()
 	}
-	pc := &peerConn{conn: conn, enc: gob.NewEncoder(countingWriter{w: conn, c: t.ins.bytesSent})}
-
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
-		conn.Close()
-		return nil, errors.New("tcpnet: transport closed")
-	}
-	if existing, ok := t.conns[addr]; ok {
-		conn.Close() // lost the race; reuse the winner
-		return existing, nil
-	}
-	t.conns[addr] = pc
-	return pc, nil
 }
 
 func (t *Transport) acceptLoop() {
@@ -337,6 +304,12 @@ func (t *Transport) acceptLoop() {
 	}
 }
 
+// readLoop parses length-prefixed frames off one inbound connection,
+// reusing a single body buffer across frames. Any framing or decode error
+// (unknown version or tag, truncation, oversize) drops the connection —
+// the sender re-dials, the stream resynchronizes at a frame boundary, and
+// the group layer retransmits — so a desynchronized stream can never be
+// misdecoded into wrong messages.
 func (t *Transport) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer func() {
@@ -345,13 +318,30 @@ func (t *Transport) readLoop(conn net.Conn) {
 		delete(t.inbound, conn)
 		t.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(countingReader{r: conn, c: t.ins.bytesRecv})
+	br := bufio.NewReaderSize(countingReader{r: conn, c: t.ins.bytesRecv}, 64<<10)
+	var lenBuf [4]byte
+	var body []byte
+	var dec FrameDecoder // per-connection string intern cache
 	for {
-		var f Frame
-		if err := dec.Decode(&f); err != nil {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxFrameBytes {
+			return
+		}
+		if cap(body) < int(n) {
+			body = make([]byte, n)
+		}
+		body = body[:n]
+		if _, err := io.ReadFull(br, body); err != nil {
+			return
+		}
+		from, to, m, err := dec.Decode(body)
+		if err != nil {
 			return
 		}
 		t.ins.messagesRecv.Inc()
-		t.rt.Inject(f.From, f.To, f.Payload)
+		t.rt.Inject(from, to, m)
 	}
 }

@@ -160,3 +160,58 @@ END {
 }' "$obs_raw" > "$obs_out"
 
 echo "wrote $obs_out"
+
+# ---- Live transport wire codec ----
+# BenchmarkWireCodec compares the binary frame codec against the gob stream
+# it replaced on the transport's hot frame; BenchmarkTCPThroughput runs both
+# designs over real loopback TCP in the same process (frames_per_sec derived
+# from ns per delivered frame). The wire_vs_gob summary holds the acceptance
+# ratios: throughput >= 3x frames/sec and >= 5x fewer allocs/op than the gob
+# baseline recorded in the same run; encode path 0 allocs/frame. On the
+# single-core benchmark container treat ns/op as indicative; the ratios come
+# from the same run so they stay comparable.
+wire_out="BENCH_wire.json"
+wire_raw="$(mktemp)"
+trap 'rm -f "$raw" "$sweep_raw" "$obs_raw" "$wire_raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkWireCodec|BenchmarkTCPThroughput' \
+	-benchmem -benchtime 2s -count 3 . | tee "$wire_raw"
+
+awk '
+BEGIN { n = 0 }
+/^Benchmark/ {
+	name = $1; iters = $2
+	ns = ""; bytes = ""; allocs = ""
+	for (i = 3; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		if ($(i + 1) == "B/op") bytes = $i
+		if ($(i + 1) == "allocs/op") allocs = $i
+	}
+	if (ns == "") next
+	if (name ~ /^BenchmarkTCPThroughput\/wire/) { wNs += ns; wAl += allocs; wN++ }
+	if (name ~ /^BenchmarkTCPThroughput\/gob/)  { gNs += ns; gAl += allocs; gN++ }
+	line = sprintf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+	if (name ~ /^BenchmarkTCPThroughput/)
+		line = line sprintf(", \"frames_per_sec\": %d", 1e9 / ns)
+	if (bytes != "") line = line sprintf(", \"bytes_per_op\": %s", bytes)
+	if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+	line = line "}"
+	rows[n++] = line
+}
+END {
+	printf "{\n"
+	printf "  \"bench_regexp\": \"BenchmarkWireCodec|BenchmarkTCPThroughput\",\n"
+	if (wN > 0 && gN > 0) {
+		printf "  \"wire_vs_gob\": {\n"
+		printf "    \"throughput_ratio\": %.2f,\n", (gNs / gN) / (wNs / wN)
+		printf "    \"throughput_target\": 3,\n"
+		printf "    \"allocs_ratio\": %.2f,\n", (gAl / gN) / (wAl / wN)
+		printf "    \"allocs_target\": 5\n"
+		printf "  },\n"
+	}
+	printf "  \"results\": [\n"
+	for (i = 0; i < n; i++) printf "  %s%s\n", rows[i], (i < n - 1 ? "," : "")
+	printf "  ]\n}\n"
+}' "$wire_raw" > "$wire_out"
+
+echo "wrote $wire_out"
