@@ -6,6 +6,7 @@
 //
 //	aquabench -experiment fig3|fig4a|fig4b|lui|reqdelay|baselines|hotspot|failover|all
 //	aquabench -experiment fig4a -requests 200   # faster, noisier
+//	aquabench -experiment chaos -chaos-runs 8 -faults crash,partition,link,seqkill
 package main
 
 import (
@@ -13,8 +14,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
+	"aqua/internal/chaos"
 	"aqua/internal/experiment"
 	"aqua/internal/obs"
 	"aqua/internal/sim"
@@ -22,7 +25,7 @@ import (
 
 func main() {
 	var (
-		which     = flag.String("experiment", "all", "experiment id: fig3, fig4a, fig4b, lui, reqdelay, baselines, hotspot, failover, calibration, groupsplit, window, estimator, scalability, loss, arrivals, all")
+		which     = flag.String("experiment", "all", "experiment id: fig3, fig4a, fig4b, lui, reqdelay, baselines, hotspot, failover, calibration, groupsplit, window, estimator, scalability, loss, arrivals, chaos, all")
 		requests  = flag.Int("requests", 1000, "requests per client per run (paper: 1000)")
 		seed      = flag.Int64("seed", 2002, "base random seed")
 		iters     = flag.Int("iters", 2000, "iterations per fig3 measurement point")
@@ -30,6 +33,8 @@ func main() {
 		progress  = flag.Bool("progress", true, "report per-point sweep progress on stderr")
 		obsPath   = flag.String("obs", "", "write an aggregated Prometheus-text metrics snapshot of all runs to this file")
 		tracePath = flag.String("trace", "", "stream per-request JSONL trace spans (run-labelled) to this file")
+		faults    = flag.String("faults", "crash,partition,link,seqkill", "chaos fault kinds to inject (comma list of crash, partition, link, seqkill)")
+		chaosRuns = flag.Int("chaos-runs", 4, "number of seeded chaos runs (seeds seed..seed+n-1)")
 	)
 	flag.Parse()
 
@@ -40,13 +45,63 @@ func main() {
 		})
 	}
 
-	if err := run(*which, *requests, *seed, *iters, *obsPath, *tracePath); err != nil {
+	if err := run(*which, *requests, *seed, *iters, *obsPath, *tracePath, *faults, *chaosRuns); err != nil {
 		fmt.Fprintln(os.Stderr, "aquabench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which string, requests int, seed int64, iters int, obsPath, tracePath string) error {
+// parseFaults maps the -faults comma list onto generator fault rates.
+func parseFaults(spec string) (chaos.GenConfig, error) {
+	var cfg chaos.GenConfig
+	for _, kind := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(kind) {
+		case "":
+		case "crash":
+			cfg.Crashes = 3
+		case "partition":
+			cfg.Partitions = 2
+		case "link":
+			cfg.LinkFaults = 3
+		case "seqkill":
+			cfg.SequencerKill = true
+		default:
+			return cfg, fmt.Errorf("unknown fault kind %q (want crash, partition, link, seqkill)", kind)
+		}
+	}
+	return cfg, nil
+}
+
+// runChaos executes the chaos sweep and reports per-invariant verdicts; a
+// failing invariant fails the whole command.
+func runChaos(out *os.File, requests int, seed int64, faultSpec string, runs int) error {
+	gen, err := parseFaults(faultSpec)
+	if err != nil {
+		return fmt.Errorf("-faults: %w", err)
+	}
+	if requests > 200 {
+		// Chaos verdicts converge long before the paper's request counts;
+		// cap so '-experiment chaos' stays interactive at the default 1000.
+		requests = 200
+	}
+	base := experiment.ChaosConfig{Requests: requests, Faults: gen}
+	seeds := make([]int64, runs)
+	for i := range seeds {
+		seeds[i] = seed + int64(i)
+	}
+	results := experiment.RunChaosSweep(base, seeds)
+	if err := experiment.WriteChaosTable(out, results); err != nil {
+		return err
+	}
+	for i := range results {
+		if !results[i].Report.OK() {
+			return fmt.Errorf("chaos: invariant violations at seed %d", results[i].Seed)
+		}
+	}
+	return nil
+}
+
+func run(which string, requests int, seed int64, iters int, obsPath, tracePath, faultSpec string, chaosRuns int) error {
 	base := experiment.Fig4Config{
 		Seed:     seed,
 		Deadline: 140 * time.Millisecond,
@@ -204,6 +259,16 @@ func run(which string, requests int, seed int64, iters int, obsPath, tracePath s
 		ran = true
 		res := experiment.RunArrivals(seed, requests/2, requests/2)
 		experiment.WriteArrivalsTable(out, res)
+		fmt.Fprintln(out)
+	}
+	// Chaos is deliberately excluded from "all": it is a pass/fail protocol
+	// audit, not a paper table, and keeping it out leaves the results file
+	// byte-identical to earlier revisions.
+	if which == "chaos" {
+		ran = true
+		if err := runChaos(out, requests, seed, faultSpec, chaosRuns); err != nil {
+			return err
+		}
 		fmt.Fprintln(out)
 	}
 	if !ran {

@@ -1,0 +1,163 @@
+// Package chaos is the deterministic fault-injection layer for the
+// simulated AQuA stack. It contributes three pieces:
+//
+//   - NetFaults, a mutable delay/loss/duplication model layered over the
+//     netsim base models, holding the currently open partitions and per-link
+//     faults;
+//   - Schedule/Injector, a timed list of fault events (crash, restart,
+//     partition, heal, link fault) executed on the virtual-time scheduler;
+//   - Generate, a seeded random schedule builder parameterized by fault
+//     rates, with guard rails that keep the generated scenario inside what
+//     the protocol promises to survive.
+//
+// Everything is driven by the simulation's deterministic random streams and
+// virtual clock, so a (seed, schedule) pair reproduces the exact same run —
+// including every fault — byte for byte.
+package chaos
+
+import (
+	"math/rand"
+	"time"
+
+	"aqua/internal/netsim"
+	"aqua/internal/node"
+)
+
+// LinkFault describes a degraded directed link: added latency (fixed plus
+// uniform jitter), extra loss, and duplication. A duplicated message's extra
+// copy draws its own delay, so DupProb also induces reordering.
+type LinkFault struct {
+	ExtraDelay time.Duration
+	Jitter     time.Duration
+	Loss       float64
+	DupProb    float64
+}
+
+func (f LinkFault) active() bool {
+	return f.ExtraDelay > 0 || f.Jitter > 0 || f.Loss > 0 || f.DupProb > 0
+}
+
+// NetFaults is a netsim.DelayModel/LossModel/DupModel whose behaviour
+// changes as the Injector opens and heals faults mid-run. All mutation
+// happens from scheduler callbacks, so no locking is needed, and all
+// iteration is over slices in insertion order, so random-stream consumption
+// stays deterministic.
+type NetFaults struct {
+	delay netsim.DelayModel
+	loss  netsim.LossModel
+
+	// parts holds open partitions; partOrder fixes evaluation order (maps
+	// iterate randomly, which would both reorder rand draws and break
+	// reproducibility).
+	parts     map[string]*netsim.Partition
+	partOrder []string
+
+	// links holds directed link faults, keyed by (from, to).
+	links map[[2]node.ID]LinkFault
+}
+
+var (
+	_ netsim.DelayModel = (*NetFaults)(nil)
+	_ netsim.LossModel  = (*NetFaults)(nil)
+	_ netsim.DupModel   = (*NetFaults)(nil)
+)
+
+// NewNetFaults wraps the base delay and loss models with an initially
+// fault-free overlay. Nil bases default to zero delay / no loss.
+func NewNetFaults(delay netsim.DelayModel, loss netsim.LossModel) *NetFaults {
+	if delay == nil {
+		delay = netsim.ConstantDelay(0)
+	}
+	if loss == nil {
+		loss = netsim.NoLoss{}
+	}
+	return &NetFaults{
+		delay: delay,
+		loss:  loss,
+		parts: make(map[string]*netsim.Partition),
+		links: make(map[[2]node.ID]LinkFault),
+	}
+}
+
+// OpenPartition starts dropping all traffic between sides a and b, under a
+// name Heal can later refer to. Opening an already-open name replaces it.
+func (f *NetFaults) OpenPartition(name string, a, b []node.ID) {
+	if _, open := f.parts[name]; !open {
+		f.partOrder = append(f.partOrder, name)
+	}
+	f.parts[name] = netsim.NewPartition(a, b)
+}
+
+// Heal closes the named partition. Healing an unknown name is a no-op.
+func (f *NetFaults) Heal(name string) {
+	if _, open := f.parts[name]; !open {
+		return
+	}
+	delete(f.parts, name)
+	for i, n := range f.partOrder {
+		if n == name {
+			f.partOrder = append(f.partOrder[:i], f.partOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// SetLink installs a fault on the directed link from → to, replacing any
+// previous one. A zero fault clears the link.
+func (f *NetFaults) SetLink(from, to node.ID, lf LinkFault) {
+	key := [2]node.ID{from, to}
+	if !lf.active() {
+		delete(f.links, key)
+		return
+	}
+	f.links[key] = lf
+}
+
+// ClearLink removes the fault on the directed link from → to.
+func (f *NetFaults) ClearLink(from, to node.ID) {
+	delete(f.links, [2]node.ID{from, to})
+}
+
+// Delay implements netsim.DelayModel: the base delay plus any link fault's
+// fixed delay and jitter draw.
+func (f *NetFaults) Delay(r *rand.Rand, from, to node.ID) time.Duration {
+	d := f.delay.Delay(r, from, to)
+	if lf, ok := f.links[[2]node.ID{from, to}]; ok {
+		d += lf.ExtraDelay
+		if lf.Jitter > 0 {
+			d += time.Duration(r.Int63n(int64(lf.Jitter) + 1))
+		}
+	}
+	return d
+}
+
+// Drop implements netsim.LossModel. Partitions are checked first (they
+// consume no randomness), then link-fault loss, then the base model, so the
+// sequence of random draws is a pure function of the fault state — itself a
+// pure function of the schedule and virtual time.
+func (f *NetFaults) Drop(r *rand.Rand, from, to node.ID) bool {
+	for _, name := range f.partOrder {
+		if f.parts[name].Drop(r, from, to) {
+			return true
+		}
+	}
+	if lf, ok := f.links[[2]node.ID{from, to}]; ok && lf.Loss > 0 {
+		if r.Float64() < lf.Loss {
+			return true
+		}
+	}
+	return f.loss.Drop(r, from, to)
+}
+
+// Dup implements netsim.DupModel: with the link's DupProb, deliver one
+// extra copy of the message.
+func (f *NetFaults) Dup(r *rand.Rand, from, to node.ID) int {
+	lf, ok := f.links[[2]node.ID{from, to}]
+	if !ok || lf.DupProb <= 0 {
+		return 0
+	}
+	if r.Float64() < lf.DupProb {
+		return 1
+	}
+	return 0
+}

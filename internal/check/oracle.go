@@ -1,0 +1,518 @@
+// Package check implements trace-driven protocol-invariant oracles for the
+// AQuA stack. A Recorder collects the observation events the gateways expose
+// (update applications, served reads, snapshot restores) together with the
+// fault and client events the chaos harness injects, and Run judges the
+// resulting trace against the paper's guarantees:
+//
+//  1. sequential consistency — every replica applies the same GSN-ordered
+//     update sequence, in order, exactly once per incarnation, with holes
+//     only where a state snapshot covered them;
+//  2. CSN monotonicity — a replica's commit position never moves backwards
+//     within an incarnation;
+//  3. staleness-bound honesty — a read ordered at GSN g and served under
+//     staleness bound a reflects a state no more than a commits behind g
+//     (my_GSN − my_CSN ≤ a at serve time, Section 4.1.2);
+//  4. deferred-read correctness — a deferred read is served only after a
+//     state update whose CSN covers its staleness requirement arrived;
+//  5. read-your-writes — within a closed-loop client session, a read is
+//     ordered at (and, with a = 0, reflects) a GSN no lower than any update
+//     the same session completed earlier.
+//
+// The oracles are pure functions of the event trace, so the same trace
+// always yields the same verdicts, and the trace itself (WriteTrace) is
+// byte-stable for a given simulation seed — the property the chaos
+// determinism tests lock in.
+package check
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"aqua/internal/consistency"
+	"aqua/internal/node"
+)
+
+// Kind labels one trace event.
+type Kind uint8
+
+// Event kinds. Apply/ServeRead/Restore come from gateway hooks; Crash,
+// Restart and Fault from the chaos injector; Client from the workload
+// driver.
+const (
+	KindApply Kind = iota + 1
+	KindServeRead
+	KindRestore
+	KindCrash
+	KindRestart
+	KindFault
+	KindClient
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindApply:
+		return "apply"
+	case KindServeRead:
+		return "serve_read"
+	case KindRestore:
+		return "restore"
+	case KindCrash:
+		return "crash"
+	case KindRestart:
+		return "restart"
+	case KindFault:
+		return "fault"
+	case KindClient:
+		return "client"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one observation in the oracle trace.
+type Event struct {
+	// At is virtual time since the recorder's epoch.
+	At time.Duration
+	// Kind selects which of the remaining fields are meaningful.
+	Kind Kind
+	// Node is the replica (Apply/ServeRead/Restore/Crash/Restart) or client
+	// (Client) the event belongs to.
+	Node node.ID
+	// Inc is the node's incarnation: 0 at deployment, +1 per restart.
+	Inc int
+	// GSN is the applied update's GSN (Apply) or the read's order GSN
+	// (ServeRead).
+	GSN uint64
+	// CSN is the replica's commit position at serve time (ServeRead) or the
+	// restored snapshot's commit position (Restore).
+	CSN uint64
+	// Req identifies the request (Apply/ServeRead/Client).
+	Req consistency.RequestID
+	// Staleness is the read's bound a (ServeRead).
+	Staleness int
+	// Deferred marks a read served after waiting for a lazy update.
+	Deferred bool
+	// ReadOnly/Failed describe a client completion (Client).
+	ReadOnly bool
+	Failed   bool
+	// Note annotates fault events (partition membership, link faults).
+	Note string
+}
+
+// Recorder accumulates trace events. It is not safe for concurrent use: all
+// recording must happen from the single goroutine that runs the simulation
+// (the scheduler executes every callback inline), which also makes the event
+// order — and therefore the trace bytes — deterministic for a given seed.
+type Recorder struct {
+	now    func() time.Time
+	epoch  time.Time
+	inc    map[node.ID]int
+	events []Event
+}
+
+// NewRecorder creates a recorder stamping events with now() relative to
+// epoch (sim.Epoch for virtual-time runs).
+func NewRecorder(epoch time.Time, now func() time.Time) *Recorder {
+	return &Recorder{now: now, epoch: epoch, inc: make(map[node.ID]int)}
+}
+
+func (r *Recorder) add(e Event) {
+	e.At = r.now().Sub(r.epoch)
+	e.Inc = r.inc[e.Node]
+	r.events = append(r.events, e)
+}
+
+// Apply records an update application (the replica OnApply hook).
+func (r *Recorder) Apply(replica node.ID, gsn uint64, rid consistency.RequestID) {
+	r.add(Event{Kind: KindApply, Node: replica, GSN: gsn, Req: rid})
+}
+
+// ServeRead records a served read (the replica OnServeRead hook).
+func (r *Recorder) ServeRead(replica node.ID, rid consistency.RequestID, gsn, csn uint64, staleness int, deferred bool) {
+	r.add(Event{Kind: KindServeRead, Node: replica, Req: rid, GSN: gsn, CSN: csn,
+		Staleness: staleness, Deferred: deferred})
+}
+
+// Restore records a state-snapshot restoration (the replica OnRestore hook).
+func (r *Recorder) Restore(replica node.ID, csn uint64) {
+	r.add(Event{Kind: KindRestore, Node: replica, CSN: csn})
+}
+
+// Crash records a replica crash (injected fault).
+func (r *Recorder) Crash(replica node.ID) {
+	r.add(Event{Kind: KindCrash, Node: replica})
+}
+
+// Restart records a replica restart and opens its next incarnation: later
+// events for the node belong to the fresh process.
+func (r *Recorder) Restart(replica node.ID) {
+	r.inc[replica]++
+	r.add(Event{Kind: KindRestart, Node: replica})
+}
+
+// Fault records a network fault transition (partition open/heal, link fault)
+// for the trace; the oracles do not interpret it.
+func (r *Recorder) Fault(note string) {
+	r.add(Event{Kind: KindFault, Note: note})
+}
+
+// ClientResult records a completed client invocation. The read-your-writes
+// oracle assumes closed-loop sessions: a client issues request seq+1 only
+// after seq completed, so per-client Seq order is session order.
+func (r *Recorder) ClientResult(client node.ID, seq uint64, readOnly, failed bool) {
+	r.add(Event{Kind: KindClient, Node: client,
+		Req: consistency.RequestID{Client: client, Seq: seq}, ReadOnly: readOnly, Failed: failed})
+}
+
+// Events returns the recorded trace in recording order. The slice is owned
+// by the recorder; callers must not modify it.
+func (r *Recorder) Events() []Event { return r.events }
+
+// WriteTrace renders the trace as one line per event. The format is fixed
+// and byte-stable: identical seeds produce identical bytes, which the chaos
+// determinism tests compare across parallelism levels.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	for i := range r.events {
+		e := &r.events[i]
+		var err error
+		switch e.Kind {
+		case KindApply:
+			_, err = fmt.Fprintf(w, "t=%s apply node=%s/%d gsn=%d req=%s/%d\n",
+				e.At, e.Node, e.Inc, e.GSN, e.Req.Client, e.Req.Seq)
+		case KindServeRead:
+			_, err = fmt.Fprintf(w, "t=%s serve_read node=%s/%d req=%s/%d gsn=%d csn=%d a=%d deferred=%t\n",
+				e.At, e.Node, e.Inc, e.Req.Client, e.Req.Seq, e.GSN, e.CSN, e.Staleness, e.Deferred)
+		case KindRestore:
+			_, err = fmt.Fprintf(w, "t=%s restore node=%s/%d csn=%d\n", e.At, e.Node, e.Inc, e.CSN)
+		case KindCrash:
+			_, err = fmt.Fprintf(w, "t=%s crash node=%s/%d\n", e.At, e.Node, e.Inc)
+		case KindRestart:
+			_, err = fmt.Fprintf(w, "t=%s restart node=%s/%d\n", e.At, e.Node, e.Inc)
+		case KindFault:
+			_, err = fmt.Fprintf(w, "t=%s fault %s\n", e.At, e.Note)
+		case KindClient:
+			_, err = fmt.Fprintf(w, "t=%s client node=%s seq=%d read=%t failed=%t\n",
+				e.At, e.Node, e.Req.Seq, e.ReadOnly, e.Failed)
+		default:
+			_, err = fmt.Fprintf(w, "t=%s %s\n", e.At, e.Kind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maxViolations bounds the violation strings kept per invariant; the count
+// of checks and violations stays exact.
+const maxViolations = 8
+
+// Verdict is one invariant's judgement over a trace.
+type Verdict struct {
+	// Invariant names the checked property.
+	Invariant string
+	// Checked counts individual checks performed (0 means the trace
+	// exercised nothing — a vacuous pass worth noticing).
+	Checked int
+	// Failures counts violations found; Violations holds the first few,
+	// rendered deterministically.
+	Failures   int
+	Violations []string
+}
+
+// OK reports whether the invariant held.
+func (v *Verdict) OK() bool { return v.Failures == 0 }
+
+func (v *Verdict) violate(format string, args ...interface{}) {
+	v.Failures++
+	if len(v.Violations) < maxViolations {
+		v.Violations = append(v.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// Report bundles the five invariant verdicts, in fixed order.
+type Report struct {
+	Verdicts []Verdict
+}
+
+// OK reports whether every invariant held.
+func (r *Report) OK() bool {
+	for i := range r.Verdicts {
+		if !r.Verdicts[i].OK() {
+			return false
+		}
+	}
+	return true
+}
+
+// Write renders one PASS/FAIL line per invariant plus the retained
+// violation details. The output is deterministic.
+func (r *Report) Write(w io.Writer) error {
+	for i := range r.Verdicts {
+		v := &r.Verdicts[i]
+		status := "PASS"
+		if !v.OK() {
+			status = "FAIL"
+		}
+		if _, err := fmt.Fprintf(w, "%s %-24s checks=%d failures=%d\n",
+			status, v.Invariant, v.Checked, v.Failures); err != nil {
+			return err
+		}
+		for _, s := range v.Violations {
+			if _, err := fmt.Fprintf(w, "  - %s\n", s); err != nil {
+				return err
+			}
+		}
+		if v.Failures > len(v.Violations) {
+			if _, err := fmt.Fprintf(w, "  - (+%d more)\n", v.Failures-len(v.Violations)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// incKey scopes per-replica state to one incarnation.
+type incKey struct {
+	node node.ID
+	inc  int
+}
+
+func (k incKey) String() string { return fmt.Sprintf("%s/%d", k.node, k.inc) }
+
+// Run judges a trace against the five protocol invariants. It is a pure
+// function: the same event slice always produces the same report, including
+// the order and wording of violation messages.
+func Run(events []Event) Report {
+	rep := Report{Verdicts: []Verdict{
+		{Invariant: "sequential-consistency"},
+		{Invariant: "csn-monotonicity"},
+		{Invariant: "staleness-bound"},
+		{Invariant: "deferred-read"},
+		{Invariant: "read-your-writes"},
+	}}
+	checkSequential(events, &rep.Verdicts[0])
+	checkCSNMonotone(events, &rep.Verdicts[1])
+	checkStalenessBound(events, &rep.Verdicts[2])
+	checkDeferredRead(events, &rep.Verdicts[3])
+	checkReadYourWrites(events, &rep.Verdicts[4])
+	return rep
+}
+
+// checkSequential verifies the sequential-consistency invariant. Each
+// incarnation's reflected state must at every instant be a prefix of the
+// single global GSN order: an apply is legal only when it extends the
+// incarnation's frontier — the highest GSN such that every update up to it
+// is reflected, via in-order applies or a restored snapshot — by exactly
+// one. A skipped GSN is flagged at the apply that jumps it, even if a later
+// snapshot repairs the state: in between, the replica served from a
+// non-prefix state. Exactly-once holds per incarnation (no request applied
+// twice), and globally every GSN must map to one request.
+func checkSequential(events []Event, v *Verdict) {
+	type incState struct {
+		frontier uint64
+		seenReq  map[consistency.RequestID]uint64 // rid -> gsn applied
+	}
+	incs := make(map[incKey]*incState)
+	globalReq := make(map[uint64]consistency.RequestID) // gsn -> rid (first seen)
+
+	state := func(k incKey) *incState {
+		s := incs[k]
+		if s == nil {
+			s = &incState{seenReq: make(map[consistency.RequestID]uint64)}
+			incs[k] = s
+		}
+		return s
+	}
+
+	for i := range events {
+		e := &events[i]
+		k := incKey{e.Node, e.Inc}
+		switch e.Kind {
+		case KindRestore:
+			// A snapshot advances the frontier wholesale: it reflects every
+			// update up to its CSN. One below the frontier adds nothing (the
+			// csn-monotonicity oracle judges rewinds).
+			s := state(k)
+			if e.CSN > s.frontier {
+				s.frontier = e.CSN
+			}
+		case KindApply:
+			v.Checked++
+			s := state(k)
+			switch {
+			case e.GSN == s.frontier+1:
+				s.frontier = e.GSN
+			case e.GSN <= s.frontier:
+				v.violate("%s applied gsn %d at t=%s at or below its frontier %d (duplicate or rewound apply)",
+					k, e.GSN, e.At, s.frontier)
+			default:
+				v.violate("%s applied gsn %d at t=%s with frontier %d, skipping %d update(s) (hole)",
+					k, e.GSN, e.At, s.frontier, e.GSN-s.frontier-1)
+				s.frontier = e.GSN
+			}
+			if g, dup := s.seenReq[e.Req]; dup {
+				v.violate("%s applied request %s/%d twice (gsn %d then %d)", k, e.Req.Client, e.Req.Seq, g, e.GSN)
+			}
+			s.seenReq[e.Req] = e.GSN
+			if rid, ok := globalReq[e.GSN]; ok && rid != e.Req {
+				v.violate("gsn %d maps to request %s/%d at %s but %s/%d elsewhere (order divergence)",
+					e.GSN, e.Req.Client, e.Req.Seq, k, rid.Client, rid.Seq)
+			} else if !ok {
+				globalReq[e.GSN] = e.Req
+			}
+		}
+	}
+}
+
+// checkCSNMonotone verifies that a replica's observable commit position
+// (serve-time CSN, restored-snapshot CSN) never decreases within an
+// incarnation, and that a restore never rewinds below an applied GSN.
+func checkCSNMonotone(events []Event, v *Verdict) {
+	type incState struct {
+		lastCSN    uint64
+		haveCSN    bool
+		maxApplied uint64
+	}
+	incs := make(map[incKey]*incState)
+	state := func(k incKey) *incState {
+		s := incs[k]
+		if s == nil {
+			s = &incState{}
+			incs[k] = s
+		}
+		return s
+	}
+	for i := range events {
+		e := &events[i]
+		k := incKey{e.Node, e.Inc}
+		switch e.Kind {
+		case KindApply:
+			if s := state(k); e.GSN > s.maxApplied {
+				s.maxApplied = e.GSN
+			}
+		case KindServeRead, KindRestore:
+			v.Checked++
+			s := state(k)
+			if s.haveCSN && e.CSN < s.lastCSN {
+				v.violate("%s csn moved backwards: %d then %d at t=%s (%s)", k, s.lastCSN, e.CSN, e.At, e.Kind)
+			}
+			if e.Kind == KindRestore && e.CSN < s.maxApplied {
+				v.violate("%s restored snapshot at csn %d below applied gsn %d", k, e.CSN, s.maxApplied)
+			}
+			s.lastCSN, s.haveCSN = e.CSN, true
+		}
+	}
+}
+
+// checkStalenessBound verifies staleness honesty: a read ordered at GSN g
+// and served with commit position csn under bound a satisfies g − csn ≤ a.
+func checkStalenessBound(events []Event, v *Verdict) {
+	for i := range events {
+		e := &events[i]
+		if e.Kind != KindServeRead {
+			continue
+		}
+		v.Checked++
+		if int64(e.GSN)-int64(e.CSN) > int64(e.Staleness) {
+			v.violate("%s/%d served read %s/%d at csn %d, %d commits behind its gsn %d (bound a=%d)",
+				e.Node, e.Inc, e.Req.Client, e.Req.Seq, e.CSN, e.GSN-e.CSN, e.GSN, e.Staleness)
+		}
+	}
+}
+
+// checkDeferredRead verifies that every deferred read was released by a
+// covering state update: a restore on the same incarnation, at or before
+// serve time, whose CSN brings the replica within the read's bound.
+func checkDeferredRead(events []Event, v *Verdict) {
+	restores := make(map[incKey]uint64) // highest restore CSN so far
+	for i := range events {
+		e := &events[i]
+		k := incKey{e.Node, e.Inc}
+		switch e.Kind {
+		case KindRestore:
+			if e.CSN > restores[k] {
+				restores[k] = e.CSN
+			}
+		case KindServeRead:
+			if !e.Deferred {
+				continue
+			}
+			v.Checked++
+			need := int64(e.GSN) - int64(e.Staleness)
+			if best, ok := restores[k]; !ok || int64(best) < need {
+				got := "no state update at all"
+				if ok {
+					got = fmt.Sprintf("best covers csn %d", best)
+				}
+				v.violate("%s served deferred read %s/%d (gsn %d, a=%d) without a covering state update (%s)",
+					k, e.Req.Client, e.Req.Seq, e.GSN, e.Staleness, got)
+			}
+		}
+	}
+}
+
+// checkReadYourWrites verifies session ordering for closed-loop clients:
+// a read is ordered at a GSN no lower than the GSN of any update the same
+// client completed (successfully) earlier in the session. Combined with the
+// staleness bound, an a=0 read therefore reflects the session's own writes.
+func checkReadYourWrites(events []Event, v *Verdict) {
+	// rid -> assigned GSN, from apply events (first observation wins; the
+	// sequential-consistency oracle reports disagreements).
+	gsnOf := make(map[consistency.RequestID]uint64)
+	for i := range events {
+		e := &events[i]
+		if e.Kind == KindApply {
+			if _, ok := gsnOf[e.Req]; !ok {
+				gsnOf[e.Req] = e.GSN
+			}
+		}
+	}
+	// Per client: the completed updates, in session (Seq) order.
+	type upd struct {
+		seq uint64
+		gsn uint64
+	}
+	updates := make(map[node.ID][]upd)
+	for i := range events {
+		e := &events[i]
+		if e.Kind != KindClient || e.ReadOnly || e.Failed {
+			continue
+		}
+		if g, ok := gsnOf[e.Req]; ok {
+			updates[e.Node] = append(updates[e.Node], upd{seq: e.Req.Seq, gsn: g})
+		}
+	}
+	// prefixMax[client] holds updates sorted by seq with gsn running-max, so
+	// each read binary-searches the strongest earlier write.
+	for c := range updates {
+		us := updates[c]
+		sort.Slice(us, func(i, j int) bool { return us[i].seq < us[j].seq })
+		var running uint64
+		for i := range us {
+			if us[i].gsn > running {
+				running = us[i].gsn
+			}
+			us[i].gsn = running
+		}
+		updates[c] = us
+	}
+	for i := range events {
+		e := &events[i]
+		if e.Kind != KindServeRead {
+			continue
+		}
+		us := updates[e.Req.Client]
+		// Strongest update completed strictly before this read was issued.
+		idx := sort.Search(len(us), func(i int) bool { return us[i].seq >= e.Req.Seq })
+		if idx == 0 {
+			continue // no earlier completed update: nothing to check
+		}
+		v.Checked++
+		if want := us[idx-1].gsn; e.GSN < want {
+			v.violate("client %s read seq %d ordered at gsn %d behind its own completed write at gsn %d (served by %s/%d)",
+				e.Req.Client, e.Req.Seq, e.GSN, want, e.Node, e.Inc)
+		}
+	}
+}

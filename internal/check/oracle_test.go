@@ -1,0 +1,289 @@
+package check
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"aqua/internal/consistency"
+	"aqua/internal/node"
+)
+
+// fakeClock hands the recorder a controllable virtual clock.
+type fakeClock struct{ at time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.at }
+func (c *fakeClock) advance(d time.Duration) { c.at = c.at.Add(d) }
+func newClock() *fakeClock                   { return &fakeClock{at: epoch} }
+func rid(c node.ID, seq uint64) consistency.RequestID {
+	return consistency.RequestID{Client: c, Seq: seq}
+}
+
+var epoch = time.Date(2002, 6, 23, 0, 0, 0, 0, time.UTC)
+
+func verdict(t *testing.T, rep Report, invariant string) Verdict {
+	t.Helper()
+	for _, v := range rep.Verdicts {
+		if v.Invariant == invariant {
+			return v
+		}
+	}
+	t.Fatalf("no verdict for %q", invariant)
+	return Verdict{}
+}
+
+func requireOK(t *testing.T, rep Report, invariant string) {
+	t.Helper()
+	if v := verdict(t, rep, invariant); !v.OK() {
+		t.Fatalf("%s: unexpected violations: %v", invariant, v.Violations)
+	}
+}
+
+func requireFail(t *testing.T, rep Report, invariant, substr string) {
+	t.Helper()
+	v := verdict(t, rep, invariant)
+	if v.OK() {
+		t.Fatalf("%s: expected a violation, got none", invariant)
+	}
+	if substr != "" && !strings.Contains(strings.Join(v.Violations, "\n"), substr) {
+		t.Fatalf("%s: violations %v do not mention %q", invariant, v.Violations, substr)
+	}
+}
+
+// TestSequentialConsistencyHealthy: in-order applies across two replicas
+// plus a snapshot-recovered restart incarnation all pass.
+func TestSequentialConsistencyHealthy(t *testing.T) {
+	clk := newClock()
+	r := NewRecorder(epoch, clk.now)
+	for gsn := uint64(1); gsn <= 4; gsn++ {
+		clk.advance(time.Millisecond)
+		r.Apply("p01", gsn, rid("c00", gsn))
+		r.Apply("p02", gsn, rid("c00", gsn))
+	}
+	// p02 restarts, recovers via snapshot to 4, then applies 5 — and may
+	// legally re-apply requests its previous incarnation already applied.
+	r.Crash("p02")
+	r.Restart("p02")
+	r.Restore("p02", 4)
+	r.Apply("p02", 5, rid("c00", 5))
+	r.Apply("p01", 5, rid("c00", 5))
+	rep := Run(r.Events())
+	requireOK(t, rep, "sequential-consistency")
+	if v := verdict(t, rep, "sequential-consistency"); v.Checked == 0 {
+		t.Fatal("no checks performed")
+	}
+}
+
+func TestSequentialConsistencyCatchesHole(t *testing.T) {
+	clk := newClock()
+	r := NewRecorder(epoch, clk.now)
+	r.Apply("p01", 1, rid("c00", 1))
+	r.Apply("p01", 3, rid("c00", 3)) // skipped gsn 2 with no snapshot
+	rep := Run(r.Events())
+	requireFail(t, rep, "sequential-consistency", "hole")
+}
+
+// TestSequentialConsistencyHoleNotExcusedByLaterSnapshot is the regression
+// the chaos bug-hunt surfaced: the protocol's periodic sync repaired a
+// replica that had applied across a hole, and a trace-wide coverage check
+// let the earlier violation slide. The frontier check must flag the apply
+// at the moment it jumps, snapshot or not.
+func TestSequentialConsistencyHoleNotExcusedByLaterSnapshot(t *testing.T) {
+	clk := newClock()
+	r := NewRecorder(epoch, clk.now)
+	r.Apply("p01", 1, rid("c00", 1))
+	clk.advance(time.Millisecond)
+	r.Apply("p01", 3, rid("c00", 3)) // hole at 2
+	clk.advance(time.Millisecond)
+	r.Restore("p01", 10) // later self-repair must not excuse it
+	rep := Run(r.Events())
+	requireFail(t, rep, "sequential-consistency", "hole")
+}
+
+func TestSequentialConsistencyCatchesDuplicateApply(t *testing.T) {
+	clk := newClock()
+	r := NewRecorder(epoch, clk.now)
+	r.Apply("p01", 1, rid("c00", 1))
+	r.Apply("p01", 1, rid("c00", 1))
+	rep := Run(r.Events())
+	requireFail(t, rep, "sequential-consistency", "twice")
+}
+
+func TestSequentialConsistencyCatchesOrderDivergence(t *testing.T) {
+	clk := newClock()
+	r := NewRecorder(epoch, clk.now)
+	r.Apply("p01", 1, rid("c00", 1))
+	r.Apply("p02", 1, rid("c01", 7)) // same gsn, different request
+	rep := Run(r.Events())
+	requireFail(t, rep, "sequential-consistency", "divergence")
+}
+
+func TestCSNMonotonicity(t *testing.T) {
+	clk := newClock()
+	r := NewRecorder(epoch, clk.now)
+	r.ServeRead("s00", rid("c00", 1), 3, 2, 2, false)
+	r.Restore("s00", 5)
+	r.ServeRead("s00", rid("c00", 2), 6, 5, 2, false)
+	rep := Run(r.Events())
+	requireOK(t, rep, "csn-monotonicity")
+
+	// A rewind must be flagged — but only within one incarnation: a
+	// restarted replica legitimately starts over from 0.
+	r.Crash("s00")
+	r.Restart("s00")
+	r.Restore("s00", 2)
+	rep = Run(r.Events())
+	requireOK(t, rep, "csn-monotonicity")
+
+	r.ServeRead("s00", rid("c00", 3), 2, 1, 2, false) // csn 1 after restore 2
+	rep = Run(r.Events())
+	requireFail(t, rep, "csn-monotonicity", "backwards")
+}
+
+func TestCSNMonotonicityCatchesRestoreBelowApplied(t *testing.T) {
+	clk := newClock()
+	r := NewRecorder(epoch, clk.now)
+	r.Apply("p01", 1, rid("c00", 1))
+	r.Apply("p01", 2, rid("c00", 2))
+	r.Restore("p01", 1)
+	rep := Run(r.Events())
+	requireFail(t, rep, "csn-monotonicity", "below applied")
+}
+
+func TestStalenessBound(t *testing.T) {
+	clk := newClock()
+	r := NewRecorder(epoch, clk.now)
+	r.ServeRead("s00", rid("c00", 1), 10, 8, 2, false) // exactly at bound
+	rep := Run(r.Events())
+	requireOK(t, rep, "staleness-bound")
+
+	r.ServeRead("s00", rid("c00", 2), 10, 7, 2, false) // 3 behind, bound 2
+	rep = Run(r.Events())
+	requireFail(t, rep, "staleness-bound", "behind")
+}
+
+func TestDeferredRead(t *testing.T) {
+	clk := newClock()
+	r := NewRecorder(epoch, clk.now)
+	r.Restore("s00", 8)
+	r.ServeRead("s00", rid("c00", 1), 10, 8, 2, true) // covered: 8 >= 10-2
+	rep := Run(r.Events())
+	requireOK(t, rep, "deferred-read")
+
+	// Deferred read served with no covering state update.
+	r2 := NewRecorder(epoch, clk.now)
+	r2.Restore("s00", 5)
+	r2.ServeRead("s00", rid("c00", 1), 10, 5, 2, true) // needs >= 8, best is 5
+	rep = Run(r2.Events())
+	requireFail(t, rep, "deferred-read", "covering")
+}
+
+func TestReadYourWrites(t *testing.T) {
+	clk := newClock()
+	r := NewRecorder(epoch, clk.now)
+	// c00 writes (seq 1, applied at gsn 5), then reads (seq 2).
+	r.Apply("p01", 5, rid("c00", 1))
+	r.ClientResult("c00", 1, false, false)
+	r.ServeRead("p01", rid("c00", 2), 5, 5, 0, false)
+	r.ClientResult("c00", 2, true, false)
+	rep := Run(r.Events())
+	requireOK(t, rep, "read-your-writes")
+
+	// A second session's read ordered before its own write's GSN.
+	r2 := NewRecorder(epoch, clk.now)
+	r2.Apply("p01", 5, rid("c00", 1))
+	r2.ClientResult("c00", 1, false, false)
+	r2.ServeRead("p01", rid("c00", 2), 4, 4, 0, false) // gsn 4 < write's 5
+	r2.ClientResult("c00", 2, true, false)
+	rep = Run(r2.Events())
+	requireFail(t, rep, "read-your-writes", "behind its own")
+}
+
+// TestReadYourWritesIgnoresFailedWrites: an errored update (retries
+// exhausted) promises nothing; reads after it are unconstrained by it.
+func TestReadYourWritesIgnoresFailedWrites(t *testing.T) {
+	clk := newClock()
+	r := NewRecorder(epoch, clk.now)
+	r.Apply("p01", 5, rid("c00", 1))
+	r.ClientResult("c00", 1, false, true) // failed
+	r.ServeRead("p01", rid("c00", 2), 1, 1, 0, false)
+	r.ClientResult("c00", 2, true, false)
+	rep := Run(r.Events())
+	requireOK(t, rep, "read-your-writes")
+}
+
+// TestTraceByteStability: the same logical trace renders to identical
+// bytes every time — the bedrock of the chaos determinism tests.
+func TestTraceByteStability(t *testing.T) {
+	build := func() []byte {
+		clk := newClock()
+		r := NewRecorder(epoch, clk.now)
+		clk.advance(1500 * time.Microsecond)
+		r.Apply("p01", 1, rid("c00", 1))
+		r.ServeRead("s00", rid("c01", 1), 1, 0, 2, true)
+		r.Crash("s00")
+		r.Restart("s00")
+		r.Restore("s00", 1)
+		r.Fault("partition part00 open {p00 | s00}")
+		r.ClientResult("c00", 1, false, false)
+		var buf bytes.Buffer
+		if err := r.WriteTrace(&buf); err != nil {
+			t.Fatalf("WriteTrace: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("trace not byte-stable:\n%s\nvs\n%s", a, b)
+	}
+	// Incarnation must be stamped: post-restart events carry /1.
+	if !bytes.Contains(a, []byte("restore node=s00/1 csn=1")) {
+		t.Fatalf("trace missing incarnation stamp:\n%s", a)
+	}
+}
+
+// TestViolationCap: failure counts stay exact past the retained-message cap.
+func TestViolationCap(t *testing.T) {
+	clk := newClock()
+	r := NewRecorder(epoch, clk.now)
+	for i := uint64(0); i < 20; i++ {
+		r.ServeRead("s00", rid("c00", i+1), 100+i, 0, 0, false)
+	}
+	rep := Run(r.Events())
+	v := verdict(t, rep, "staleness-bound")
+	if v.Failures != 20 {
+		t.Fatalf("Failures = %d, want 20", v.Failures)
+	}
+	if len(v.Violations) != maxViolations {
+		t.Fatalf("retained %d violation strings, want %d", len(v.Violations), maxViolations)
+	}
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("(+12 more)")) {
+		t.Fatalf("report does not summarize overflow:\n%s", buf.Bytes())
+	}
+}
+
+func TestReportWriteFormat(t *testing.T) {
+	clk := newClock()
+	r := NewRecorder(epoch, clk.now)
+	r.Apply("p01", 1, rid("c00", 1))
+	rep := Run(r.Events())
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	out := buf.String()
+	for _, inv := range []string{"sequential-consistency", "csn-monotonicity",
+		"staleness-bound", "deferred-read", "read-your-writes"} {
+		if !strings.Contains(out, inv) {
+			t.Errorf("report missing invariant %s:\n%s", inv, out)
+		}
+	}
+	if !rep.OK() {
+		t.Fatal("healthy single-apply trace reported violations")
+	}
+}

@@ -21,6 +21,12 @@ type CommitBuffer struct {
 	// ready holds fully-paired updates keyed by GSN, awaiting their turn.
 	ready map[uint64]Request
 
+	// faultReorder, set only by EnableFaultReorder, makes drain release a
+	// staged update across a one-GSN hole — a deliberate protocol violation
+	// used to prove the chaos harness's sequential-consistency oracle
+	// detects ordering bugs rather than merely tolerating faults.
+	faultReorder bool
+
 	// drainScratch and idScratch back the slices returned by
 	// AddBody/AddAssign/SkipTo and PendingBodies/PendingAssignments. The
 	// returned slices are valid only until the next call on the buffer;
@@ -187,6 +193,10 @@ func (b *CommitBuffer) stage(gsn uint64, req Request) []Request {
 	return b.drain()
 }
 
+// EnableFaultReorder arms the deliberate commit-order bug (test hook; see
+// the faultReorder field). Production code never calls it.
+func (b *CommitBuffer) EnableFaultReorder() { b.faultReorder = true }
+
 // drain emits the commits that have become sequential. The returned slice
 // shares the buffer's scratch array and is valid only until the next
 // AddBody/AddAssign/SkipTo call.
@@ -195,6 +205,16 @@ func (b *CommitBuffer) drain() []Request {
 	for {
 		req, ok := b.ready[b.myCSN+1]
 		if !ok {
+			if b.faultReorder {
+				// Injected bug: jump a one-GSN hole and release the next
+				// staged update out of order.
+				if req2, ok2 := b.ready[b.myCSN+2]; ok2 {
+					delete(b.ready, b.myCSN+2)
+					b.myCSN += 2
+					out = append(out, req2)
+					continue
+				}
+			}
 			break
 		}
 		delete(b.ready, b.myCSN+1)

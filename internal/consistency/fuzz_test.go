@@ -1,0 +1,143 @@
+package consistency
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzSequencerDelivery drives a sequencer plus one primary commit buffer
+// and one secondary read buffer through a byte-directed interleaving of
+// submissions, deliveries, retransmissions, and state transfers. The fuzz
+// input is the message schedule; the invariants are the protocol's:
+//
+//   - the sequencer's GSN never decreases and AssignUpdate is idempotent;
+//   - committed GSNs are strictly increasing and each request commits once;
+//   - staleness (my_GSN − my_CSN) is never negative;
+//   - a read is served at most once, at its originally memoized GSN.
+//
+// A tiny request-ID space (8 writers, 8 readers) makes duplicate and
+// out-of-order deliveries the common case rather than a lucky mutation.
+func FuzzSequencerDelivery(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77})
+	// One full in-order flow: submit, deliver assign, deliver body, read.
+	f.Add([]byte{0x01, 0x11, 0x21, 0x51, 0x61})
+	// Reversed deliveries, a retransmission, then a state transfer.
+	f.Add([]byte{0x01, 0x02, 0x22, 0x12, 0x11, 0x21, 0x31, 0x42})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq := NewSequencerState(64)
+		commit := NewCommitBuffer()
+		reads := NewReadBuffer(64)
+
+		gsnOf := make(map[RequestID]uint64)   // sequencer's memoized answers seen by the test
+		committed := make(map[RequestID]bool) // each update commits at most once
+		readGSN := make(map[RequestID]uint64) // first snapshot GSN per read
+		readServed := make(map[RequestID]bool)
+		var lastCommitGSN uint64
+
+		checkStaleness := func() {
+			if commit.Staleness() < 0 {
+				t.Fatalf("negative staleness: GSN %d < CSN %d", commit.MyGSN(), commit.MyCSN())
+			}
+		}
+		takeCommits := func(out []Request) {
+			for _, r := range out {
+				g, ok := gsnOf[r.ID]
+				if !ok {
+					t.Fatalf("committed %v without a sequencer assignment", r.ID)
+				}
+				if committed[r.ID] {
+					t.Fatalf("%v committed twice", r.ID)
+				}
+				committed[r.ID] = true
+				if g <= lastCommitGSN {
+					t.Fatalf("commit GSNs not strictly increasing: %d after %d", g, lastCommitGSN)
+				}
+				lastCommitGSN = g
+			}
+			if commit.MyCSN() < lastCommitGSN {
+				t.Fatalf("CSN %d behind last committed GSN %d", commit.MyCSN(), lastCommitGSN)
+			}
+			checkStaleness()
+		}
+		serveRead := func(pr PendingRead, ready bool) {
+			if !ready {
+				return
+			}
+			id := pr.Req.ID
+			if readServed[id] {
+				t.Fatalf("read %v released twice", id)
+			}
+			readServed[id] = true
+			if want, ok := readGSN[id]; ok && pr.GSN != want {
+				t.Fatalf("read %v served at GSN %d, memoized %d", id, pr.GSN, want)
+			}
+		}
+
+		t0 := time.Date(2002, 6, 23, 0, 0, 0, 0, time.UTC)
+		for i := 0; i < len(data); i++ {
+			op, arg := data[i]>>4, uint64(data[i]&0x07)+1
+			wid := RequestID{Client: "w", Seq: arg}
+			rdid := RequestID{Client: "r", Seq: arg}
+			switch op {
+			case 0: // client submits an update: sequencer assigns (idempotently)
+				g := seq.AssignUpdate(wid)
+				if prev, ok := gsnOf[wid]; ok && prev != g {
+					t.Fatalf("AssignUpdate(%v) = %d, previously %d", wid, g, prev)
+				}
+				gsnOf[wid] = g
+			case 1: // assignment reaches the primary (only if ever issued)
+				if g, ok := gsnOf[wid]; ok {
+					takeCommits(commit.AddAssign(GSNAssign{ID: wid, GSN: g, Update: true}))
+				}
+			case 2: // body reaches the primary (possibly before its assignment)
+				takeCommits(commit.AddBody(Request{ID: wid, Method: "Set"}))
+			case 3: // sequencer retransmission of an old assignment
+				if g, ok := gsnOf[wid]; ok {
+					takeCommits(commit.AddAssign(GSNAssign{ID: wid, GSN: g, Update: true}))
+					takeCommits(commit.AddAssign(GSNAssign{ID: wid, GSN: g, Update: true}))
+				}
+			case 4: // state transfer up to an already-assigned GSN
+				target := seq.GSN() * arg / 8
+				skipped := commit.SkipTo(target)
+				// Updates subsumed by the snapshot are committed-by-transfer:
+				// account for them so later replays are flagged as duplicates.
+				if target > lastCommitGSN && commit.MyCSN() >= target {
+					for id, g := range gsnOf {
+						if g <= target {
+							committed[id] = true
+						}
+					}
+					if target > lastCommitGSN {
+						lastCommitGSN = target
+					}
+				}
+				takeCommits(skipped)
+			case 5: // read snapshot broadcast reaches the secondary
+				g := seq.SnapshotRead(rdid)
+				if prev, ok := readGSN[rdid]; ok && prev != g {
+					t.Fatalf("SnapshotRead(%v) = %d, previously %d", rdid, g, prev)
+				}
+				readGSN[rdid] = g
+				serveRead(reads.AddAssign(rdid, g))
+			case 6: // read body reaches the secondary
+				serveRead(reads.AddRead(Request{ID: rdid, Method: "Get",
+					ReadOnly: true, Staleness: int(arg) % 3}, "client", t0))
+			case 7: // read-side GSN observation folds into my_GSN
+				commit.ObserveGSN(seq.GSN())
+				checkStaleness()
+			default:
+				// ops 8..15: sequencer failover resume at (or below) its own
+				// GSN — must never rewind.
+				before := seq.GSN()
+				seq.Resume(before * arg / 8)
+				if seq.GSN() != before {
+					t.Fatalf("Resume rewound GSN %d -> %d", before, seq.GSN())
+				}
+			}
+			if g := seq.GSN(); g < lastCommitGSN {
+				t.Fatalf("sequencer GSN %d behind committed %d", g, lastCommitGSN)
+			}
+		}
+	})
+}

@@ -51,6 +51,13 @@ type ServiceConfig struct {
 	// OnApply, if set, observes every (replica, gsn, request) application —
 	// the ordering-invariant hook used by the protocol fuzzer.
 	OnApply func(replica node.ID, gsn uint64, id consistency.RequestID)
+	// OnServeRead, if set, observes every served read: the read's order GSN,
+	// the replica's CSN at serve time, the client's staleness bound, and
+	// whether the read was deferred. Feeds the chaos invariant oracles.
+	OnServeRead func(replica node.ID, id consistency.RequestID, gsn, csn uint64, staleness int, deferred bool)
+	// OnRestore, if set, observes every state snapshot a replica restores
+	// (lazy update or recovery), with the snapshot's CSN.
+	OnRestore func(replica node.ID, csn uint64)
 	// Obs, when non-nil, receives metrics from every deployed gateway
 	// (replicas and — unless overridden per client — clients). Nil keeps the
 	// whole deployment's request paths allocation-free.
@@ -144,6 +151,9 @@ func (d *Deployment) NewReplicaGateway(id node.ID) (*replica.Gateway, error) {
 	}
 	gw := replica.New(replica.Config{
 		Primary:         primary,
+		OnApply:         bindApply(d.svc.OnApply, id),
+		OnServeRead:     bindServeRead(d.svc.OnServeRead, id),
+		OnRestore:       bindRestore(d.svc.OnRestore, id),
 		PrimaryGroup:    d.PrimaryGroup,
 		Secondaries:     d.Secondaries,
 		Clients:         d.ClientIDs,
@@ -158,6 +168,32 @@ func (d *Deployment) NewReplicaGateway(id node.ID) (*replica.Gateway, error) {
 	})
 	d.Replicas[id] = gw
 	return gw, nil
+}
+
+// bindApply/bindServeRead/bindRestore curry the deployment-level observation
+// hooks with the replica's identity; a nil hook stays nil so the gateways'
+// fast paths keep their single nil check.
+func bindApply(fn func(node.ID, uint64, consistency.RequestID), id node.ID) func(uint64, consistency.RequestID) {
+	if fn == nil {
+		return nil
+	}
+	return func(gsn uint64, rid consistency.RequestID) { fn(id, gsn, rid) }
+}
+
+func bindServeRead(fn func(node.ID, consistency.RequestID, uint64, uint64, int, bool), id node.ID) func(consistency.RequestID, uint64, uint64, int, bool) {
+	if fn == nil {
+		return nil
+	}
+	return func(rid consistency.RequestID, gsn, csn uint64, staleness int, deferred bool) {
+		fn(id, rid, gsn, csn, staleness, deferred)
+	}
+}
+
+func bindRestore(fn func(node.ID, uint64), id node.ID) func(uint64) {
+	if fn == nil {
+		return nil
+	}
+	return func(csn uint64) { fn(id, csn) }
 }
 
 // DefaultsForClient returns substrate settings for client gateways:
@@ -217,12 +253,10 @@ func Deploy(rt Runtime, svc ServiceConfig, clients []ClientConfig) (*Deployment,
 	}
 
 	replicaCfg := func(id node.ID, primary bool) replica.Config {
-		var onApply func(uint64, consistency.RequestID)
-		if svc.OnApply != nil {
-			onApply = func(gsn uint64, rid consistency.RequestID) { svc.OnApply(id, gsn, rid) }
-		}
 		return replica.Config{
-			OnApply:         onApply,
+			OnApply:         bindApply(svc.OnApply, id),
+			OnServeRead:     bindServeRead(svc.OnServeRead, id),
+			OnRestore:       bindRestore(svc.OnRestore, id),
 			Primary:         primary,
 			PrimaryGroup:    d.PrimaryGroup,
 			Secondaries:     d.Secondaries,

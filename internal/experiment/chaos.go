@@ -1,0 +1,306 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"aqua/internal/app"
+	"aqua/internal/apps"
+	"aqua/internal/chaos"
+	"aqua/internal/check"
+	"aqua/internal/client"
+	"aqua/internal/core"
+	"aqua/internal/group"
+	"aqua/internal/netsim"
+	"aqua/internal/node"
+	"aqua/internal/qos"
+	"aqua/internal/sim"
+	"aqua/internal/stats"
+)
+
+// ChaosConfig parameterizes one chaos run: a full deployment under a
+// generated (or supplied) fault schedule, with every protocol observation
+// recorded and judged by the check package's invariant oracles.
+//
+// Unlike the paper-figure experiments, a chaos run measures nothing — its
+// output is a verdict. It runs entirely in virtual time on the simulator,
+// so it never perturbs the wall-clock results in results_full.txt.
+type ChaosConfig struct {
+	Seed int64
+
+	// Primaries counts serving primaries (the sequencer is extra, as in
+	// Fig4Config); Secondaries the secondary group. Defaults 3 and 5: nine
+	// replicas total.
+	Primaries   int
+	Secondaries int
+	// Clients is the number of closed-loop clients (default 2). Client i
+	// uses staleness bound i%3*2 — a strict read-your-writes client plus
+	// looser ones that exercise secondary reads and deferrals.
+	Clients int
+
+	// Requests per client (default 120), alternating Set/Get with
+	// RequestDelay think time (default 50ms).
+	Requests     int
+	RequestDelay time.Duration
+
+	// LUI is the lazy update interval T_L (default 250ms — short, so
+	// deferred reads resolve quickly and the run stays cheap).
+	LUI time.Duration
+
+	// ServiceMean/ServiceStd simulate background load (defaults 10ms/5ms).
+	ServiceMean time.Duration
+	ServiceStd  time.Duration
+
+	// Faults sets the generator's fault rates. Zero Horizon defaults to
+	// ~70% of the expected workload duration so faults land amid traffic.
+	Faults chaos.GenConfig
+
+	// Schedule, if non-nil, is injected verbatim instead of generating one
+	// from Faults — the acceptance tests pin exact scenarios with it.
+	Schedule chaos.Schedule
+
+	// Mutate, if set, runs after deployment and before the run starts —
+	// the hook the oracle-sensitivity test uses to arm a deliberate bug on
+	// one replica.
+	Mutate func(d *core.Deployment)
+}
+
+func (c *ChaosConfig) setDefaults() {
+	if c.Primaries == 0 {
+		c.Primaries = 3
+	}
+	if c.Secondaries == 0 {
+		c.Secondaries = 5
+	}
+	if c.Clients == 0 {
+		c.Clients = 2
+	}
+	if c.Requests == 0 {
+		c.Requests = 120
+	}
+	if c.RequestDelay == 0 {
+		c.RequestDelay = 50 * time.Millisecond
+	}
+	if c.LUI == 0 {
+		c.LUI = 250 * time.Millisecond
+	}
+	if c.ServiceMean == 0 {
+		c.ServiceMean = 10 * time.Millisecond
+	}
+	if c.ServiceStd == 0 {
+		c.ServiceStd = 5 * time.Millisecond
+	}
+	if c.Faults.Horizon == 0 {
+		// Expected per-request time ≈ think time + service, two requests per
+		// Set/Get pair; 70% keeps repairs inside the traffic window too.
+		c.Faults.Horizon = time.Duration(c.Requests) * (c.RequestDelay + 2*c.ServiceMean) * 7 / 10
+	}
+}
+
+// ChaosResult is one chaos run's verdict.
+type ChaosResult struct {
+	Seed   int64
+	Report check.Report
+	// Schedule is the fault schedule that ran (generated or supplied).
+	Schedule chaos.Schedule
+	// Requests counts completed client invocations; Failed those that
+	// errored (retries exhausted). Done reports whether every client
+	// finished its quota before the virtual-time cap.
+	Requests int
+	Failed   int
+	Done     bool
+	// Events is the oracle-trace length; Trace its byte-stable rendering —
+	// what the determinism tests compare across parallelism levels.
+	Events int
+	Trace  []byte
+}
+
+// chaosDriver issues total alternating Set/Get requests in a closed loop,
+// reporting each completion to the recorder. Seq bookkeeping relies on the
+// gateway assigning sequence numbers in Invoke order starting at 1.
+func chaosDriver(rec *check.Recorder, total int, think time.Duration, key string, onDone func()) func(node.Context, *client.Gateway) {
+	return func(ctx node.Context, gw *client.Gateway) {
+		var issue func(k int)
+		issue = func(k int) {
+			if k >= total {
+				onDone()
+				return
+			}
+			seq := uint64(k + 1)
+			readOnly := k%2 == 1
+			done := func(r client.Result) {
+				rec.ClientResult(ctx.ID(), seq, readOnly, r.Err != "")
+				ctx.Post(think, func() { issue(k + 1) })
+			}
+			if readOnly {
+				gw.Invoke("Get", []byte(key), done)
+			} else {
+				gw.Invoke("Set", []byte(fmt.Sprintf("%s=%d", key, k)), done)
+			}
+		}
+		stagger := time.Duration(ctx.Rand().Int63n(int64(think) + 1))
+		ctx.Post(stagger, func() { issue(0) })
+	}
+}
+
+// RunChaosPoint executes one chaos run and returns its verdict. Identical
+// configs (same seed, same fault rates or schedule) produce byte-identical
+// traces and identical reports, on any machine, at any sweep parallelism.
+func RunChaosPoint(cfg ChaosConfig) ChaosResult {
+	cfg.setDefaults()
+
+	s := sim.NewScheduler(cfg.Seed)
+	faults := chaos.NewNetFaults(netsim.UniformDelay{
+		Min: 500 * time.Microsecond,
+		Max: 2 * time.Millisecond,
+	}, netsim.NoLoss{})
+	rt := sim.NewRuntime(s, sim.WithDelay(faults), sim.WithLoss(faults))
+	rec := check.NewRecorder(sim.Epoch, s.Now)
+
+	svc := core.ServiceConfig{
+		Primaries:    cfg.Primaries + 1, // + sequencer
+		Secondaries:  cfg.Secondaries,
+		LazyInterval: cfg.LUI,
+		Group:        group.DefaultConfig(),
+		NewApp:       func() app.Application { return apps.NewKVStore() },
+		ServiceDelay: func(r *rand.Rand) time.Duration {
+			return stats.TruncNormalDuration(r, cfg.ServiceMean, cfg.ServiceStd, 0)
+		},
+		OnApply:     rec.Apply,
+		OnServeRead: rec.ServeRead,
+		OnRestore:   rec.Restore,
+	}
+
+	var doneCount, completed, failed int
+	clients := make([]core.ClientConfig, cfg.Clients)
+	for i := range clients {
+		id := node.ID(fmt.Sprintf("c%02d", i))
+		clients[i] = core.ClientConfig{
+			ID: id,
+			// Client 0 reads with a=0 (strict read-your-writes, primaries
+			// only); the others tolerate growing staleness, spreading reads
+			// onto secondaries where deferral happens.
+			Spec: qos.Spec{
+				Staleness: (i % 3) * 2,
+				Deadline:  200 * time.Millisecond,
+				MinProb:   0.5,
+			},
+			Methods: qos.NewMethods("Get", "Version"),
+			// Faults are the point here: retry briskly so the workload
+			// survives crashes and partitions instead of stalling on them.
+			RetryInterval: 150 * time.Millisecond,
+			MaxRetries:    100,
+			Driver: chaosDriver(rec, cfg.Requests, cfg.RequestDelay,
+				fmt.Sprintf("doc%d", i), func() { doneCount++ }),
+		}
+	}
+
+	d, err := core.Deploy(rt, svc, clients)
+	if err != nil {
+		panic(fmt.Sprintf("experiment: chaos deploy: %v", err)) // static config bug
+	}
+	if cfg.Mutate != nil {
+		cfg.Mutate(d)
+	}
+	rt.Start()
+
+	sched := cfg.Schedule
+	if sched == nil {
+		// The generator gets its own seed-derived stream: fault placement
+		// must not steal draws from the simulation's node/net streams.
+		gen := rand.New(rand.NewSource(cfg.Seed ^ 0x5eedFa17))
+		sched = chaos.Generate(gen, chaos.Topology{
+			Sequencer:   d.Sequencer,
+			Primaries:   d.ServingPrimaries,
+			Secondaries: d.Secondaries,
+			Clients:     d.ClientIDs,
+		}, cfg.Faults)
+	}
+	inj := &chaos.Injector{
+		RT:     rt,
+		Faults: faults,
+		Fresh: func(id node.ID) (node.Node, error) {
+			gw, err := d.NewReplicaGateway(id)
+			if err != nil {
+				return nil, err
+			}
+			return gw, nil
+		},
+		Obs: rec,
+	}
+	inj.Install(sched)
+
+	// Run until every client finishes, with a virtual-time cap covering the
+	// workload plus fault downtime and retries.
+	perRequest := cfg.RequestDelay + 4*cfg.ServiceMean + cfg.LUI/4 + 500*time.Millisecond
+	capAt := time.Duration(cfg.Requests+10)*perRequest*2 + 2*cfg.Faults.Horizon
+	for elapsed := time.Duration(0); doneCount < cfg.Clients && elapsed < capAt; elapsed += time.Minute {
+		s.RunFor(time.Minute)
+	}
+	s.RunFor(5 * time.Second) // drain stragglers
+
+	events := rec.Events()
+	for i := range events {
+		if events[i].Kind == check.KindClient {
+			completed++
+			if events[i].Failed {
+				failed++
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		panic(fmt.Sprintf("experiment: chaos trace: %v", err)) // bytes.Buffer cannot fail
+	}
+	return ChaosResult{
+		Seed:     cfg.Seed,
+		Report:   check.Run(events),
+		Schedule: sched,
+		Requests: completed,
+		Failed:   failed,
+		Done:     doneCount == cfg.Clients,
+		Events:   len(events),
+		Trace:    buf.Bytes(),
+	}
+}
+
+// RunChaosSweep runs one chaos point per seed, fanned across the package's
+// worker pool like every other sweep. Each point is self-contained, so
+// results are identical at any parallelism.
+func RunChaosSweep(base ChaosConfig, seeds []int64) []ChaosResult {
+	points := make([]ChaosConfig, len(seeds))
+	for i, seed := range seeds {
+		p := base
+		p.Seed = seed
+		points[i] = p
+	}
+	return runPoints(points, RunChaosPoint)
+}
+
+// WriteChaosTable renders a sweep's verdicts, one line per seed, with the
+// full per-invariant report for any failing run. Output is deterministic.
+func WriteChaosTable(w io.Writer, results []ChaosResult) error {
+	if _, err := fmt.Fprintf(w, "# chaos sweep: %d runs\n", len(results)); err != nil {
+		return err
+	}
+	for i := range results {
+		r := &results[i]
+		status := "PASS"
+		if !r.Report.OK() {
+			status = "FAIL"
+		}
+		if _, err := fmt.Fprintf(w, "seed=%-6d %s faults=%d requests=%d failed=%d events=%d done=%t\n",
+			r.Seed, status, len(r.Schedule), r.Requests, r.Failed, r.Events, r.Done); err != nil {
+			return err
+		}
+		if !r.Report.OK() {
+			if err := r.Report.Write(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

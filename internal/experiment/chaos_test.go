@@ -1,0 +1,165 @@
+package experiment
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"aqua/internal/chaos"
+	"aqua/internal/core"
+	"aqua/internal/node"
+)
+
+// TestChaosAcceptance is the harness's headline scenario: nine replicas
+// (sequencer + 3 serving primaries + 5 secondaries) survive a secondary
+// crash/restart, a two-secondary partition with heal, and a sequencer
+// kill forcing takeover and re-join — and the full run satisfies all five
+// protocol invariants.
+func TestChaosAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos run in -short mode")
+	}
+	cfg := ChaosConfig{
+		Seed: 2002,
+		Schedule: chaos.Schedule{
+			{At: 300 * time.Millisecond, Action: chaos.ActCrash, Target: "s01"},
+			{At: 800 * time.Millisecond, Action: chaos.ActRestart, Target: "s01"},
+			{At: 1200 * time.Millisecond, Action: chaos.ActPartition, Name: "part00",
+				SideA: []node.ID{"p00", "p01", "p02", "p03", "s00", "s01", "s04", "c00", "c01"},
+				SideB: []node.ID{"s02", "s03"}},
+			{At: 2 * time.Second, Action: chaos.ActHeal, Name: "part00"},
+			{At: 2500 * time.Millisecond, Action: chaos.ActCrash, Target: "p00"},
+			{At: 3100 * time.Millisecond, Action: chaos.ActRestart, Target: "p00"},
+		},
+	}
+	res := RunChaosPoint(cfg)
+	if !res.Done {
+		t.Fatalf("clients did not finish: %d requests completed, %d failed", res.Requests, res.Failed)
+	}
+	if !res.Report.OK() {
+		var buf bytes.Buffer
+		res.Report.Write(&buf)
+		t.Fatalf("invariant violations:\n%s", buf.Bytes())
+	}
+	// The run must actually exercise the oracles, not pass vacuously.
+	for _, v := range res.Report.Verdicts {
+		switch v.Invariant {
+		case "sequential-consistency", "csn-monotonicity", "staleness-bound", "read-your-writes":
+			if v.Checked == 0 {
+				t.Errorf("invariant %s performed no checks", v.Invariant)
+			}
+		}
+	}
+	if res.Requests == 0 {
+		t.Error("no client requests completed")
+	}
+}
+
+// TestChaosOracleCatchesReorderBug proves the sequential-consistency oracle
+// has teeth: with a deliberate ordering bug armed on one serving primary
+// (the commit buffer jumps one-GSN holes) and heavy jitter on its
+// assignment link to force out-of-order arrivals, the oracle must flag the
+// run. A harness that cannot catch a planted bug proves nothing when it
+// passes.
+func TestChaosOracleCatchesReorderBug(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos run in -short mode")
+	}
+	cfg := ChaosConfig{
+		Seed:         7,
+		Clients:      4, // more concurrent updates -> more adjacent assignments to reorder
+		Requests:     80,
+		RequestDelay: 20 * time.Millisecond,
+		Schedule: chaos.Schedule{
+			// The group links are per-sender FIFO, so reordering one sender's
+			// stream is impossible; holes form when one client's update BODY
+			// lags behind the sequencer's assignments. Delaying c02 -> p01 far
+			// beyond the inter-update gap keeps p01's commit buffer holding a
+			// paired later update above a missing body — the armed bug's
+			// trigger.
+			{At: 0, Action: chaos.ActLink, From: "c02", To: "p01",
+				Fault: chaos.LinkFault{ExtraDelay: 60 * time.Millisecond, Jitter: 40 * time.Millisecond}},
+		},
+		Mutate: func(d *core.Deployment) {
+			d.Replicas["p01"].EnableCommitReorderFault()
+		},
+	}
+	res := RunChaosPoint(cfg)
+	if res.Report.OK() {
+		t.Fatalf("oracles passed a run with a planted commit-reorder bug (%d events, %d requests)",
+			res.Events, res.Requests)
+	}
+	seq := res.Report.Verdicts[0]
+	if seq.Invariant != "sequential-consistency" {
+		t.Fatalf("verdict order changed: got %q first", seq.Invariant)
+	}
+	if seq.OK() {
+		var buf bytes.Buffer
+		res.Report.Write(&buf)
+		t.Fatalf("planted ordering bug was not caught by the sequential-consistency oracle:\n%s", buf.Bytes())
+	}
+}
+
+// TestChaosSweepParallelismInvariant mirrors TestFig4SweepParallelismInvariant
+// for chaos runs: the same seeds produce byte-identical oracle traces and
+// rendered verdicts whether the sweep runs sequentially or fanned across
+// workers. Under -race in CI this also checks the share-nothing claim.
+func TestChaosSweepParallelismInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep in -short mode")
+	}
+	base := ChaosConfig{
+		Requests: 40,
+		Faults:   chaos.GenConfig{Crashes: 2, Partitions: 1, LinkFaults: 2, SequencerKill: true},
+	}
+	seeds := []int64{1, 2, 3}
+
+	render := func(results []ChaosResult) []byte {
+		var buf bytes.Buffer
+		WriteChaosTable(&buf, results)
+		for i := range results {
+			buf.Write(results[i].Trace)
+		}
+		return buf.Bytes()
+	}
+
+	defer SetParallelism(1)
+	var want []byte
+	for _, par := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		SetParallelism(par)
+		got := render(RunChaosSweep(base, seeds))
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("parallelism %d changed chaos traces or verdicts", par)
+		}
+	}
+}
+
+// TestChaosGeneratedSchedulePasses runs the random generator end to end:
+// whatever scenario it emits within its guard rails, the protocol must
+// satisfy every invariant.
+func TestChaosGeneratedSchedulePasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos run in -short mode")
+	}
+	for _, seed := range []int64{11, 42} {
+		cfg := ChaosConfig{
+			Seed:     seed,
+			Requests: 60,
+			Faults:   chaos.GenConfig{Crashes: 3, Partitions: 2, LinkFaults: 3, SequencerKill: true},
+		}
+		res := RunChaosPoint(cfg)
+		if len(res.Schedule) == 0 {
+			t.Fatalf("seed %d: generator produced an empty schedule", seed)
+		}
+		if !res.Report.OK() {
+			var buf bytes.Buffer
+			res.Report.Write(&buf)
+			t.Errorf("seed %d: invariant violations under generated faults:\n%s", seed, buf.Bytes())
+		}
+	}
+}

@@ -61,6 +61,9 @@ func TestLiveTimerRunsInNodeContext(t *testing.T) {
 }
 
 func TestLiveTimerCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short: real-time sleep to prove the timer stayed quiet")
+	}
 	rt := NewRuntime()
 	var fired atomic.Bool
 	cancelCh := make(chan node.CancelFunc, 1)

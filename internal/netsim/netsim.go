@@ -22,6 +22,14 @@ type LossModel interface {
 	Drop(r *rand.Rand, from, to node.ID) bool
 }
 
+// DupModel decides how many extra copies of a message are delivered beyond
+// the first — the fault-injection layer's duplication knob. A LossModel that
+// also implements DupModel is consulted once per surviving message; each
+// extra copy draws its own delay, so duplicates can also arrive reordered.
+type DupModel interface {
+	Dup(r *rand.Rand, from, to node.ID) int
+}
+
 // ConstantDelay delays every message by the same duration.
 type ConstantDelay time.Duration
 

@@ -63,6 +63,16 @@ type Config struct {
 	// application, in execution order — test hooks use it to verify the
 	// sequential-consistency prefix property across replicas.
 	OnApply func(gsn uint64, id consistency.RequestID)
+	// OnServeRead, if set, observes every read-only request at the moment
+	// its reply is produced: the read's order GSN, the replica's CSN at
+	// serve time, the client's staleness bound a, and whether the read was
+	// deferred until a lazy update. The chaos harness's staleness-honesty
+	// and deferred-read oracles feed from it.
+	OnServeRead func(id consistency.RequestID, gsn, csn uint64, staleness int, deferred bool)
+	// OnRestore, if set, observes every state snapshot actually restored
+	// (lazy update at a secondary, recovery snapshot anywhere) with the
+	// snapshot's CSN. The deferred-read oracle pairs it with OnServeRead.
+	OnRestore func(csn uint64)
 	// Obs, when non-nil, receives served-request counters, the
 	// staleness-at-read histogram, and commit/defer/work queue depth gauges.
 	Obs *obs.Registry
@@ -280,6 +290,12 @@ func (g *Gateway) Applied() uint64 { return g.applied }
 
 // App exposes the application instance (tests verify replica state).
 func (g *Gateway) App() app.Application { return g.cfg.App }
+
+// EnableCommitReorderFault arms the deliberate commit-ordering bug in this
+// replica's commit buffer — a test hook proving the chaos harness's
+// sequential-consistency oracle detects (not merely tolerates) protocol
+// violations. Production code never calls it.
+func (g *Gateway) EnableCommitReorderFault() { g.commit.EnableFaultReorder() }
 
 func sortedFirst(ids []node.ID) node.ID {
 	if len(ids) == 0 {

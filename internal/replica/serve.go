@@ -335,6 +335,9 @@ func (g *Gateway) complete(j job) {
 	case jobRead:
 		result, err := g.cfg.App.Read(j.req.Method, j.req.Payload)
 		g.ins.readsServed.Inc()
+		if g.cfg.OnServeRead != nil {
+			g.cfg.OnServeRead(j.req.ID, j.gsn, g.commit.MyCSN(), j.req.Staleness, j.deferWait > 0)
+		}
 		g.stack.Send(j.from, consistency.Reply{
 			ID:       j.req.ID,
 			Payload:  result,
@@ -424,6 +427,9 @@ func (g *Gateway) onStateUpdate(su consistency.StateUpdate) {
 	if err := g.cfg.App.Restore(su.Snapshot); err != nil {
 		g.ctx.Logf("replica: state update restore failed: %v", err)
 		return
+	}
+	if g.cfg.OnRestore != nil {
+		g.cfg.OnRestore(su.CSN)
 	}
 	for _, id := range su.RecentIDs {
 		g.markCommitted(id)

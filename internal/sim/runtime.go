@@ -26,6 +26,7 @@ type Runtime struct {
 	sched   *Scheduler
 	delay   netsim.DelayModel
 	loss    netsim.LossModel
+	dup     netsim.DupModel // resolved from loss at construction; nil = off
 	netRand *rand.Rand
 	// slots interns each registered ID to a dense index into ctxs; ctxs[i]
 	// is the current incarnation (Restart swaps the slot in place). Slot
@@ -34,13 +35,14 @@ type Runtime struct {
 	ctxs  []*nodeCtx
 	// ids is the sorted ID list, maintained incrementally at Register so
 	// IDs() never re-sorts.
-	ids       []node.ID
-	started   bool
-	logW      io.Writer
-	sent      uint64
-	dropped   uint64
-	freeDeliv []*delivery
-	freeTimer []*timerRec
+	ids        []node.ID
+	started    bool
+	logW       io.Writer
+	sent       uint64
+	dropped    uint64
+	duplicated uint64
+	freeDeliv  []*delivery
+	freeTimer  []*timerRec
 
 	// High-water marks of the last ObserveInto, so repeated observations
 	// export deltas rather than double-counting.
@@ -78,6 +80,10 @@ func NewRuntime(sched *Scheduler, opts ...Option) *Runtime {
 	for _, o := range opts {
 		o(r)
 	}
+	// Duplication is opt-in: a loss model that also implements DupModel
+	// (the chaos fault layer) enables it. Resolving the assertion once here
+	// keeps the per-message delivery path free of interface checks.
+	r.dup, _ = r.loss.(netsim.DupModel)
 	r.netRand = sched.DeriveRand("netsim")
 	return r
 }
@@ -162,6 +168,10 @@ func (r *Runtime) IDs() []node.ID { return r.ids }
 // Stats returns the number of messages sent and dropped so far.
 func (r *Runtime) Stats() (sent, dropped uint64) { return r.sent, r.dropped }
 
+// Duplicated returns the number of extra message copies injected by the
+// duplication fault model.
+func (r *Runtime) Duplicated() uint64 { return r.duplicated }
+
 // ObserveInto folds the runtime's counters into reg as deltas since the
 // previous ObserveInto call. The simulator itself carries no instruments —
 // hot-path hooks could never perturb virtual time, but keeping them out
@@ -220,7 +230,20 @@ func (r *Runtime) deliver(src *nodeCtx, to node.ID, m node.Message) {
 		r.dropped++
 		return
 	}
-	d := r.delay.Delay(r.netRand, src.id, to)
+	r.post(src, dst, m)
+	if r.dup != nil {
+		// Each extra copy draws its own delay, so duplicates may overtake
+		// the original — duplication and reordering in one fault.
+		for extra := r.dup.Dup(r.netRand, src.id, to); extra > 0; extra-- {
+			r.duplicated++
+			r.post(src, dst, m)
+		}
+	}
+}
+
+// post schedules one delivery of m with a fresh delay draw.
+func (r *Runtime) post(src, dst *nodeCtx, m node.Message) {
+	d := r.delay.Delay(r.netRand, src.id, dst.id)
 	var rec *delivery
 	if n := len(r.freeDeliv); n > 0 {
 		rec = r.freeDeliv[n-1]

@@ -251,6 +251,9 @@ func TestTCPConcurrentSendersFraming(t *testing.T) {
 // — run by the peer's writer goroutine, not the Send caller — must still
 // deliver the frame.
 func TestTCPDialRetryAbsorbsLateListener(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short: real dial-backoff timing")
+	}
 	// Reserve an address, then free it so the late listener can bind it.
 	probe, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -300,6 +303,9 @@ func TestTCPDialRetryAbsorbsLateListener(t *testing.T) {
 // budget is exhausted, frames sent during the cooldown window drop without
 // re-paying the backoff ladder (no further dial attempts).
 func TestTCPDialCooldownBoundsOutageCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short: real dial-backoff timing")
+	}
 	rt := live.NewRuntime()
 	// 127.0.0.1:1 refuses instantly, so the writer's dial ladder costs only
 	// the backoff sleeps (~175 ms) before entering cooldown.
@@ -335,6 +341,9 @@ func TestTCPDialCooldownBoundsOutageCost(t *testing.T) {
 // transport slept through the whole backoff ladder — must return in under
 // a millisecond. The dial ladder runs concurrently on the writer goroutine.
 func TestTCPSendNonBlockingDuringOutage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short: wall-clock latency assertion")
+	}
 	rt := live.NewRuntime()
 	tr, err := New(rt, "127.0.0.1:0", map[node.ID]string{"b": "127.0.0.1:1"})
 	if err != nil {
@@ -359,6 +368,9 @@ func TestTCPSendNonBlockingDuringOutage(t *testing.T) {
 // stack's ack/retransmit must hand every payload to the app layer exactly
 // once, in order.
 func TestTCPReconnectMidStreamExactlyOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short: real sockets and retransmit timers")
+	}
 	const total = 100
 	gcfg := group.Config{
 		RetransmitInterval: 20 * time.Millisecond,
@@ -443,6 +455,9 @@ func TestTCPReconnectMidStreamExactlyOnce(t *testing.T) {
 }
 
 func TestTCPPeerProcessRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short: real sockets and re-dial timing")
+	}
 	// Process B dies and a new incarnation binds the same node ID at a new
 	// address; A keeps talking after AddPeer remaps it. The group layer
 	// above recovers ordering/reliability; here we verify the transport
