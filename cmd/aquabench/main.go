@@ -7,6 +7,7 @@
 //	aquabench -experiment fig3|fig4a|fig4b|lui|reqdelay|baselines|hotspot|failover|all
 //	aquabench -experiment fig4a -requests 200   # faster, noisier
 //	aquabench -experiment chaos -chaos-runs 8 -faults crash,partition,link,seqkill
+//	aquabench -experiment loadmax -loadmax-json BENCH_loadmax.json
 package main
 
 import (
@@ -25,16 +26,18 @@ import (
 
 func main() {
 	var (
-		which     = flag.String("experiment", "all", "experiment id: fig3, fig4a, fig4b, lui, reqdelay, baselines, hotspot, failover, calibration, groupsplit, window, estimator, scalability, loss, arrivals, chaos, all")
-		requests  = flag.Int("requests", 1000, "requests per client per run (paper: 1000)")
-		seed      = flag.Int64("seed", 2002, "base random seed")
-		iters     = flag.Int("iters", 2000, "iterations per fig3 measurement point")
-		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count (1 = sequential; output is identical either way)")
-		progress  = flag.Bool("progress", true, "report per-point sweep progress on stderr")
-		obsPath   = flag.String("obs", "", "write an aggregated Prometheus-text metrics snapshot of all runs to this file")
-		tracePath = flag.String("trace", "", "stream per-request JSONL trace spans (run-labelled) to this file")
-		faults    = flag.String("faults", "crash,partition,link,seqkill", "chaos fault kinds to inject (comma list of crash, partition, link, seqkill)")
-		chaosRuns = flag.Int("chaos-runs", 4, "number of seeded chaos runs (seeds seed..seed+n-1)")
+		which        = flag.String("experiment", "all", "experiment id: fig3, fig4a, fig4b, lui, reqdelay, baselines, hotspot, failover, calibration, groupsplit, window, estimator, scalability, loss, arrivals, chaos, loadmax, all")
+		requests     = flag.Int("requests", 1000, "requests per client per run (paper: 1000)")
+		seed         = flag.Int64("seed", 2002, "base random seed")
+		iters        = flag.Int("iters", 2000, "iterations per fig3 measurement point")
+		parallel     = flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count (1 = sequential; output is identical either way)")
+		progress     = flag.Bool("progress", true, "report per-point sweep progress on stderr")
+		obsPath      = flag.String("obs", "", "write an aggregated Prometheus-text metrics snapshot of all runs to this file")
+		tracePath    = flag.String("trace", "", "stream per-request JSONL trace spans (run-labelled) to this file")
+		faults       = flag.String("faults", "crash,partition,link,seqkill", "chaos fault kinds to inject (comma list of crash, partition, link, seqkill)")
+		chaosRuns    = flag.Int("chaos-runs", 4, "number of seeded chaos runs (seeds seed..seed+n-1)")
+		loadmaxJSON  = flag.String("loadmax-json", "", "also write the loadmax result as JSON to this file (BENCH_loadmax.json)")
+		loadmaxQuick = flag.Bool("loadmax-quick", false, "shrink the loadmax ramp for smoke runs (shorter steps, lower top rate)")
 	)
 	flag.Parse()
 
@@ -45,7 +48,7 @@ func main() {
 		})
 	}
 
-	if err := run(*which, *requests, *seed, *iters, *obsPath, *tracePath, *faults, *chaosRuns); err != nil {
+	if err := run(*which, *requests, *seed, *iters, *obsPath, *tracePath, *faults, *chaosRuns, *loadmaxJSON, *loadmaxQuick); err != nil {
 		fmt.Fprintln(os.Stderr, "aquabench:", err)
 		os.Exit(1)
 	}
@@ -101,7 +104,32 @@ func runChaos(out *os.File, requests int, seed int64, faultSpec string, runs int
 	return nil
 }
 
-func run(which string, requests int, seed int64, iters int, obsPath, tracePath, faultSpec string, chaosRuns int) error {
+// runLoadmax executes the heavy-traffic ramp (baseline vs batched in one
+// sweep), prints the table, and optionally writes the JSON artifact.
+func runLoadmax(out *os.File, seed int64, jsonPath string, quick bool) error {
+	cfg := experiment.LoadmaxConfig{Seed: seed}
+	if quick {
+		cfg.Clients = 2000
+		cfg.Rates = []float64{1000, 4000, 16000}
+		cfg.Warmup = 200 * time.Millisecond
+		cfg.StepDuration = 500 * time.Millisecond
+	}
+	pair := experiment.RunLoadmaxPair(cfg)
+	experiment.WriteLoadmaxTable(out, pair)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return fmt.Errorf("-loadmax-json: %w", err)
+		}
+		defer f.Close()
+		if err := experiment.WriteLoadmaxJSON(f, pair); err != nil {
+			return fmt.Errorf("-loadmax-json: %w", err)
+		}
+	}
+	return nil
+}
+
+func run(which string, requests int, seed int64, iters int, obsPath, tracePath, faultSpec string, chaosRuns int, loadmaxJSON string, loadmaxQuick bool) error {
 	base := experiment.Fig4Config{
 		Seed:     seed,
 		Deadline: 140 * time.Millisecond,
@@ -267,6 +295,16 @@ func run(which string, requests int, seed int64, iters int, obsPath, tracePath, 
 	if which == "chaos" {
 		ran = true
 		if err := runChaos(out, requests, seed, faultSpec, chaosRuns); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	// Loadmax is likewise excluded from "all": it is a throughput benchmark
+	// on a different (open-loop) workload, recorded in BENCH_loadmax.json
+	// rather than the paper-results file.
+	if which == "loadmax" {
+		ran = true
+		if err := runLoadmax(out, seed, loadmaxJSON, loadmaxQuick); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)

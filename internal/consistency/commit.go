@@ -108,6 +108,42 @@ func (b *CommitBuffer) AddAssign(a GSNAssign) []Request {
 	return nil
 }
 
+// AddAssignBatch folds a contiguous window of assignments (ids[i] ↦
+// first+i) into the buffer with one staging pass and at most one drain,
+// and returns the requests that become committable, in commit order. It is
+// equivalent to len(ids) AddAssign calls but touches the staged queue once:
+// under group commit a full window typically releases in a single drain
+// instead of len(ids) separate map probes ending in failure. The returned
+// slice shares the buffer's scratch array (see drain).
+func (b *CommitBuffer) AddAssignBatch(first uint64, ids []RequestID) []Request {
+	if len(ids) == 0 {
+		return nil
+	}
+	b.ObserveGSN(first + uint64(len(ids)) - 1)
+	staged := false
+	for i, id := range ids {
+		gsn := first + uint64(i)
+		if gsn <= b.myCSN {
+			// Already committed (duplicate assignment after failover).
+			delete(b.pendingBody, id)
+			continue
+		}
+		if req, ok := b.pendingBody[id]; ok {
+			delete(b.pendingBody, id)
+			b.ready[gsn] = req
+			staged = true
+			continue
+		}
+		if _, dup := b.pendingGSN[id]; !dup {
+			b.pendingGSN[id] = gsn
+		}
+	}
+	if !staged {
+		return nil
+	}
+	return b.drain()
+}
+
 // HasBody reports whether an update body is still waiting for its GSN.
 func (b *CommitBuffer) HasBody(id RequestID) bool {
 	_, ok := b.pendingBody[id]

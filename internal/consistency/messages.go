@@ -69,6 +69,23 @@ type GSNAssign struct {
 	Update bool
 }
 
+// GSNAssignBatch is the sequencer's batched broadcast: one message covers a
+// contiguous window of update assignments plus the read snapshots taken at
+// the window's end. Semantically it is exactly the sequence of singleton
+// GSNAssign messages {Updates[i] ↦ First+i, Update: true} followed by
+// {Reads[j] ↦ ReadGSN, Update: false}; batching amortizes the per-broadcast
+// cost of the sequencer's ordering pipeline across the window.
+type GSNAssignBatch struct {
+	// First is the GSN assigned to Updates[0]; Updates[i] holds GSN First+i.
+	First   uint64
+	Updates []RequestID
+	// ReadGSN is the snapshot GSN reported for every ID in Reads: the
+	// window's post-update frontier, First+len(Updates)-1 (or the
+	// sequencer's GSN at flush time when the window carried no updates).
+	ReadGSN uint64
+	Reads   []RequestID
+}
+
 // GSNRequest asks the current sequencer to (re)issue a GSNAssign for a
 // request. Replicas send it when a buffered request has waited too long for
 // its assignment — the recovery path after a sequencer failover loses an

@@ -135,6 +135,9 @@ func (b *ReadBuffer) AwaitingGSN(cutoff time.Time) []RequestID {
 			out = append(out, id)
 		}
 	}
+	// Sorted like PendingBodies: chase traffic must leave in a reproducible
+	// order or a loaded run's event stream diverges between executions.
+	sortRequestIDs(out)
 	return out
 }
 

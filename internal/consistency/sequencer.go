@@ -11,6 +11,12 @@ type SequencerState struct {
 	assigned map[RequestID]uint64
 	order    []RequestID // FIFO of memoized IDs, for pruning
 	maxMemo  int
+
+	// freshScratch and dupScratch back the slices returned by
+	// AssignUpdateBatch; valid only until the next call (the owning node's
+	// callbacks are serialized, and the gateway copies what escapes).
+	freshScratch []RequestID
+	dupScratch   []GSNAssign
 }
 
 // NewSequencerState creates a sequencer state. maxMemo bounds the
@@ -47,6 +53,33 @@ func (s *SequencerState) AssignUpdate(id RequestID) uint64 {
 	s.gsn++
 	s.memoize(id, s.gsn)
 	return s.gsn
+}
+
+// AssignUpdateBatch assigns one contiguous GSN window to the IDs in ids
+// that have no memoized assignment: fresh[i] receives GSN first+i, each
+// memoized exactly as AssignUpdate would have. IDs already assigned (client
+// retransmissions, chase re-issues — including duplicates within ids
+// itself) keep their original numbers and are returned separately as
+// singleton re-broadcasts. Both returned slices share the state's scratch
+// buffers and are valid only until the next call; first is meaningless when
+// fresh is empty.
+func (s *SequencerState) AssignUpdateBatch(ids []RequestID) (first uint64, fresh []RequestID, dups []GSNAssign) {
+	fresh = s.freshScratch[:0]
+	dups = s.dupScratch[:0]
+	for _, id := range ids {
+		if g, ok := s.assigned[id]; ok {
+			dups = append(dups, GSNAssign{ID: id, GSN: g, Update: true})
+			continue
+		}
+		s.gsn++
+		if len(fresh) == 0 {
+			first = s.gsn
+		}
+		s.memoize(id, s.gsn)
+		fresh = append(fresh, id)
+	}
+	s.freshScratch, s.dupScratch = fresh, dups
+	return first, fresh, dups
 }
 
 // SnapshotRead returns the current GSN for a read request without advancing

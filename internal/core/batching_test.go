@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"aqua/internal/client"
+	"aqua/internal/node"
+	"aqua/internal/qos"
+)
+
+// TestSequentialConsistencyWithBatchedAssignment re-runs the cross-primary
+// convergence invariant with batched GSN ordering, a non-trivial window, and
+// the frontier read fast path enabled: every primary must still apply every
+// update in the same order, and secondaries must converge through lazy
+// propagation. It also checks the batch machinery actually engaged — the
+// sequencer's flush stats must show multi-request windows.
+func TestSequentialConsistencyWithBatchedAssignment(t *testing.T) {
+	s, rt := newSim(3)
+	const writers = 3
+	const perWriter = 20
+	var clients []ClientConfig
+	for i := 0; i < writers; i++ {
+		i := i
+		id := node.ID(fmt.Sprintf("c%02d", i))
+		clients = append(clients, ClientConfig{
+			ID:      id,
+			Spec:    qos.Spec{Staleness: 2, Deadline: 500 * ms, MinProb: 0.5},
+			Methods: kvMethods(),
+			Driver: func(ctx node.Context, gw *client.Gateway) {
+				var issue func(k int)
+				issue = func(k int) {
+					if k >= perWriter {
+						return
+					}
+					payload := []byte(fmt.Sprintf("k=%d-%d", i, k))
+					gw.Invoke("Set", payload, func(client.Result) {
+						ctx.SetTimer(5*ms, func() { issue(k + 1) })
+					})
+				}
+				ctx.SetTimer(time.Duration(i)*ms, func() { issue(0) })
+			},
+		})
+	}
+	svc := testService(4, 3, 500*ms)
+	svc.AssignBatch = 8
+	svc.AssignBatchWindow = 2 * ms
+	svc.FastReads = true
+	d, err := Deploy(rt, svc, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	s.RunFor(30 * time.Second)
+
+	want := uint64(writers * perWriter)
+	var ref []byte
+	for _, id := range d.PrimaryGroup {
+		gw := d.Replicas[id]
+		if gw.Applied() != want {
+			t.Fatalf("%s applied %d, want %d", id, gw.Applied(), want)
+		}
+		snap, err := gw.App().Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = snap
+		} else if string(ref) != string(snap) {
+			t.Fatalf("%s state diverged from the sequencer's", id)
+		}
+	}
+	for _, id := range d.Secondaries {
+		gw := d.Replicas[id]
+		if gw.CSN() != want {
+			t.Fatalf("%s CSN %d, want %d", id, gw.CSN(), want)
+		}
+		snap, _ := gw.App().Snapshot()
+		if string(snap) != string(ref) {
+			t.Fatalf("%s state diverged after lazy propagation", id)
+		}
+	}
+	flushes, reqs := d.Replicas[d.Sequencer].AssignBatchStats()
+	if flushes == 0 || reqs != want {
+		t.Fatalf("sequencer flushed %d windows covering %d requests, want all %d requests batched", flushes, reqs, want)
+	}
+	if flushes >= reqs {
+		t.Fatalf("no amortization: %d flushes for %d requests", flushes, reqs)
+	}
+}
+
+// TestFastReadPathServesFrontierReads drives a write-then-many-reads
+// workload with FastReads on and no service-delay model: reads that arrive
+// with their snapshot already committed must be served through the inline
+// path, with correct results.
+func TestFastReadPathServesFrontierReads(t *testing.T) {
+	s, rt := newSim(7)
+	const reads = 10
+	var results []client.Result
+	clients := []ClientConfig{{
+		ID:      "c00",
+		Spec:    qos.Spec{Staleness: 0, Deadline: 500 * ms, MinProb: 0.5},
+		Methods: kvMethods(),
+		Driver: func(ctx node.Context, gw *client.Gateway) {
+			ctx.SetTimer(10*ms, func() {
+				gw.Invoke("Set", []byte("a=1"), func(client.Result) {
+					var issue func(k int)
+					issue = func(k int) {
+						if k >= reads {
+							return
+						}
+						gw.Invoke("Get", []byte("a"), func(r client.Result) {
+							results = append(results, r)
+							ctx.SetTimer(20*ms, func() { issue(k + 1) })
+						})
+					}
+					issue(0)
+				})
+			})
+		},
+	}}
+	svc := testService(3, 2, time.Second)
+	svc.FastReads = true
+	d, err := Deploy(rt, svc, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	s.RunFor(10 * time.Second)
+
+	if len(results) != reads {
+		t.Fatalf("completed %d reads, want %d", len(results), reads)
+	}
+	for i, r := range results {
+		if r.Err != "" || string(r.Payload) != "1" {
+			t.Fatalf("read %d = %+v", i, r)
+		}
+	}
+	var fast uint64
+	for _, id := range d.ServingPrimaries {
+		fast += d.Replicas[id].FastServed()
+	}
+	if fast == 0 {
+		t.Fatal("no read went through the frontier fast path")
+	}
+}

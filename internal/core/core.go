@@ -48,6 +48,17 @@ type ServiceConfig struct {
 	// defaults).
 	ChaseInterval   time.Duration
 	TakeoverTimeout time.Duration
+	// AssignBatch/AssignBatchWindow enable batched GSN ordering at the
+	// sequencer (one GSNAssignBatch broadcast per window). <= 1 keeps the
+	// per-request broadcast path. See replica.Config.
+	AssignBatch       int
+	AssignBatchWindow time.Duration
+	// SeqCostBase/SeqCostPerReq model the sequencer ordering pipeline's
+	// per-broadcast occupancy (both zero disables). See replica.Config.
+	SeqCostBase   time.Duration
+	SeqCostPerReq time.Duration
+	// FastReads enables the replicas' frontier read fast path.
+	FastReads bool
 	// OnApply, if set, observes every (replica, gsn, request) application —
 	// the ordering-invariant hook used by the protocol fuzzer.
 	OnApply func(replica node.ID, gsn uint64, id consistency.RequestID)
@@ -150,21 +161,26 @@ func (d *Deployment) NewReplicaGateway(id node.ID) (*replica.Gateway, error) {
 		}
 	}
 	gw := replica.New(replica.Config{
-		Primary:         primary,
-		OnApply:         bindApply(d.svc.OnApply, id),
-		OnServeRead:     bindServeRead(d.svc.OnServeRead, id),
-		OnRestore:       bindRestore(d.svc.OnRestore, id),
-		PrimaryGroup:    d.PrimaryGroup,
-		Secondaries:     d.Secondaries,
-		Clients:         d.ClientIDs,
-		Group:           d.svc.Group,
-		LazyInterval:    d.svc.LazyInterval,
-		ServiceDelay:    d.svc.ServiceDelay,
-		ChaseInterval:   d.svc.ChaseInterval,
-		TakeoverTimeout: d.svc.TakeoverTimeout,
-		App:             d.svc.NewApp(),
-		Obs:             d.svc.Obs,
-		Tracer:          d.svc.Tracer,
+		Primary:           primary,
+		OnApply:           bindApply(d.svc.OnApply, id),
+		OnServeRead:       bindServeRead(d.svc.OnServeRead, id),
+		OnRestore:         bindRestore(d.svc.OnRestore, id),
+		PrimaryGroup:      d.PrimaryGroup,
+		Secondaries:       d.Secondaries,
+		Clients:           d.ClientIDs,
+		Group:             d.svc.Group,
+		LazyInterval:      d.svc.LazyInterval,
+		ServiceDelay:      d.svc.ServiceDelay,
+		ChaseInterval:     d.svc.ChaseInterval,
+		TakeoverTimeout:   d.svc.TakeoverTimeout,
+		AssignBatch:       d.svc.AssignBatch,
+		AssignBatchWindow: d.svc.AssignBatchWindow,
+		SeqCostBase:       d.svc.SeqCostBase,
+		SeqCostPerReq:     d.svc.SeqCostPerReq,
+		FastReads:         d.svc.FastReads,
+		App:               d.svc.NewApp(),
+		Obs:               d.svc.Obs,
+		Tracer:            d.svc.Tracer,
 	})
 	d.Replicas[id] = gw
 	return gw, nil
@@ -254,21 +270,26 @@ func Deploy(rt Runtime, svc ServiceConfig, clients []ClientConfig) (*Deployment,
 
 	replicaCfg := func(id node.ID, primary bool) replica.Config {
 		return replica.Config{
-			OnApply:         bindApply(svc.OnApply, id),
-			OnServeRead:     bindServeRead(svc.OnServeRead, id),
-			OnRestore:       bindRestore(svc.OnRestore, id),
-			Primary:         primary,
-			PrimaryGroup:    d.PrimaryGroup,
-			Secondaries:     d.Secondaries,
-			Clients:         d.ClientIDs,
-			Group:           svc.Group,
-			LazyInterval:    svc.LazyInterval,
-			ServiceDelay:    svc.ServiceDelay,
-			ChaseInterval:   svc.ChaseInterval,
-			TakeoverTimeout: svc.TakeoverTimeout,
-			App:             svc.NewApp(),
-			Obs:             svc.Obs,
-			Tracer:          svc.Tracer,
+			OnApply:           bindApply(svc.OnApply, id),
+			OnServeRead:       bindServeRead(svc.OnServeRead, id),
+			OnRestore:         bindRestore(svc.OnRestore, id),
+			Primary:           primary,
+			PrimaryGroup:      d.PrimaryGroup,
+			Secondaries:       d.Secondaries,
+			Clients:           d.ClientIDs,
+			Group:             svc.Group,
+			LazyInterval:      svc.LazyInterval,
+			ServiceDelay:      svc.ServiceDelay,
+			ChaseInterval:     svc.ChaseInterval,
+			TakeoverTimeout:   svc.TakeoverTimeout,
+			AssignBatch:       svc.AssignBatch,
+			AssignBatchWindow: svc.AssignBatchWindow,
+			SeqCostBase:       svc.SeqCostBase,
+			SeqCostPerReq:     svc.SeqCostPerReq,
+			FastReads:         svc.FastReads,
+			App:               svc.NewApp(),
+			Obs:               svc.Obs,
+			Tracer:            svc.Tracer,
 		}
 	}
 	for _, id := range d.PrimaryGroup {

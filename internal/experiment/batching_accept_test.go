@@ -1,0 +1,125 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"aqua/internal/chaos"
+	"aqua/internal/node"
+)
+
+// TestFig4BatchKnobByteIdentical pins the compatibility contract of the
+// batched sequencer: AssignBatch=1 must take the legacy per-request
+// assignment path, rendering the Fig4 tables byte-for-byte identical to a
+// run with the knob absent, across a sweep of deadlines. Any divergence
+// means the batching plumbing perturbs the paper figures even when off.
+func TestFig4BatchKnobByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig4 sweep in -short mode")
+	}
+	render := func(assignBatch int, window time.Duration) []byte {
+		var results []Fig4Result
+		for _, deadline := range []time.Duration{100 * time.Millisecond, 200 * time.Millisecond} {
+			results = append(results, RunFig4Point(Fig4Config{
+				Seed:              77,
+				Deadline:          deadline,
+				MinProb:           0.05,
+				Requests:          60,
+				RequestDelay:      100 * time.Millisecond,
+				AssignBatch:       assignBatch,
+				AssignBatchWindow: window,
+			}))
+		}
+		var buf bytes.Buffer
+		WriteFig4aTable(&buf, results)
+		WriteFig4bTable(&buf, results)
+		return buf.Bytes()
+	}
+
+	legacy := render(0, 0)
+	batchOne := render(1, time.Millisecond)
+	if !bytes.Equal(legacy, batchOne) {
+		t.Fatalf("AssignBatch=1 diverged from the pre-batching path:\n--- legacy ---\n%s\n--- batch=1 ---\n%s",
+			legacy, batchOne)
+	}
+}
+
+// TestChaosBatchingFastPathAcceptance runs the full oracle suite with
+// batched GSN assignment and the frontier-read fast path armed, under a
+// schedule that kills the sequencer while traffic keeps its assign batches
+// populated — so the kill lands mid-batch and takeover must not lose or
+// reorder the buffered window.
+func TestChaosBatchingFastPathAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos run in -short mode")
+	}
+	cfg := ChaosConfig{
+		Seed:         2025,
+		Clients:      4,
+		Requests:     80,
+		RequestDelay: 10 * time.Millisecond,
+		ServiceMean:  -1, // no service delay: required by the fast path
+		AssignBatch:  64,
+		// A window much longer than the inter-arrival gap keeps a partially
+		// filled batch pending at the sequencer almost continuously, so the
+		// 400ms kill lands mid-batch rather than between flushes.
+		AssignBatchWindow: 20 * time.Millisecond,
+		FastReads:         true,
+		Schedule: chaos.Schedule{
+			{At: 400 * time.Millisecond, Action: chaos.ActCrash, Target: "p00"},
+			{At: 900 * time.Millisecond, Action: chaos.ActRestart, Target: "p00"},
+			{At: 1400 * time.Millisecond, Action: chaos.ActPartition, Name: "part00",
+				SideA: []node.ID{"p00", "p01", "p02", "p03", "s00", "s01", "s04", "c00", "c01", "c02", "c03"},
+				SideB: []node.ID{"s02", "s03"}},
+			{At: 2 * time.Second, Action: chaos.ActHeal, Name: "part00"},
+		},
+	}
+	res := RunChaosPoint(cfg)
+	if !res.Done {
+		t.Fatalf("clients did not finish: %d requests completed, %d failed", res.Requests, res.Failed)
+	}
+	if !res.Report.OK() {
+		var buf bytes.Buffer
+		res.Report.Write(&buf)
+		t.Fatalf("invariant violations with batching + fast path:\n%s", buf.Bytes())
+	}
+	for _, v := range res.Report.Verdicts {
+		switch v.Invariant {
+		case "sequential-consistency", "csn-monotonicity", "staleness-bound", "read-your-writes":
+			if v.Checked == 0 {
+				t.Errorf("invariant %s performed no checks", v.Invariant)
+			}
+		}
+	}
+	if res.FastServed == 0 {
+		t.Error("fast path armed but no read was served through it")
+	}
+}
+
+// TestChaosBatchingGeneratedSweep fans generated fault schedules (including
+// sequencer kills) over seeds with batching and the fast path on: every
+// seed must satisfy all oracles.
+func TestChaosBatchingGeneratedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep in -short mode")
+	}
+	base := ChaosConfig{
+		Requests:          40,
+		ServiceMean:       -1,
+		AssignBatch:       8,
+		AssignBatchWindow: 2 * time.Millisecond,
+		FastReads:         true,
+		Faults:            chaos.GenConfig{Crashes: 2, Partitions: 1, LinkFaults: 2, SequencerKill: true},
+	}
+	for _, res := range RunChaosSweep(base, []int64{1, 2, 3}) {
+		if !res.Report.OK() {
+			var buf bytes.Buffer
+			res.Report.Write(&buf)
+			t.Errorf("seed %d violated invariants under batching:\n%s", res.Seed, buf.Bytes())
+		}
+		if !res.Done {
+			t.Errorf("seed %d: clients did not finish (%d completed, %d failed)", res.Seed, res.Requests, res.Failed)
+		}
+	}
+}

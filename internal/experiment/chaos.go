@@ -51,8 +51,19 @@ type ChaosConfig struct {
 	LUI time.Duration
 
 	// ServiceMean/ServiceStd simulate background load (defaults 10ms/5ms).
+	// A negative ServiceMean disables the service-delay model entirely —
+	// required to arm the frontier-read fast path, which only engages when
+	// reads carry no simulated service cost.
 	ServiceMean time.Duration
 	ServiceStd  time.Duration
+
+	// AssignBatch/AssignBatchWindow enable batched GSN assignment at the
+	// sequencer; FastReads the frontier-read fast path. The batching
+	// acceptance tests run the full chaos oracle suite with these on —
+	// including sequencer kills that land mid-batch.
+	AssignBatch       int
+	AssignBatchWindow time.Duration
+	FastReads         bool
 
 	// Faults sets the generator's fault rates. Zero Horizon defaults to
 	// ~70% of the expected workload duration so faults land amid traffic.
@@ -116,6 +127,9 @@ type ChaosResult struct {
 	// what the determinism tests compare across parallelism levels.
 	Events int
 	Trace  []byte
+	// FastServed sums frontier fast-path reads across replicas — nonzero
+	// proves a FastReads run actually exercised the hot path.
+	FastServed uint64
 }
 
 // chaosDriver issues total alternating Set/Get requests in a closed loop,
@@ -173,6 +187,12 @@ func RunChaosPoint(cfg ChaosConfig) ChaosResult {
 		OnServeRead: rec.ServeRead,
 		OnRestore:   rec.Restore,
 	}
+	if cfg.ServiceMean < 0 {
+		svc.ServiceDelay = nil
+	}
+	svc.AssignBatch = cfg.AssignBatch
+	svc.AssignBatchWindow = cfg.AssignBatchWindow
+	svc.FastReads = cfg.FastReads
 
 	var doneCount, completed, failed int
 	clients := make([]core.ClientConfig, cfg.Clients)
@@ -255,15 +275,20 @@ func RunChaosPoint(cfg ChaosConfig) ChaosResult {
 	if err := rec.WriteTrace(&buf); err != nil {
 		panic(fmt.Sprintf("experiment: chaos trace: %v", err)) // bytes.Buffer cannot fail
 	}
+	var fastServed uint64
+	for _, g := range d.Replicas {
+		fastServed += g.FastServed()
+	}
 	return ChaosResult{
-		Seed:     cfg.Seed,
-		Report:   check.Run(events),
-		Schedule: sched,
-		Requests: completed,
-		Failed:   failed,
-		Done:     doneCount == cfg.Clients,
-		Events:   len(events),
-		Trace:    buf.Bytes(),
+		Seed:       cfg.Seed,
+		Report:     check.Run(events),
+		Schedule:   sched,
+		Requests:   completed,
+		Failed:     failed,
+		Done:       doneCount == cfg.Clients,
+		Events:     len(events),
+		Trace:      buf.Bytes(),
+		FastServed: fastServed,
 	}
 }
 

@@ -73,6 +73,16 @@ type Fig4Config struct {
 	Crash   string
 	CrashAt time.Duration
 
+	// AssignBatch threads the sequencer's GSN batching knob through to the
+	// deployment. Values <= 1 keep the legacy per-request assignment path;
+	// the batching acceptance test pins AssignBatch=1 byte-identical to 0
+	// across the sweep, so the knob's mere presence cannot perturb the
+	// paper figures.
+	AssignBatch int
+	// AssignBatchWindow bounds how long a batch may wait (only meaningful
+	// with AssignBatch > 1).
+	AssignBatchWindow time.Duration
+
 	// CountedEstimator switches the measured client to the n_L-anchored
 	// staleness estimator (abl-estimator).
 	CountedEstimator bool
@@ -221,8 +231,10 @@ func RunFig4Point(cfg Fig4Config) Fig4Result {
 		ServiceDelay: func(r *rand.Rand) time.Duration {
 			return stats.TruncNormalDuration(r, cfg.ServiceMean, cfg.ServiceStd, 0)
 		},
-		Obs:    cfg.Obs,
-		Tracer: cfg.Trace.WithRun(cfg.runLabel(), sim.Epoch),
+		AssignBatch:       cfg.AssignBatch,
+		AssignBatchWindow: cfg.AssignBatchWindow,
+		Obs:               cfg.Obs,
+		Tracer:            cfg.Trace.WithRun(cfg.runLabel(), sim.Epoch),
 	}
 
 	var (

@@ -78,6 +78,12 @@ type sendLink struct {
 	// after MaxRetries; a receiver acking Expected ≤ droppedMax can never
 	// progress and forces a generation reset.
 	droppedMax uint64
+	// ackFloor is the lowest sequence number no cumulative ack has covered
+	// yet. Sequence numbers are contiguous, so ack() walks the range
+	// [ackFloor, Expected) instead of scanning the whole map — O(newly
+	// acked) per ack rather than O(in-flight), which matters when heavy
+	// traffic holds thousands of messages in flight on one link.
+	ackFloor uint64
 }
 
 type pendingMsg struct {
@@ -101,7 +107,7 @@ type recvLink struct {
 }
 
 func newSendLink() *sendLink {
-	return &sendLink{gen: 1, nextSeq: 1, unacked: make(map[uint64]pendingMsg)}
+	return &sendLink{gen: 1, nextSeq: 1, ackFloor: 1, unacked: make(map[uint64]pendingMsg)}
 }
 
 func newRecvLink(srcEpoch, gen uint64) *recvLink {
@@ -114,6 +120,7 @@ func (l *sendLink) reset(peerEpoch uint64) []node.Message {
 	out := l.backlog()
 	l.gen++
 	l.nextSeq = 1
+	l.ackFloor = 1
 	l.unacked = make(map[uint64]pendingMsg)
 	l.peerEpoch = peerEpoch
 	l.droppedMax = 0
@@ -121,12 +128,14 @@ func (l *sendLink) reset(peerEpoch uint64) []node.Message {
 }
 
 // ack processes a cumulative acknowledgment: everything below expected has
-// been delivered.
+// been delivered. Deleting dropped or already-removed sequence numbers in
+// the walked range is a harmless no-op.
 func (l *sendLink) ack(expected uint64) {
-	for seq := range l.unacked {
-		if seq < expected {
-			delete(l.unacked, seq)
-		}
+	if expected > l.nextSeq {
+		expected = l.nextSeq // never walk past what was actually sent
+	}
+	for ; l.ackFloor < expected; l.ackFloor++ {
+		delete(l.unacked, l.ackFloor)
 	}
 }
 

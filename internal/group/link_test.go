@@ -54,9 +54,12 @@ func TestRecvLinkDropsDuplicates(t *testing.T) {
 
 func TestSendLinkCumulativeAck(t *testing.T) {
 	l := newSendLink()
+	// Mirror three transmits: seqs are always drawn from nextSeq++, and
+	// ack() relies on that contiguity (it walks, never scans).
 	l.unacked[1] = pendingMsg{}
 	l.unacked[2] = pendingMsg{}
 	l.unacked[3] = pendingMsg{}
+	l.nextSeq = 4
 	l.ack(3) // receiver expects 3: 1 and 2 are delivered
 	if _, ok := l.unacked[1]; ok {
 		t.Fatal("seq 1 still pending after cumulative ack")

@@ -192,9 +192,12 @@ func (h *Histogram) Sum() float64 {
 
 // LatencyBucketsMS is the default latency bucket layout, in milliseconds —
 // wide enough for both the sub-millisecond simulated network and multi-
-// second deferred-read waits.
+// second deferred-read waits. The sub-100µs bounds at the bottom keep the
+// group-commit fast path (which serves frontier reads in ~0 service time)
+// distinguishable from ordinary sub-millisecond serves instead of lumping
+// everything below 1ms into one bucket.
 func LatencyBucketsMS() []float64 {
-	return []float64{1, 2, 5, 10, 20, 50, 100, 150, 200, 300, 500, 1000, 2000, 5000}
+	return []float64{0.025, 0.05, 0.1, 0.25, 0.5, 1, 2, 5, 10, 20, 50, 100, 150, 200, 300, 500, 1000, 2000, 5000}
 }
 
 // DepthBuckets is the default layout for queue depths and staleness counts.

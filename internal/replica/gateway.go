@@ -57,6 +57,31 @@ type Config struct {
 	// replica assumes it missed history (e.g. it restarted) and requests a
 	// state snapshot from the sequencer; 0 selects a default of 32.
 	RecoveryGap int
+	// AssignBatch, when > 1, enables batched GSN ordering at the sequencer:
+	// requests accumulate into a window of at most AssignBatch and are
+	// assigned and broadcast as one GSNAssignBatch. Values <= 1 select the
+	// original per-request GSNAssign broadcast path, byte-identical to the
+	// pre-batching protocol.
+	AssignBatch int
+	// AssignBatchWindow bounds how long a non-full assignment window
+	// accumulates before flushing. 0 flushes at the end of the current
+	// virtual instant (coalescing only same-instant arrivals). Only
+	// meaningful when AssignBatch > 1.
+	AssignBatchWindow time.Duration
+	// SeqCostBase and SeqCostPerReq model the sequencer's ordering-pipeline
+	// occupancy: each assignment broadcast holds the pipeline for
+	// SeqCostBase + n*SeqCostPerReq (n = requests covered), and broadcasts
+	// queue behind one another. Both zero (the default) disables the model —
+	// broadcasts leave instantly, as before. The loadmax experiment enables
+	// it so saturation exists in virtual time; batching then amortizes the
+	// per-broadcast base across the window.
+	SeqCostBase   time.Duration
+	SeqCostPerReq time.Duration
+	// FastReads enables the frontier fast path: a read whose snapshot GSN
+	// the commit stream has already reached, arriving while the work queue
+	// is idle and no service-delay model is configured, is served inline —
+	// no job staging, no queue pass, no deferred-read machinery.
+	FastReads bool
 	// App is this replica's application instance.
 	App app.Application
 	// OnApply, if set, observes every update actually executed against the
@@ -119,6 +144,25 @@ type Gateway struct {
 	takeoverAwait int
 	takeoverDone  node.CancelFunc
 	heldRequests  []heldRequest
+
+	// Batched-assignment state (sequencer role, AssignBatch > 1): the
+	// accumulating window, its flush timer, and the scratch that filters
+	// memoized duplicates out of a flush.
+	batchUpdates    []consistency.RequestID
+	batchReads      []consistency.RequestID
+	batchFresh      []consistency.RequestID
+	batchFlushArmed bool
+	batchFlushFn    func()
+
+	// seqBusyUntil is the modeled ordering pipeline's occupancy horizon
+	// (SeqCostBase/SeqCostPerReq); zero value means idle.
+	seqBusyUntil time.Time
+
+	// Plain batching/fast-path counters (always on; tests and the loadmax
+	// experiment read them without an obs registry).
+	assignFlushes     uint64
+	assignFlushedReqs uint64
+	fastServed        uint64
 
 	// Work queue (single server: queueing delay is emergent).
 	queue []job
@@ -212,6 +256,10 @@ func (g *Gateway) Init(ctx node.Context) {
 	// first view callback out of Join) can schedule them.
 	g.chaseFn = g.chaseTick
 	g.lazyFn = g.lazyTick
+	g.batchFlushFn = func() {
+		g.batchFlushArmed = false
+		g.flushAssignBatch()
+	}
 	g.lastBroadcastAt = ctx.Now()
 	g.lastLazyAt = ctx.Now()
 	g.stack = group.NewStack(ctx, g.cfg.Group, g.handleDelivery)
@@ -250,6 +298,8 @@ func (g *Gateway) handleDelivery(from node.ID, m node.Message) {
 		g.onRequest(from, msg)
 	case consistency.GSNAssign:
 		g.onAssign(msg)
+	case consistency.GSNAssignBatch:
+		g.onAssignBatch(msg)
 	case consistency.GSNRequest:
 		g.onGSNRequest(from, msg)
 	case consistency.BodyRequest:
@@ -287,6 +337,17 @@ func (g *Gateway) CSN() uint64 { return g.commit.MyCSN() }
 
 // Applied returns the GSN of the last update executed against the app.
 func (g *Gateway) Applied() uint64 { return g.applied }
+
+// FastServed returns how many reads this gateway served through the
+// frontier fast path.
+func (g *Gateway) FastServed() uint64 { return g.fastServed }
+
+// AssignBatchStats returns the sequencer role's flush count and the total
+// requests those flushes covered; their ratio is the realized mean batch
+// size. Zero on replicas that never sequenced with batching enabled.
+func (g *Gateway) AssignBatchStats() (flushes, requests uint64) {
+	return g.assignFlushes, g.assignFlushedReqs
+}
 
 // App exposes the application instance (tests verify replica state).
 func (g *Gateway) App() app.Application { return g.cfg.App }

@@ -26,6 +26,13 @@ type replicaInstruments struct {
 	// Sequencer role.
 	gsnAssigned   *obs.Counter
 	readSnapshots *obs.Counter
+	// assignBatchHist samples requests-per-flush when batched GSN ordering
+	// is enabled; its mean is the realized amortization factor.
+	assignBatchHist *obs.Histogram
+
+	// fastReads counts reads served through the frontier fast path (a
+	// subset of readsServed).
+	fastReads *obs.Counter
 
 	// Lazy publisher role.
 	lazyTicks       *obs.Counter
@@ -49,6 +56,8 @@ func newReplicaInstruments(reg *obs.Registry, self node.ID) replicaInstruments {
 		queueDepth:      reg.Gauge("aqua_replica_queue_depth", "node", n),
 		gsnAssigned:     reg.Counter("aqua_sequencer_gsn_assigned_total", "node", n),
 		readSnapshots:   reg.Counter("aqua_sequencer_read_snapshots_total", "node", n),
+		assignBatchHist: reg.Histogram("aqua_sequencer_assign_batch_reqs", obs.DepthBuckets(), "node", n),
+		fastReads:       reg.Counter("aqua_replica_fast_reads_total", "node", n),
 		lazyTicks:       reg.Counter("aqua_publisher_lazy_ticks_total", "node", n),
 		lazyBatchHist:   reg.Histogram("aqua_publisher_lazy_batch_updates", obs.DepthBuckets(), "node", n),
 		serviceTimeHist: reg.Histogram("aqua_replica_service_ms", obs.LatencyBucketsMS(), "node", n),

@@ -1,6 +1,8 @@
 package replica
 
 import (
+	"time"
+
 	"aqua/internal/consistency"
 	"aqua/internal/group"
 	"aqua/internal/node"
@@ -167,6 +169,10 @@ func (g *Gateway) sequence(from node.ID, req consistency.Request) {
 		g.heldRequests = append(g.heldRequests, heldRequest{from: from, req: req})
 		return
 	}
+	if g.cfg.AssignBatch > 1 {
+		g.batchRequest(req)
+		return
+	}
 	// Fold any GSN evidence the commit stream has seen (assignments from a
 	// previous sequencer era) into the counter before using it: assigning a
 	// number the group already committed would be dropped as a duplicate.
@@ -177,12 +183,11 @@ func (g *Gateway) sequence(from node.ID, req consistency.Request) {
 		g.ins.readSnapshots.Inc()
 		gsn := g.seqState.SnapshotRead(req.ID)
 		assign := consistency.GSNAssign{ID: req.ID, GSN: gsn}
-		for _, id := range g.replicaTargets() {
-			g.stack.Send(id, assign)
+		if d := g.pipelineDelay(1); d > 0 {
+			g.ctx.Post(d, func() { g.broadcastReadAssign(assign) })
+			return
 		}
-		// Feed the local read pipeline too: needed when this node also
-		// serves (lone surviving primary); otherwise a bounded memo.
-		g.onAssign(assign)
+		g.broadcastReadAssign(assign)
 		return
 	}
 	// Advance the GSN and broadcast the assignment to the other primaries.
@@ -195,13 +200,161 @@ func (g *Gateway) sequence(from node.ID, req consistency.Request) {
 		g.ins.gsnAssigned.Inc()
 	}
 	assign := consistency.GSNAssign{ID: req.ID, GSN: gsn, Update: true}
-	for _, id := range g.otherPrimaries() {
-		g.stack.Send(id, assign)
+	if d := g.pipelineDelay(1); d > 0 {
+		g.ctx.Post(d, func() { g.broadcastUpdateAssign(assign) })
+		return
 	}
-	// The sequencer also tracks commits locally (it never replies, but its
-	// state must stay current so a later takeover by another member — or a
-	// failback — never regresses, and so its own GSNReports are accurate).
-	g.onAssign(assign)
+	g.broadcastUpdateAssign(assign)
+}
+
+// broadcastReadAssign sends a read-snapshot assignment to every replica and
+// feeds the local read pipeline (needed when this node also serves as the
+// lone surviving primary; otherwise a bounded memo).
+func (g *Gateway) broadcastReadAssign(a consistency.GSNAssign) {
+	for _, id := range g.replicaTargets() {
+		g.stack.Send(id, a)
+	}
+	g.onAssign(a)
+}
+
+// broadcastUpdateAssign sends an update assignment to the other primaries.
+// The sequencer also tracks commits locally (it never replies, but its
+// state must stay current so a later takeover by another member — or a
+// failback — never regresses, and so its own GSNReports are accurate).
+func (g *Gateway) broadcastUpdateAssign(a consistency.GSNAssign) {
+	for _, id := range g.otherPrimaries() {
+		g.stack.Send(id, a)
+	}
+	g.onAssign(a)
+}
+
+// pipelineDelay models the ordering pipeline's occupancy for a broadcast
+// covering n requests: work items cost SeqCostBase + n*SeqCostPerReq and
+// queue behind whatever the pipeline is already processing. It returns the
+// delay from now until this broadcast leaves, advancing the occupancy
+// horizon; 0 when the cost model is disabled.
+func (g *Gateway) pipelineDelay(n int) time.Duration {
+	cost := g.cfg.SeqCostBase + time.Duration(n)*g.cfg.SeqCostPerReq
+	if cost <= 0 {
+		return 0
+	}
+	start := g.ctx.Now()
+	if g.seqBusyUntil.After(start) {
+		start = g.seqBusyUntil
+	}
+	g.seqBusyUntil = start.Add(cost)
+	return g.seqBusyUntil.Sub(g.ctx.Now())
+}
+
+// batchRequest adds a request to the accumulating assignment window,
+// flushing a full window immediately and arming the window timer otherwise.
+func (g *Gateway) batchRequest(req consistency.Request) {
+	if req.ReadOnly {
+		g.batchReads = append(g.batchReads, req.ID)
+	} else {
+		g.batchUpdates = append(g.batchUpdates, req.ID)
+	}
+	if len(g.batchUpdates)+len(g.batchReads) >= g.cfg.AssignBatch {
+		g.flushAssignBatch()
+		return
+	}
+	if !g.batchFlushArmed {
+		g.batchFlushArmed = true
+		g.ctx.Post(g.cfg.AssignBatchWindow, g.batchFlushFn)
+	}
+}
+
+// flushAssignBatch assigns the pending window and broadcasts it as one
+// GSNAssignBatch: a contiguous GSN range for the fresh updates, one shared
+// snapshot at the post-update frontier for the reads. Requests the memo
+// already numbered (retransmissions, chase re-issues) are re-broadcast as
+// singleton GSNAssigns so they keep their original positions.
+func (g *Gateway) flushAssignBatch() {
+	if len(g.batchUpdates)+len(g.batchReads) == 0 {
+		return
+	}
+	if !g.isLeader || !g.seqReady {
+		// Deposed mid-window: drop the batch. The replicas holding these
+		// requests chase the new sequencer with GSNRequests.
+		g.batchUpdates = g.batchUpdates[:0]
+		g.batchReads = g.batchReads[:0]
+		return
+	}
+	g.seqState.Resume(g.commit.MyGSN())
+
+	// Partition updates: cross-era duplicates re-issue their observed GSN;
+	// the rest go to the sequencer state, which filters its own memo.
+	var dups []consistency.GSNAssign
+	candidates := g.batchFresh[:0]
+	for _, id := range g.batchUpdates {
+		if gsn, seen := g.observedAssigns[id]; seen {
+			dups = append(dups, consistency.GSNAssign{ID: id, GSN: gsn, Update: true})
+			continue
+		}
+		candidates = append(candidates, id)
+	}
+	g.batchFresh = candidates
+	first, fresh, memoDups := g.seqState.AssignUpdateBatch(candidates)
+	dups = append(dups, memoDups...) // copies out of the sequencer's scratch
+	for range fresh {
+		g.ins.gsnAssigned.Inc()
+	}
+
+	// Snapshot every read at the window frontier; a read memoized in an
+	// earlier window keeps its original (lower) snapshot as a singleton.
+	frontier := g.seqState.GSN()
+	var reads []consistency.RequestID
+	for _, id := range g.batchReads {
+		g.ins.readSnapshots.Inc()
+		if gsn := g.seqState.SnapshotRead(id); gsn != frontier {
+			dups = append(dups, consistency.GSNAssign{ID: id, GSN: gsn})
+			continue
+		}
+		reads = append(reads, id)
+	}
+
+	n := len(g.batchUpdates) + len(g.batchReads)
+	g.assignFlushes++
+	g.assignFlushedReqs += uint64(n)
+	g.ins.assignBatchHist.Observe(float64(n))
+	g.batchUpdates = g.batchUpdates[:0]
+	g.batchReads = g.batchReads[:0]
+
+	// The message owns fresh copies: on the in-memory runtime receivers
+	// share the slices, and the sequencer's scratch is reused next flush.
+	batch := consistency.GSNAssignBatch{
+		First:   first,
+		Updates: append([]consistency.RequestID(nil), fresh...),
+		ReadGSN: frontier,
+		Reads:   reads,
+	}
+	send := func() {
+		if len(batch.Updates) > 0 || len(batch.Reads) > 0 {
+			// Windows carrying read snapshots go to every replica (the
+			// secondaries need ReadGSN); update-only windows concern the
+			// primary group alone, matching the singleton routing.
+			targets := g.otherPrimaries()
+			if len(batch.Reads) > 0 {
+				targets = g.replicaTargets()
+			}
+			for _, id := range targets {
+				g.stack.Send(id, batch)
+			}
+			g.onAssignBatch(batch)
+		}
+		for _, a := range dups {
+			if a.Update {
+				g.broadcastUpdateAssign(a)
+			} else {
+				g.broadcastReadAssign(a)
+			}
+		}
+	}
+	if d := g.pipelineDelay(n); d > 0 {
+		g.ctx.Post(d, send)
+		return
+	}
+	send()
 }
 
 // onGSNRequest services a chase: a replica holds a request whose assignment
@@ -221,32 +374,61 @@ func (g *Gateway) onGSNRequest(from node.ID, r consistency.GSNRequest) {
 		})
 		return
 	}
+	// Chase responses traverse the same ordering pipeline as first-time
+	// assignments: without the cost accounting they would bypass the model
+	// entirely, and an overloaded sequencer would answer chases faster than
+	// it assigns — recovery traffic outrunning the pipeline it is chasing.
 	if r.Update {
 		gsn, seen := g.observedAssigns[r.ID]
 		if !seen {
 			gsn = g.seqState.AssignUpdate(r.ID)
 		}
 		assign := consistency.GSNAssign{ID: r.ID, GSN: gsn, Update: true}
-		for _, id := range g.otherPrimaries() {
-			g.stack.Send(id, assign)
+		if d := g.pipelineDelay(1); d > 0 {
+			g.ctx.Post(d, func() { g.broadcastUpdateAssign(assign) })
+			return
 		}
-		g.onAssign(assign)
+		g.broadcastUpdateAssign(assign)
 		return
 	}
 	gsn := g.seqState.SnapshotRead(r.ID)
-	g.stack.Send(from, consistency.GSNAssign{ID: r.ID, GSN: gsn})
+	assign := consistency.GSNAssign{ID: r.ID, GSN: gsn}
+	if d := g.pipelineDelay(1); d > 0 {
+		g.ctx.Post(d, func() { g.stack.Send(from, assign) })
+		return
+	}
+	g.stack.Send(from, assign)
 }
+
+// maxChasePerTick bounds recovery traffic per chase tick. Chases exist to
+// recover the rare assignment lost with a crashed sequencer; under heavy
+// traffic a saturated ordering pipeline can leave tens of thousands of
+// requests legitimately waiting, and chasing every one of them each tick
+// turns overload into a recovery storm that amplifies itself (each update
+// chase triggers a re-broadcast to every primary). The bound keeps recovery
+// bandwidth constant; anything beyond it is chased on later ticks, so
+// liveness is unaffected.
+const maxChasePerTick = 128
 
 // chaseTick periodically re-requests GSN assignments for requests that have
 // been buffered longer than the chase interval.
 func (g *Gateway) chaseTick() {
 	cutoff := g.ctx.Now().Add(-g.cfg.ChaseInterval)
 	if !g.isLeader && g.sequencerID != g.ctx.ID() && g.sequencerID != "" {
+		budget := maxChasePerTick
 		for _, id := range g.reads.AwaitingGSN(cutoff) {
+			if budget == 0 {
+				break
+			}
+			budget--
 			g.stack.Send(g.sequencerID, consistency.GSNRequest{ID: id})
 		}
 		for _, id := range g.commit.PendingBodies() {
+			if budget == 0 {
+				break
+			}
 			if at, ok := g.bodyArrived[id]; ok && at.Before(cutoff) {
+				budget--
 				g.stack.Send(g.sequencerID, consistency.GSNRequest{ID: id, Update: true})
 			}
 		}
@@ -294,7 +476,12 @@ func (g *Gateway) chaseTick() {
 	// Assignments stuck without bodies stall the commit stream; recover
 	// the bodies from peer primaries (any role does this, leader included).
 	if g.cfg.Primary {
+		budget := maxChasePerTick
 		for _, id := range g.commit.PendingAssignments() {
+			if budget == 0 {
+				break
+			}
+			budget--
 			for _, peer := range g.otherPrimaries() {
 				g.stack.Send(peer, consistency.BodyRequest{ID: id})
 			}

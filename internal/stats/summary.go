@@ -47,7 +47,8 @@ func Summarize(xs []float64) Summary {
 }
 
 // Percentile returns the q-th percentile (q in [0,1]) of xs using
-// nearest-rank on a sorted copy. It returns 0 for an empty sample.
+// nearest-rank on a sorted copy. It returns 0 for an empty sample; a NaN q
+// is treated as 0.
 func Percentile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -55,7 +56,32 @@ func Percentile(xs []float64, q float64) float64 {
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)
-	if q <= 0 {
+	return nearestRank(sorted, q)
+}
+
+// Percentiles returns the qs-th percentiles of xs, sorting the sample once
+// — the loop-free replacement for repeated Percentile calls when a report
+// wants p50/p95/p99 of the same series. The result is parallel to qs; an
+// empty sample yields all zeros.
+func Percentiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 || len(qs) == 0 {
+		return out
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		out[i] = nearestRank(sorted, q)
+	}
+	return out
+}
+
+// nearestRank picks the q-th percentile from an already-sorted non-empty
+// sample. NaN and out-of-range q clamp to the sample's extremes — a single-
+// sample series returns that sample for every q.
+func nearestRank(sorted []float64, q float64) float64 {
+	if math.IsNaN(q) || q <= 0 {
 		return sorted[0]
 	}
 	if q >= 1 {
@@ -65,7 +91,61 @@ func Percentile(xs []float64, q float64) float64 {
 	if i < 0 {
 		i = 0
 	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
 	return sorted[i]
+}
+
+// BucketQuantile estimates the q-th quantile (q in [0,1]) of a bucketed
+// histogram: bounds are ascending bucket upper bounds and counts holds
+// len(bounds)+1 entries, the last being the overflow bucket. The estimate
+// interpolates linearly within the bucket containing the target rank
+// (taking 0 as the first bucket's lower edge); ranks landing in the
+// overflow bucket clamp to the highest finite bound, so the estimate never
+// invents values beyond what the layout can resolve. An empty histogram or
+// empty bounds returns 0.
+func BucketQuantile(bounds []float64, counts []uint64, q float64) float64 {
+	if len(bounds) == 0 || len(counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			return bounds[len(bounds)-1] // overflow bucket: clamp
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		return lo + (bounds[i]-lo)*((rank-prev)/float64(c))
+	}
+	return bounds[len(bounds)-1]
 }
 
 // TruncNormalDuration draws from a normal distribution with the given mean

@@ -39,6 +39,13 @@ func fuzzSeedMessages() []node.Message {
 			NL: -1, TL: -time.Millisecond},
 		consistency.SequencerAnnounce{Sequencer: "p02"},
 		consistency.DigestAnnounce{Applied: 17, Hash: 0xdeadbeef},
+		consistency.GSNAssignBatch{First: 30,
+			Updates: []consistency.RequestID{rid, {Client: "c01", Seq: 2}},
+			ReadGSN: 31,
+			Reads:   []consistency.RequestID{{Client: "c02", Seq: 5}}},
+		group.DataMsg{SrcEpoch: 1, Gen: 1, Seq: 9,
+			Payload: consistency.GSNAssignBatch{First: 4,
+				Updates: []consistency.RequestID{rid}, ReadGSN: 4}},
 	}
 }
 

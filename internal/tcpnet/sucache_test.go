@@ -1,0 +1,76 @@
+package tcpnet
+
+import (
+	"bytes"
+	"testing"
+
+	"aqua/internal/consistency"
+	"aqua/internal/group"
+	"aqua/internal/node"
+)
+
+func frameVia(t *testing.T, encode func([]byte, node.ID, node.ID, node.Message) ([]byte, error),
+	from, to node.ID, m node.Message) []byte {
+	t.Helper()
+	b, err := encode(nil, from, to, m)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return b
+}
+
+// TestAppendFrameCachedByteIdentical: the cached encoder must be invisible
+// on the wire — every frame it emits is byte-for-byte what AppendFrame
+// would have produced, across cache hits, misses, and non-cacheable frames.
+func TestAppendFrameCachedByteIdentical(t *testing.T) {
+	tr := &Transport{}
+	rid := consistency.RequestID{Client: "c00", Seq: 7}
+	su := consistency.StateUpdate{CSN: 41, Snapshot: []byte("snap-a"),
+		RecentIDs: []consistency.RequestID{rid}}
+	su2 := consistency.StateUpdate{CSN: 42, Snapshot: []byte("snap-b"), RecentIDs: nil}
+	msgs := []node.Message{
+		group.DataMsg{SrcEpoch: 1, Gen: 2, Seq: 3, Payload: su},
+		group.DataMsg{SrcEpoch: 1, Gen: 2, Seq: 4, Payload: su},  // cache hit
+		group.DataMsg{SrcEpoch: 2, Gen: 1, Seq: 1, Payload: su2}, // cache replace
+		group.DataMsg{SrcEpoch: 2, Gen: 1, Seq: 2, Payload: su2},
+		group.DataMsg{SrcEpoch: 1, Gen: 1, Seq: 5,
+			Payload: consistency.Request{ID: rid, Method: "Set", Payload: []byte("x")}},
+		consistency.StateUpdate{CSN: 9, Snapshot: []byte("bare")}, // not wrapped: fallback path
+		group.AckMsg{SrcEpoch: 1, DstEpoch: 1, Gen: 1, Expected: 2},
+	}
+	for i, m := range msgs {
+		want := frameVia(t, AppendFrame, "p00", "s01", m)
+		got := frameVia(t, tr.appendFrameCached, "p00", "s01", m)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("msg %d: cached frame differs from AppendFrame\n got %x\nwant %x", i, got, want)
+		}
+	}
+}
+
+// TestStateUpdateCacheSingleEncode: fanning one StateUpdate value out to
+// many peers encodes the payload body once; a new tick's value (different
+// CSN / backing arrays) re-encodes.
+func TestStateUpdateCacheSingleEncode(t *testing.T) {
+	var c stateUpdateCache
+	su := consistency.StateUpdate{CSN: 7, Snapshot: []byte("abc"),
+		RecentIDs: []consistency.RequestID{{Client: "c01", Seq: 1}}}
+	first := c.encoded(su)
+	if first == nil {
+		t.Fatal("encoded returned nil")
+	}
+	for i := 0; i < 4; i++ {
+		if again := c.encoded(su); &again[0] != &first[0] {
+			t.Fatalf("fan-out %d re-encoded instead of reusing cached body", i)
+		}
+	}
+	// Equal contents but fresh backing arrays: identity keying must miss.
+	clone := consistency.StateUpdate{CSN: 7,
+		Snapshot:  append([]byte(nil), su.Snapshot...),
+		RecentIDs: append([]consistency.RequestID(nil), su.RecentIDs...)}
+	if b := c.encoded(clone); &b[0] == &first[0] {
+		t.Fatal("cache hit on different backing arrays")
+	}
+	if b := c.encoded(clone); !bytes.Equal(b, first) {
+		t.Fatal("clone encoding differs from original encoding")
+	}
+}

@@ -69,6 +69,7 @@ func RegisterProtocolTypes() {
 		gob.Register(consistency.PerfBroadcast{})
 		gob.Register(consistency.SequencerAnnounce{})
 		gob.Register(consistency.DigestAnnounce{})
+		gob.Register(consistency.GSNAssignBatch{})
 	})
 }
 
@@ -111,6 +112,11 @@ type Transport struct {
 	inbound map[net.Conn]bool
 	closed  bool
 	wg      sync.WaitGroup
+
+	// suCache amortizes the lazy publisher's fan-out: the same StateUpdate
+	// value sent to every secondary in one tick is encoded once and the
+	// bytes spliced into each peer's frame.
+	suCache stateUpdateCache
 }
 
 // Option configures a Transport.

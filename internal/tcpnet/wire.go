@@ -34,6 +34,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"aqua/internal/consistency"
@@ -69,6 +70,7 @@ const (
 	tagPerfBroadcast     = 13
 	tagSequencerAnnounce = 14
 	tagDigestAnnounce    = 15
+	tagGSNAssignBatch    = 16
 )
 
 var (
@@ -95,6 +97,79 @@ func AppendFrame(buf []byte, from, to node.ID, m node.Message) ([]byte, error) {
 	if err != nil {
 		return buf[:start], err
 	}
+	n := len(buf) - start - 4
+	if n > maxFrameBytes {
+		return buf[:start], errFrameSize
+	}
+	binary.BigEndian.PutUint32(buf[start:], uint32(n))
+	return buf, nil
+}
+
+// stateUpdateCache memoizes the encoded body of the most recently seen
+// StateUpdate payload. The lazy publisher builds one StateUpdate per tick
+// and fans it out to every secondary, so the DataMsg frames bound for
+// different peers carry payloads whose CSN and slice identities match
+// exactly; the first writer to encode the tick's snapshot pays for it, the
+// rest splice the cached bytes. Identity keying (same backing arrays, not
+// equal contents) makes false hits impossible. The cached body slice is
+// immutable once published — replacements allocate fresh storage — so
+// returning it outside the lock is safe.
+type stateUpdateCache struct {
+	mu   sync.Mutex
+	csn  uint64
+	snap []byte
+	ids  []consistency.RequestID
+	body []byte
+}
+
+func sameByteSlice(a, b []byte) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+func sameIDSlice(a, b []consistency.RequestID) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// encoded returns the tagged wire encoding of su, reusing the cached bytes
+// when su shares the previous call's CSN and backing arrays.
+func (c *stateUpdateCache) encoded(su consistency.StateUpdate) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.body != nil && su.CSN == c.csn && sameByteSlice(su.Snapshot, c.snap) && sameIDSlice(su.RecentIDs, c.ids) {
+		return c.body
+	}
+	b, err := appendMessage(make([]byte, 0, 64+len(su.Snapshot)), su, 0)
+	if err != nil {
+		return nil // unreachable: StateUpdate always has a wire tag
+	}
+	c.csn, c.snap, c.ids, c.body = su.CSN, su.Snapshot, su.RecentIDs, b
+	return b
+}
+
+// appendFrameCached is AppendFrame with the fan-out encode cache spliced
+// in: a DataMsg carrying a StateUpdate reuses the cached payload encoding
+// when the same snapshot was just encoded for another peer. Byte output is
+// identical to AppendFrame's.
+func (t *Transport) appendFrameCached(buf []byte, from, to node.ID, m node.Message) ([]byte, error) {
+	dm, ok := m.(group.DataMsg)
+	if !ok {
+		return AppendFrame(buf, from, to, m)
+	}
+	su, ok := dm.Payload.(consistency.StateUpdate)
+	if !ok {
+		return AppendFrame(buf, from, to, m)
+	}
+	body := t.suCache.encoded(su)
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = append(buf, WireVersion)
+	buf = appendString(buf, string(from))
+	buf = appendString(buf, string(to))
+	buf = append(buf, tagDataMsg)
+	buf = appendUvarint(buf, dm.SrcEpoch)
+	buf = appendUvarint(buf, dm.Gen)
+	buf = appendUvarint(buf, dm.Seq)
+	buf = append(buf, body...)
 	n := len(buf) - start - 4
 	if n > maxFrameBytes {
 		return buf[:start], errFrameSize
@@ -256,6 +331,19 @@ func appendMessage(b []byte, m node.Message, depth int) ([]byte, error) {
 		b = append(b, tagDigestAnnounce)
 		b = appendUvarint(b, v.Applied)
 		return appendUvarint(b, v.Hash), nil
+	case consistency.GSNAssignBatch:
+		b = append(b, tagGSNAssignBatch)
+		b = appendUvarint(b, v.First)
+		b = appendUvarint(b, uint64(len(v.Updates)))
+		for _, id := range v.Updates {
+			b = appendRequestID(b, id)
+		}
+		b = appendUvarint(b, v.ReadGSN)
+		b = appendUvarint(b, uint64(len(v.Reads)))
+		for _, id := range v.Reads {
+			b = appendRequestID(b, id)
+		}
+		return b, nil
 	default:
 		return b, fmt.Errorf("tcpnet: message type %T has no wire tag; add one in wire.go", m)
 	}
@@ -378,6 +466,28 @@ func (r *wireReader) requestID() consistency.RequestID {
 	return consistency.RequestID{Client: r.id(), Seq: r.uvarint()}
 }
 
+// requestIDs decodes a length-prefixed RequestID list (nil for length 0),
+// bounding the count by the remaining bytes before allocating.
+func (r *wireReader) requestIDs() []consistency.RequestID {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	// Every RequestID costs >= 2 bytes on the wire.
+	if n > uint64(len(r.b)) {
+		r.fail(errTruncated)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]consistency.RequestID, n)
+	for i := range out {
+		out[i] = r.requestID()
+	}
+	return out
+}
+
 func decodeMessage(r *wireReader, depth int) node.Message {
 	if depth > maxPayloadNest {
 		r.fail(errNested)
@@ -444,21 +554,7 @@ func decodeMessage(r *wireReader, depth int) node.Message {
 		var m consistency.StateUpdate
 		m.CSN = r.uvarint()
 		m.Snapshot = r.bytes()
-		n := r.uvarint()
-		if r.err != nil {
-			return nil
-		}
-		// Bound by remaining bytes: every RequestID costs >= 2 bytes.
-		if n > uint64(len(r.b)) {
-			r.fail(errTruncated)
-			return nil
-		}
-		if n > 0 {
-			m.RecentIDs = make([]consistency.RequestID, n)
-			for i := range m.RecentIDs {
-				m.RecentIDs[i] = r.requestID()
-			}
-		}
+		m.RecentIDs = r.requestIDs()
 		return m
 	case tagPerfBroadcast:
 		var m consistency.PerfBroadcast
@@ -481,6 +577,13 @@ func decodeMessage(r *wireReader, depth int) node.Message {
 		var m consistency.DigestAnnounce
 		m.Applied = r.uvarint()
 		m.Hash = r.uvarint()
+		return m
+	case tagGSNAssignBatch:
+		var m consistency.GSNAssignBatch
+		m.First = r.uvarint()
+		m.Updates = r.requestIDs()
+		m.ReadGSN = r.uvarint()
+		m.Reads = r.requestIDs()
 		return m
 	default:
 		r.fail(errUnknownTag)

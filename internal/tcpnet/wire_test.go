@@ -175,6 +175,19 @@ func wireMessageGenerators() map[string]func(rng *rand.Rand, round int) node.Mes
 			}
 			return consistency.DigestAnnounce{Applied: rng.Uint64(), Hash: rng.Uint64()}
 		},
+		"consistency.GSNAssignBatch": func(rng *rand.Rand, round int) node.Message {
+			if round == 0 {
+				return consistency.GSNAssignBatch{}
+			}
+			m := consistency.GSNAssignBatch{First: rng.Uint64(), ReadGSN: rng.Uint64()}
+			for i := rng.Intn(64); i > 0; i-- {
+				m.Updates = append(m.Updates, randReqID(rng))
+			}
+			for i := rng.Intn(64); i > 0; i-- {
+				m.Reads = append(m.Reads, randReqID(rng))
+			}
+			return m
+		},
 	}
 }
 
@@ -202,8 +215,8 @@ func gobRoundTrip(t *testing.T, f Frame) Frame {
 func TestWireCodecDifferential(t *testing.T) {
 	RegisterProtocolTypes()
 	gens := wireMessageGenerators()
-	if len(gens) != 15 {
-		t.Fatalf("generator table covers %d types, want 15 (14 + DigestAnnounce)", len(gens))
+	if len(gens) != 16 {
+		t.Fatalf("generator table covers %d types, want 16 (one per wire tag)", len(gens))
 	}
 	for name, gen := range gens {
 		t.Run(name, func(t *testing.T) {
@@ -265,7 +278,7 @@ func TestWireCodecRejectsUnknown(t *testing.T) {
 	}
 
 	// Unknown type tags, including 0.
-	for _, tag := range []byte{0, tagDigestAnnounce + 1, 0x7f, 0xee, 0xff} {
+	for _, tag := range []byte{0, tagGSNAssignBatch + 1, 0x7f, 0xee, 0xff} {
 		raw := []byte{WireVersion, 1, 'a', 1, 'b', tag}
 		if _, _, m, err := DecodeFrame(raw); err == nil {
 			t.Fatalf("unknown tag %d decoded as %T", tag, m)

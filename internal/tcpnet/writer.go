@@ -122,7 +122,7 @@ func (w *peerWriter) flush() {
 	frames := 0
 	for i := range w.batch {
 		f := &w.batch[i]
-		b, err := AppendFrame(w.buf, f.from, f.to, f.msg)
+		b, err := w.t.appendFrameCached(w.buf, f.from, f.to, f.msg)
 		if err != nil {
 			w.t.ins.drops.Inc() // unregistered type: skip, keep the rest
 			continue

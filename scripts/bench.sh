@@ -215,3 +215,16 @@ END {
 }' "$wire_raw" > "$wire_out"
 
 echo "wrote $wire_out"
+
+# ---- Heavy-traffic loadmax ----
+# Ramps an open-loop arrival process (internal/workload) against a 3+1
+# primary ring until the read p99 / failure-rate bound breaks, once with the
+# legacy per-request sequencer path and once with batched GSN assignment +
+# the group-commit fast path, in the same run. aquabench writes the peak
+# sustained updates/sec + reads/sec for both modes and the speedup ratio
+# directly as JSON; TestBenchLoadmaxJSONWellFormed enforces the >= 3x
+# acceptance floor on speedup_updates in CI.
+go run ./cmd/aquabench -experiment loadmax -progress=false \
+	-loadmax-json BENCH_loadmax.json
+
+echo "wrote BENCH_loadmax.json"
