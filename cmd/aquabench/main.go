@@ -8,6 +8,8 @@
 //	aquabench -experiment fig4a -requests 200   # faster, noisier
 //	aquabench -experiment chaos -chaos-runs 8 -faults crash,partition,link,seqkill
 //	aquabench -experiment loadmax -loadmax-json BENCH_loadmax.json
+//	aquabench -experiment shardmax -shards 1,2,4 -shardmax-json BENCH_shardmax.json
+//	aquabench -experiment shardchaos -chaos-runs 4
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -26,7 +29,7 @@ import (
 
 func main() {
 	var (
-		which        = flag.String("experiment", "all", "experiment id: fig3, fig4a, fig4b, lui, reqdelay, baselines, hotspot, failover, calibration, groupsplit, window, estimator, scalability, loss, arrivals, chaos, loadmax, all")
+		which        = flag.String("experiment", "all", "experiment id: fig3, fig4a, fig4b, lui, reqdelay, baselines, hotspot, failover, calibration, groupsplit, window, estimator, scalability, loss, arrivals, chaos, loadmax, shardmax, shardchaos, all")
 		requests     = flag.Int("requests", 1000, "requests per client per run (paper: 1000)")
 		seed         = flag.Int64("seed", 2002, "base random seed")
 		iters        = flag.Int("iters", 2000, "iterations per fig3 measurement point")
@@ -38,6 +41,9 @@ func main() {
 		chaosRuns    = flag.Int("chaos-runs", 4, "number of seeded chaos runs (seeds seed..seed+n-1)")
 		loadmaxJSON  = flag.String("loadmax-json", "", "also write the loadmax result as JSON to this file (BENCH_loadmax.json)")
 		loadmaxQuick = flag.Bool("loadmax-quick", false, "shrink the loadmax ramp for smoke runs (shorter steps, lower top rate)")
+		shards       = flag.String("shards", "", "shard counts for the shardmax ramp, comma list (default 1,2,4)")
+		shardmaxJSON = flag.String("shardmax-json", "", "also write the shardmax report as JSON to this file (BENCH_shardmax.json)")
+		shardmaxQk   = flag.Bool("shardmax-quick", false, "shrink the shardmax ramp for smoke runs (fewer clients, shorter steps)")
 	)
 	flag.Parse()
 
@@ -48,7 +54,7 @@ func main() {
 		})
 	}
 
-	if err := run(*which, *requests, *seed, *iters, *obsPath, *tracePath, *faults, *chaosRuns, *loadmaxJSON, *loadmaxQuick); err != nil {
+	if err := run(*which, *requests, *seed, *iters, *obsPath, *tracePath, *faults, *chaosRuns, *loadmaxJSON, *loadmaxQuick, *shards, *shardmaxJSON, *shardmaxQk); err != nil {
 		fmt.Fprintln(os.Stderr, "aquabench:", err)
 		os.Exit(1)
 	}
@@ -129,7 +135,76 @@ func runLoadmax(out *os.File, seed int64, jsonPath string, quick bool) error {
 	return nil
 }
 
-func run(which string, requests int, seed int64, iters int, obsPath, tracePath, faultSpec string, chaosRuns int, loadmaxJSON string, loadmaxQuick bool) error {
+// parseShards maps the -shards comma list onto shard counts for the ramp.
+func parseShards(spec string) ([]int, error) {
+	if spec == "" {
+		return nil, nil // ShardmaxConfig's default
+	}
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q (want a positive integer list like 1,2,4)", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// runShardmax executes the sharded scale-out ramp, prints the table, and
+// optionally writes the JSON artifact.
+func runShardmax(out *os.File, seed int64, shardsSpec, jsonPath string, quick bool) error {
+	counts, err := parseShards(shardsSpec)
+	if err != nil {
+		return fmt.Errorf("-shards: %w", err)
+	}
+	cfg := experiment.ShardmaxConfig{Seed: seed, Shards: counts}
+	if quick {
+		cfg.Clients = 2000
+		cfg.Rates = []float64{16000, 64000, 128000}
+		cfg.Warmup = 200 * time.Millisecond
+		cfg.StepDuration = 500 * time.Millisecond
+	}
+	rep := experiment.RunShardmax(cfg)
+	experiment.WriteShardmaxTable(out, rep)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return fmt.Errorf("-shardmax-json: %w", err)
+		}
+		defer f.Close()
+		if err := experiment.WriteShardmaxJSON(f, rep); err != nil {
+			return fmt.Errorf("-shardmax-json: %w", err)
+		}
+	}
+	return nil
+}
+
+// runShardChaos executes the sharded chaos acceptance scenario across seeded
+// runs; any invariant violation, stalled loop, or failed split fails the
+// whole command.
+func runShardChaos(out *os.File, seed int64, runs int) error {
+	for i := 0; i < runs; i++ {
+		cfg := experiment.ShardChaosConfig{Seed: seed + int64(i)}
+		res := experiment.RunShardChaosPoint(cfg)
+		experiment.WriteShardChaosTable(out, cfg, res)
+		for s := range res.Reports {
+			if !res.Reports[s].OK() {
+				return fmt.Errorf("shardchaos: invariant violations on shard %d at seed %d", s, cfg.Seed)
+			}
+		}
+		if !res.Done {
+			return fmt.Errorf("shardchaos: pinned clients stalled at seed %d", cfg.Seed)
+		}
+		if !res.MoveInstalled || res.MoveValue != "moved" {
+			return fmt.Errorf("shardchaos: live split failed at seed %d (installed=%v, read %q)",
+				cfg.Seed, res.MoveInstalled, res.MoveValue)
+		}
+	}
+	return nil
+}
+
+func run(which string, requests int, seed int64, iters int, obsPath, tracePath, faultSpec string, chaosRuns int, loadmaxJSON string, loadmaxQuick bool, shardsSpec, shardmaxJSON string, shardmaxQuick bool) error {
 	base := experiment.Fig4Config{
 		Seed:     seed,
 		Deadline: 140 * time.Millisecond,
@@ -305,6 +380,23 @@ func run(which string, requests int, seed int64, iters int, obsPath, tracePath, 
 	if which == "loadmax" {
 		ran = true
 		if err := runLoadmax(out, seed, loadmaxJSON, loadmaxQuick); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	// Shardmax and shardchaos follow the same rule: scale-out benchmarks and
+	// protocol audits live in their own artifacts (BENCH_shardmax.json), not
+	// the paper-results file.
+	if which == "shardmax" {
+		ran = true
+		if err := runShardmax(out, seed, shardsSpec, shardmaxJSON, shardmaxQuick); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if which == "shardchaos" {
+		ran = true
+		if err := runShardChaos(out, seed, chaosRuns); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)

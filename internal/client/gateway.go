@@ -254,6 +254,18 @@ func (g *Gateway) handleDelivery(from node.ID, m node.Message) {
 // invoked exactly once: with the first reply, or with an error Result
 // after MaxRetries unanswered retransmissions.
 func (g *Gateway) Invoke(method string, payload []byte, cb func(Result)) {
+	g.invoke(method, payload, g.cfg.Spec.Staleness, cb)
+}
+
+// InvokeStale is Invoke with an explicit per-request staleness bound
+// overriding the client's Spec (reads only; updates ignore it). A shard
+// migration uses staleness 0 to read a key's committed frontier value from
+// the old owner regardless of how loose the router's client spec is.
+func (g *Gateway) InvokeStale(method string, payload []byte, staleness int, cb func(Result)) {
+	g.invoke(method, payload, staleness, cb)
+}
+
+func (g *Gateway) invoke(method string, payload []byte, staleness int, cb func(Result)) {
 	now := g.ctx.Now()
 	g.nextSeq++
 	id := consistency.RequestID{Client: g.ctx.ID(), Seq: g.nextSeq}
@@ -266,7 +278,7 @@ func (g *Gateway) Invoke(method string, payload []byte, cb func(Result)) {
 		ReadOnly: readOnly,
 	}
 	if readOnly {
-		req.Staleness = g.cfg.Spec.Staleness
+		req.Staleness = staleness
 		g.metrics.Reads++
 		g.ins.reads.Inc()
 	} else {

@@ -153,6 +153,20 @@ type SequencerAnnounce struct {
 	Sequencer node.ID
 }
 
+// ShardMapAnnounce propagates one shard-map version (internal/shard.Map) to
+// routers: the ring's range starts and their owning shard indices. Routers
+// ignore versions at or below the one they hold, so redelivery and
+// reordering are harmless.
+type ShardMapAnnounce struct {
+	Version uint64
+	// Shards is the total shard count; every owner index is below it.
+	Shards uint32
+	// Starts are the ascending range lower bounds on the 32-bit hash ring
+	// (Starts[0] is always 0); Owners[i] owns [Starts[i], Starts[i+1]).
+	Starts []uint32
+	Owners []uint32
+}
+
 // PerfBroadcast carries a server gateway's newly measured performance
 // parameters to every client (Section 5.4). The lazy publisher additionally
 // fills the update-arrival counters used by the staleness model

@@ -31,6 +31,12 @@ type Runtime interface {
 
 // ServiceConfig describes a replicated service deployment.
 type ServiceConfig struct {
+	// NodePrefix prefixes every generated replica ID ("sh1-" turns p00
+	// into sh1-p00), letting several deployments share one runtime without
+	// colliding node IDs. The empty prefix keeps the historical IDs —
+	// and, because per-node rand streams derive from node IDs, keeps every
+	// existing single-deployment run byte-identical.
+	NodePrefix string
 	// Primaries is the primary group size, including the sequencer.
 	// Must be at least 2 (the sequencer never serves requests).
 	Primaries int
@@ -59,6 +65,11 @@ type ServiceConfig struct {
 	SeqCostPerReq time.Duration
 	// FastReads enables the replicas' frontier read fast path.
 	FastReads bool
+	// ExtraClients names client nodes the replicas must treat as clients
+	// (perf broadcasts, sequencer announcements) even though Deploy does
+	// not instantiate them — the hosts of shard routers and other
+	// self-registered request sources. Appended to the deployed clients.
+	ExtraClients []node.ID
 	// OnApply, if set, observes every (replica, gsn, request) application —
 	// the ordering-invariant hook used by the protocol fuzzer.
 	OnApply func(replica node.ID, gsn uint64, id consistency.RequestID)
@@ -250,16 +261,17 @@ func Deploy(rt Runtime, svc ServiceConfig, clients []ClientConfig) (*Deployment,
 		svc:      svc,
 	}
 	for i := 0; i < svc.Primaries; i++ {
-		d.PrimaryGroup = append(d.PrimaryGroup, node.ID(fmt.Sprintf("p%02d", i)))
+		d.PrimaryGroup = append(d.PrimaryGroup, node.ID(fmt.Sprintf("%sp%02d", svc.NodePrefix, i)))
 	}
 	d.Sequencer = d.PrimaryGroup[0]
 	d.ServingPrimaries = d.PrimaryGroup[1:]
 	for i := 0; i < svc.Secondaries; i++ {
-		d.Secondaries = append(d.Secondaries, node.ID(fmt.Sprintf("s%02d", i)))
+		d.Secondaries = append(d.Secondaries, node.ID(fmt.Sprintf("%ss%02d", svc.NodePrefix, i)))
 	}
 	for _, c := range clients {
 		d.ClientIDs = append(d.ClientIDs, c.ID)
 	}
+	d.ClientIDs = append(d.ClientIDs, svc.ExtraClients...)
 
 	d.Info = client.ServiceInfo{
 		Primaries:    d.PrimaryGroup,
@@ -304,33 +316,9 @@ func Deploy(rt Runtime, svc ServiceConfig, clients []ClientConfig) (*Deployment,
 	}
 
 	for _, c := range clients {
-		gcfg := DefaultsForClient()
-		if c.Group != nil {
-			gcfg = *c.Group
-		}
-		reg, tracer := c.Obs, c.Tracer
-		if reg == nil {
-			reg = svc.Obs
-		}
-		if tracer == nil {
-			tracer = svc.Tracer
-		}
-		gw := client.New(client.Config{
-			Service:          d.Info,
-			Spec:             c.Spec,
-			Methods:          c.Methods,
-			WindowSize:       c.WindowSize,
-			BinWidth:         c.BinWidth,
-			Selector:         c.Selector,
-			Group:            gcfg,
-			OnBreach:         c.OnBreach,
-			CountedEstimator: c.CountedEstimator,
-			OnSelect:         c.OnSelect,
-			RetryInterval:    c.RetryInterval,
-			MaxRetries:       c.MaxRetries,
-			Obs:              reg,
-			Tracer:           tracer,
-		})
+		cc := ClientGatewayConfig(svc, c)
+		cc.Service = d.Info
+		gw := client.New(cc)
 		d.Clients[c.ID] = gw
 		var n node.Node = gw
 		if c.Driver != nil {
@@ -339,6 +327,40 @@ func Deploy(rt Runtime, svc ServiceConfig, clients []ClientConfig) (*Deployment,
 		rt.Register(c.ID, n)
 	}
 	return d, nil
+}
+
+// ClientGatewayConfig renders a ClientConfig into the client.Config Deploy
+// would build for it — substrate defaults, registry/tracer fallback to the
+// service's — with Service left zero for the caller to fill. Shard routers
+// use it to instantiate per-shard gateways that behave exactly like
+// Deploy-built clients.
+func ClientGatewayConfig(svc ServiceConfig, c ClientConfig) client.Config {
+	gcfg := DefaultsForClient()
+	if c.Group != nil {
+		gcfg = *c.Group
+	}
+	reg, tracer := c.Obs, c.Tracer
+	if reg == nil {
+		reg = svc.Obs
+	}
+	if tracer == nil {
+		tracer = svc.Tracer
+	}
+	return client.Config{
+		Spec:             c.Spec,
+		Methods:          c.Methods,
+		WindowSize:       c.WindowSize,
+		BinWidth:         c.BinWidth,
+		Selector:         c.Selector,
+		Group:            gcfg,
+		OnBreach:         c.OnBreach,
+		CountedEstimator: c.CountedEstimator,
+		OnSelect:         c.OnSelect,
+		RetryInterval:    c.RetryInterval,
+		MaxRetries:       c.MaxRetries,
+		Obs:              reg,
+		Tracer:           tracer,
+	}
 }
 
 // drivenClient wraps a client gateway with a workload driver that runs in

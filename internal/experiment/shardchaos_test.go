@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestShardChaosAcceptance is the sharded fault-tolerance headline: with
+// shard 0's sequencer killed and restarted mid-run and a live shard split
+// re-homing a key during the outage, every shard's protocol invariants must
+// hold independently, shard 1's clients must keep completing requests while
+// shard 0 recovers, and the moved key must preserve read-your-writes at its
+// new owner.
+func TestShardChaosAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full shard chaos run in -short mode")
+	}
+	res := RunShardChaosPoint(ShardChaosConfig{Seed: 2026})
+
+	if !res.Done {
+		t.Fatalf("pinned clients did not finish: %d requests completed, %d failed", res.Requests, res.Failed)
+	}
+	for i, rep := range res.Reports {
+		if !rep.OK() {
+			var buf bytes.Buffer
+			rep.Write(&buf)
+			t.Fatalf("shard %d invariant violations:\n%s", i, buf.Bytes())
+		}
+		// Per-shard verdicts must not pass vacuously.
+		for _, v := range rep.Verdicts {
+			switch v.Invariant {
+			case "sequential-consistency", "csn-monotonicity", "read-your-writes":
+				if v.Checked == 0 {
+					t.Errorf("shard %d: invariant %s performed no checks", i, v.Invariant)
+				}
+			}
+		}
+		if len(res.Traces[i]) == 0 {
+			t.Errorf("shard %d produced an empty oracle trace", i)
+		}
+	}
+	// The kill must stay contained: shard 1's clients complete requests
+	// while shard 0's sequencer is down.
+	if res.OutageCompletions == 0 {
+		t.Error("no completions on other shards during shard 0's sequencer outage")
+	}
+	// The live split rode out the failover and kept read-your-writes.
+	if !res.MoveInstalled {
+		t.Fatal("shard split never installed")
+	}
+	if res.MoveValue != "moved" {
+		t.Fatalf("post-move read = %q, want the pre-move write", res.MoveValue)
+	}
+	if res.MoveOwner != 1 {
+		t.Fatalf("post-move read served by shard %d, want the new owner 1", res.MoveOwner)
+	}
+}

@@ -221,15 +221,61 @@ type metric struct {
 // Registry holds instruments. The zero value is not usable; call
 // NewRegistry. A nil *Registry is the disabled state: every accessor
 // returns nil and Snapshot returns nothing.
+//
+// A Registry may also be a labelled view of another registry (see
+// WithLabels): views own no instruments — they delegate to their root with
+// the view's base labels prepended — so a view and its root always agree.
 type Registry struct {
 	mu      sync.Mutex
 	byKey   map[string]*metric
 	ordered []*metric
+
+	// root/base make this registry a labelled view: every instrument
+	// request is forwarded to root with base prepended to the caller's
+	// labels. Nil root means this registry owns its instruments.
+	root *Registry
+	base []string
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{byKey: make(map[string]*metric)}
+}
+
+// WithLabels returns a view of this registry that prepends the given
+// key/value label pairs to every instrument created through it. Multiple
+// deployments sharing one runtime each take a view (e.g. "shard", "2") so
+// their otherwise identically named instruments stay distinct in /metrics
+// instead of silently aggregating. Views chain (labels accumulate) and all
+// share the root's instrument table; Snapshot and WritePrometheus on a view
+// render the whole root. Returns nil on a nil registry, preserving the
+// disabled-observability contract.
+func (r *Registry) WithLabels(labels ...string) *Registry {
+	if r == nil {
+		return nil
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: WithLabels: labels must be key/value pairs, got %d strings", len(labels)))
+	}
+	root, base := r, []string(nil)
+	if r.root != nil {
+		root, base = r.root, r.base
+	}
+	merged := make([]string, 0, len(base)+len(labels))
+	merged = append(merged, base...)
+	merged = append(merged, labels...)
+	return &Registry{root: root, base: merged}
+}
+
+// withBase prepends the view's base labels (no-op on a root registry).
+func (r *Registry) withBase(labels []string) []string {
+	if len(r.base) == 0 {
+		return labels
+	}
+	merged := make([]string, 0, len(r.base)+len(labels))
+	merged = append(merged, r.base...)
+	merged = append(merged, labels...)
+	return merged
 }
 
 // metricKey builds the interning key. Labels keep caller order (call sites
@@ -270,6 +316,9 @@ func (r *Registry) Counter(name string, labels ...string) *Counter {
 	if r == nil {
 		return nil
 	}
+	if r.root != nil {
+		return r.root.Counter(name, r.withBase(labels)...)
+	}
 	m := r.intern(name, KindCounter, labels)
 	if m.counter == nil {
 		m.counter = new(Counter)
@@ -281,6 +330,9 @@ func (r *Registry) Counter(name string, labels ...string) *Counter {
 func (r *Registry) Gauge(name string, labels ...string) *Gauge {
 	if r == nil {
 		return nil
+	}
+	if r.root != nil {
+		return r.root.Gauge(name, r.withBase(labels)...)
 	}
 	m := r.intern(name, KindGauge, labels)
 	if m.gauge == nil {
@@ -294,6 +346,9 @@ func (r *Registry) FloatCounter(name string, labels ...string) *FloatCounter {
 	if r == nil {
 		return nil
 	}
+	if r.root != nil {
+		return r.root.FloatCounter(name, r.withBase(labels)...)
+	}
 	m := r.intern(name, KindFloatCounter, labels)
 	if m.fcounter == nil {
 		m.fcounter = new(FloatCounter)
@@ -305,6 +360,9 @@ func (r *Registry) FloatCounter(name string, labels ...string) *FloatCounter {
 func (r *Registry) FloatGauge(name string, labels ...string) *FloatGauge {
 	if r == nil {
 		return nil
+	}
+	if r.root != nil {
+		return r.root.FloatGauge(name, r.withBase(labels)...)
 	}
 	m := r.intern(name, KindFloatGauge, labels)
 	if m.fgauge == nil {
@@ -319,6 +377,9 @@ func (r *Registry) FloatGauge(name string, labels ...string) *FloatGauge {
 func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
 	if r == nil {
 		return nil
+	}
+	if r.root != nil {
+		return r.root.Histogram(name, bounds, r.withBase(labels)...)
 	}
 	m := r.intern(name, KindHistogram, labels)
 	if m.histogram == nil {
@@ -356,6 +417,9 @@ type Sample struct {
 func (r *Registry) Snapshot() []Sample {
 	if r == nil {
 		return nil
+	}
+	if r.root != nil {
+		return r.root.Snapshot()
 	}
 	r.mu.Lock()
 	metrics := append([]*metric(nil), r.ordered...)

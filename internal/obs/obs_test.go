@@ -220,3 +220,46 @@ func TestTracerJSONL(t *testing.T) {
 		t.Fatalf("base tracer span mismatch: %+v", s2)
 	}
 }
+
+func TestWithLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.WithLabels("shard", "1")
+	v.Counter("req_total", "node", "p00").Add(3)
+	// The view interns into the root with the base labels prepended: the
+	// fully qualified lookup on the root must reach the same instrument.
+	if got := r.Counter("req_total", "shard", "1", "node", "p00").Value(); got != 3 {
+		t.Fatalf("root sees %d, want 3", got)
+	}
+	// Same name through a different view (or none) is a distinct series.
+	r.Counter("req_total", "node", "p00").Inc()
+	r.WithLabels("shard", "2").Counter("req_total", "node", "p00").Add(7)
+	if got := r.Counter("req_total", "shard", "1", "node", "p00").Value(); got != 3 {
+		t.Fatalf("series collided across views: %d", got)
+	}
+
+	// Views chain: labels accumulate left to right.
+	vv := v.WithLabels("role", "primary")
+	vv.Gauge("csn").Set(9)
+	if got := r.Gauge("csn", "shard", "1", "role", "primary").Value(); got != 9 {
+		t.Fatalf("chained view gauge = %d, want 9", got)
+	}
+
+	// Snapshot delegates to the root: the view exposes everything.
+	if got, want := len(v.Snapshot()), len(r.Snapshot()); got != want {
+		t.Fatalf("view snapshot has %d samples, root %d", got, want)
+	}
+
+	// Histograms keep their bounds through the view.
+	v.Histogram("lat", []float64{1, 10}).Observe(5)
+	if h := r.Histogram("lat", []float64{1, 10}, "shard", "1"); h.Count() != 1 {
+		t.Fatalf("view histogram count = %d, want 1", h.Count())
+	}
+
+	// A nil registry's view is still a nil no-op.
+	var nilReg *Registry
+	nv := nilReg.WithLabels("shard", "0")
+	if nv != nil {
+		t.Fatal("nil registry view must be nil")
+	}
+	nv.Counter("x").Inc() // must not panic
+}

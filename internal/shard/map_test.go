@@ -1,0 +1,178 @@
+package shard
+
+import (
+	"testing"
+)
+
+func TestHashStable(t *testing.T) {
+	// FNV-1a reference values; the ring layout (and therefore every routing
+	// decision in recorded runs) depends on these never changing.
+	cases := map[string]uint32{
+		"":   2166136261,
+		"a":  0xe40c292c,
+		"k0": 0x973d7f2e,
+	}
+	for key, want := range cases {
+		if got := Hash(key); got != want {
+			t.Errorf("Hash(%q) = %#x, want %#x", key, got, want)
+		}
+	}
+}
+
+func TestNewUniform(t *testing.T) {
+	m := NewUniform(4)
+	if m.Version() != 0 || m.Shards() != 4 {
+		t.Fatalf("version=%d shards=%d", m.Version(), m.Shards())
+	}
+	rs := m.Ranges()
+	if len(rs) != 4 {
+		t.Fatalf("ranges = %v", rs)
+	}
+	if rs[0].Lo != 0 || rs[3].Hi != ringEnd {
+		t.Fatalf("ring not covered: %v", rs)
+	}
+	for i, r := range rs {
+		if r.Owner != i {
+			t.Fatalf("range %d owned by %d", i, r.Owner)
+		}
+		if i > 0 && rs[i-1].Hi != r.Lo {
+			t.Fatalf("gap between ranges %d and %d: %v", i-1, i, rs)
+		}
+	}
+}
+
+func TestOwnerOfBoundary(t *testing.T) {
+	m := NewUniform(2)
+	half := uint32(ringEnd / 2)
+	// A position exactly on a range boundary belongs to the range starting
+	// there: lower bounds inclusive, upper exclusive.
+	if got := m.OwnerOf(half - 1); got != 0 {
+		t.Fatalf("OwnerOf(half-1) = %d, want 0", got)
+	}
+	if got := m.OwnerOf(half); got != 1 {
+		t.Fatalf("OwnerOf(half) = %d, want 1 (boundary is inclusive below)", got)
+	}
+	if got := m.OwnerOf(0); got != 0 {
+		t.Fatalf("OwnerOf(0) = %d, want 0", got)
+	}
+	if got := m.OwnerOf(^uint32(0)); got != 1 {
+		t.Fatalf("OwnerOf(max) = %d, want 1", got)
+	}
+}
+
+func TestMoveAndCoalesce(t *testing.T) {
+	m := NewUniform(2)
+	half := ringEnd / 2
+
+	moved, err := m.Move(100, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.Version() != 1 {
+		t.Fatalf("version = %d, want 1", moved.Version())
+	}
+	if got := moved.OwnerOf(100); got != 1 {
+		t.Fatalf("moved lo owned by %d", got)
+	}
+	if got := moved.OwnerOf(199); got != 1 {
+		t.Fatalf("moved interior owned by %d", got)
+	}
+	if got := moved.OwnerOf(200); got != 0 {
+		t.Fatalf("position past hi owned by %d", got)
+	}
+	if got := moved.OwnerOf(99); got != 0 {
+		t.Fatalf("position before lo owned by %d", got)
+	}
+	// The source map is immutable.
+	if got := m.OwnerOf(150); got != 0 {
+		t.Fatalf("original map mutated: OwnerOf(150) = %d", got)
+	}
+
+	// Moving the range back restores uniform ownership and the compact
+	// two-range representation.
+	back, err := moved.Move(100, 200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Version() != 2 {
+		t.Fatalf("version = %d, want 2", back.Version())
+	}
+	if rs := back.Ranges(); len(rs) != 2 || rs[0].Hi != half {
+		t.Fatalf("not coalesced: %v", rs)
+	}
+
+	// Top-of-ring move: hi == ringEnd.
+	top, err := m.Move(half+5, ringEnd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := top.OwnerOf(^uint32(0)); got != 0 {
+		t.Fatalf("top of ring owned by %d after move", got)
+	}
+
+	if _, err := m.Move(200, 100, 1); err == nil {
+		t.Fatal("inverted interval accepted")
+	}
+	if _, err := m.Move(0, 10, 7); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+}
+
+func TestRangeOwner(t *testing.T) {
+	m := NewUniform(2)
+	half := ringEnd / 2
+	if owner, ok := m.RangeOwner(0, half); !ok || owner != 0 {
+		t.Fatalf("RangeOwner(0, half) = %d, %v", owner, ok)
+	}
+	if owner, ok := m.RangeOwner(half, ringEnd); !ok || owner != 1 {
+		t.Fatalf("RangeOwner(half, end) = %d, %v", owner, ok)
+	}
+	if _, ok := m.RangeOwner(half-1, half+1); ok {
+		t.Fatal("straddling interval reported a single owner")
+	}
+	if _, ok := m.RangeOwner(10, 10); ok {
+		t.Fatal("empty interval accepted")
+	}
+}
+
+func TestAnnounceRoundTrip(t *testing.T) {
+	m, err := NewUniform(3).Move(1000, 2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromAnnounce(m.Announce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version() != m.Version() || got.Shards() != m.Shards() {
+		t.Fatalf("round trip lost header: %+v vs %+v", got, m)
+	}
+	for _, h := range []uint32{0, 999, 1000, 1999, 2000, 1 << 31, ^uint32(0)} {
+		if got.OwnerOf(h) != m.OwnerOf(h) {
+			t.Fatalf("round trip changed owner of %d: %d vs %d", h, got.OwnerOf(h), m.OwnerOf(h))
+		}
+	}
+}
+
+func TestFromAnnounceRejectsMalformed(t *testing.T) {
+	base := NewUniform(2).Announce()
+	cases := []struct {
+		name   string
+		mutate func(a *[]uint32, o *[]uint32, shards *uint32)
+	}{
+		{"first start nonzero", func(s, o *[]uint32, _ *uint32) { (*s)[0] = 1 }},
+		{"unsorted starts", func(s, o *[]uint32, _ *uint32) { (*s)[1] = 0 }},
+		{"owner out of range", func(s, o *[]uint32, _ *uint32) { (*o)[1] = 9 }},
+		{"length mismatch", func(s, o *[]uint32, _ *uint32) { *o = (*o)[:1] }},
+		{"zero shards", func(s, o *[]uint32, n *uint32) { *n = 0 }},
+	}
+	for _, tc := range cases {
+		a := base
+		a.Starts = append([]uint32(nil), base.Starts...)
+		a.Owners = append([]uint32(nil), base.Owners...)
+		tc.mutate(&a.Starts, &a.Owners, &a.Shards)
+		if _, err := FromAnnounce(a); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

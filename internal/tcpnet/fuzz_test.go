@@ -43,6 +43,9 @@ func fuzzSeedMessages() []node.Message {
 			Updates: []consistency.RequestID{rid, {Client: "c01", Seq: 2}},
 			ReadGSN: 31,
 			Reads:   []consistency.RequestID{{Client: "c02", Seq: 5}}},
+		consistency.ShardMapAnnounce{Version: 2, Shards: 4,
+			Starts: []uint32{0, 1 << 30, 1 << 31, 3 << 30},
+			Owners: []uint32{0, 1, 2, 3}},
 		group.DataMsg{SrcEpoch: 1, Gen: 1, Seq: 9,
 			Payload: consistency.GSNAssignBatch{First: 4,
 				Updates: []consistency.RequestID{rid}, ReadGSN: 4}},

@@ -70,6 +70,7 @@ func RegisterProtocolTypes() {
 		gob.Register(consistency.SequencerAnnounce{})
 		gob.Register(consistency.DigestAnnounce{})
 		gob.Register(consistency.GSNAssignBatch{})
+		gob.Register(consistency.ShardMapAnnounce{})
 	})
 }
 

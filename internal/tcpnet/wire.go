@@ -71,6 +71,7 @@ const (
 	tagSequencerAnnounce = 14
 	tagDigestAnnounce    = 15
 	tagGSNAssignBatch    = 16
+	tagShardMapAnnounce  = 17
 )
 
 var (
@@ -344,6 +345,19 @@ func appendMessage(b []byte, m node.Message, depth int) ([]byte, error) {
 			b = appendRequestID(b, id)
 		}
 		return b, nil
+	case consistency.ShardMapAnnounce:
+		b = append(b, tagShardMapAnnounce)
+		b = appendUvarint(b, v.Version)
+		b = appendUvarint(b, uint64(v.Shards))
+		b = appendUvarint(b, uint64(len(v.Starts)))
+		for _, s := range v.Starts {
+			b = appendUvarint(b, uint64(s))
+		}
+		b = appendUvarint(b, uint64(len(v.Owners)))
+		for _, o := range v.Owners {
+			b = appendUvarint(b, uint64(o))
+		}
+		return b, nil
 	default:
 		return b, fmt.Errorf("tcpnet: message type %T has no wire tag; add one in wire.go", m)
 	}
@@ -468,6 +482,28 @@ func (r *wireReader) requestID() consistency.RequestID {
 
 // requestIDs decodes a length-prefixed RequestID list (nil for length 0),
 // bounding the count by the remaining bytes before allocating.
+// uint32s decodes a uvarint-counted list of uvarint-encoded uint32 values.
+func (r *wireReader) uint32s() []uint32 {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	// Every element costs >= 1 byte on the wire, so a count beyond the
+	// remaining bytes is a truncated frame — reject before allocating.
+	if n > uint64(len(r.b)) {
+		r.fail(errTruncated)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(r.uvarint())
+	}
+	return out
+}
+
 func (r *wireReader) requestIDs() []consistency.RequestID {
 	n := r.uvarint()
 	if r.err != nil {
@@ -584,6 +620,13 @@ func decodeMessage(r *wireReader, depth int) node.Message {
 		m.Updates = r.requestIDs()
 		m.ReadGSN = r.uvarint()
 		m.Reads = r.requestIDs()
+		return m
+	case tagShardMapAnnounce:
+		var m consistency.ShardMapAnnounce
+		m.Version = r.uvarint()
+		m.Shards = uint32(r.uvarint())
+		m.Starts = r.uint32s()
+		m.Owners = r.uint32s()
 		return m
 	default:
 		r.fail(errUnknownTag)

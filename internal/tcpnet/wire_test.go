@@ -188,6 +188,18 @@ func wireMessageGenerators() map[string]func(rng *rand.Rand, round int) node.Mes
 			}
 			return m
 		},
+		"consistency.ShardMapAnnounce": func(rng *rand.Rand, round int) node.Message {
+			if round == 0 {
+				return consistency.ShardMapAnnounce{}
+			}
+			n := 1 + rng.Intn(16)
+			m := consistency.ShardMapAnnounce{Version: rng.Uint64(), Shards: uint32(n)}
+			for i := 0; i < n; i++ {
+				m.Starts = append(m.Starts, rng.Uint32())
+				m.Owners = append(m.Owners, uint32(rng.Intn(n)))
+			}
+			return m
+		},
 	}
 }
 
@@ -215,8 +227,8 @@ func gobRoundTrip(t *testing.T, f Frame) Frame {
 func TestWireCodecDifferential(t *testing.T) {
 	RegisterProtocolTypes()
 	gens := wireMessageGenerators()
-	if len(gens) != 16 {
-		t.Fatalf("generator table covers %d types, want 16 (one per wire tag)", len(gens))
+	if len(gens) != 17 {
+		t.Fatalf("generator table covers %d types, want 17 (one per wire tag)", len(gens))
 	}
 	for name, gen := range gens {
 		t.Run(name, func(t *testing.T) {
@@ -278,7 +290,7 @@ func TestWireCodecRejectsUnknown(t *testing.T) {
 	}
 
 	// Unknown type tags, including 0.
-	for _, tag := range []byte{0, tagGSNAssignBatch + 1, 0x7f, 0xee, 0xff} {
+	for _, tag := range []byte{0, tagShardMapAnnounce + 1, 0x7f, 0xee, 0xff} {
 		raw := []byte{WireVersion, 1, 'a', 1, 'b', tag}
 		if _, _, m, err := DecodeFrame(raw); err == nil {
 			t.Fatalf("unknown tag %d decoded as %T", tag, m)

@@ -172,6 +172,21 @@ type EngineConfig struct {
 	// ReadTargets overrides the read-serving set (default: every primary
 	// except the sequencer).
 	ReadTargets []node.ID
+
+	// Keys, when set, draws a per-request key instead of the fixed
+	// UpdateKey/ReadPayload (updates write "<key>=<seq>", reads carry the
+	// bare key). Nil keeps the historical single-key stream — and the
+	// historical rand-draw sequence, so every existing run stays
+	// byte-identical.
+	Keys KeyDist
+	// Shards, when non-nil, runs the engine against a sharded service: each
+	// request routes to the deployment owning its key — reads to that
+	// shard's sequencer plus its serving replicas, updates to its primary
+	// group. Service is ignored in this mode; Keys and ShardOf are
+	// required.
+	Shards []client.ServiceInfo
+	// ShardOf maps a key to its owning shard index (e.g. shard.Map.Owner).
+	ShardOf func(key string) int
 }
 
 func (c *EngineConfig) setDefaults() {
@@ -301,7 +316,21 @@ func (m EngineMetrics) Sub(prev EngineMetrics) EngineMetrics {
 type engPending struct {
 	t0     time.Time
 	client uint32
+	shard  int16 // owning shard index; -1 in single-service mode
 	read   bool
+}
+
+// engShard is the engine's per-shard routing state in multi-shard mode: the
+// shard's current sequencer view and its round-robin read cursor — exactly
+// the state the single-service engine keeps once, held once per shard.
+type engShard struct {
+	info        client.ServiceInfo
+	sequencer   node.ID
+	readTargets []node.ID
+	rr          int
+
+	issued    uint64
+	completed uint64
 }
 
 // Engine is the open-loop load generator; it implements node.Node and is
@@ -315,6 +344,10 @@ type Engine struct {
 	sequencer   node.ID
 	readTargets []node.ID
 	rr          int // round-robin cursor over readTargets
+
+	// Multi-shard state; empty in single-service mode.
+	shards       []engShard
+	replicaShard map[node.ID]int
 
 	started  time.Time
 	stopped  bool
@@ -345,12 +378,32 @@ func NewEngine(cfg EngineConfig) *Engine {
 	if cfg.Arrivals == nil {
 		panic("workload: EngineConfig.Arrivals is required")
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:         cfg,
 		sequencer:   cfg.Service.Sequencer,
 		outstanding: make([]uint16, cfg.Clients),
 		pending:     make(map[uint64]engPending),
 	}
+	if len(cfg.Shards) > 0 {
+		if cfg.Keys == nil || cfg.ShardOf == nil {
+			panic("workload: EngineConfig.Shards requires Keys and ShardOf")
+		}
+		e.replicaShard = make(map[node.ID]int)
+		for i, info := range cfg.Shards {
+			s := engShard{info: info, sequencer: info.Sequencer}
+			for _, id := range info.Primaries {
+				e.replicaShard[id] = i
+				if id != info.Sequencer {
+					s.readTargets = append(s.readTargets, id)
+				}
+			}
+			for _, id := range info.Secondaries {
+				e.replicaShard[id] = i
+			}
+			e.shards = append(e.shards, s)
+		}
+	}
+	return e
 }
 
 // Init implements node.Node.
@@ -419,34 +472,62 @@ func (e *Engine) issue() {
 	id := consistency.RequestID{Client: e.ctx.ID(), Seq: e.nextSeq}
 	read := e.ctx.Rand().Float64() < e.cfg.ReadFraction
 
+	// Key and shard resolution: the extra rand draw happens only when Keys
+	// is configured, so the historical single-key stream is untouched.
+	key := e.cfg.UpdateKey
+	if e.cfg.Keys != nil {
+		key = e.cfg.Keys.Key(e.ctx.Rand())
+	}
+	sh := -1
+	if len(e.shards) > 0 {
+		sh = e.cfg.ShardOf(key)
+		e.shards[sh].issued++
+	}
+
 	req := consistency.Request{ID: id, ReadOnly: read}
 	if read {
 		req.Method = e.cfg.ReadMethod
 		req.Payload = e.cfg.ReadPayload
+		if e.cfg.Keys != nil {
+			req.Payload = []byte(key)
+		}
 		req.Staleness = e.cfg.Staleness
 		e.m.Reads++
 		// The sequencer orders the read; FanoutReads serving replicas race
 		// to answer it.
-		e.stack.Send(e.sequencer, req)
-		for i := 0; i < e.cfg.FanoutReads && i < len(e.readTargets); i++ {
-			e.stack.Send(e.readTargets[e.rr], req)
-			e.rr = (e.rr + 1) % len(e.readTargets)
+		if sh < 0 {
+			e.stack.Send(e.sequencer, req)
+			for i := 0; i < e.cfg.FanoutReads && i < len(e.readTargets); i++ {
+				e.stack.Send(e.readTargets[e.rr], req)
+				e.rr = (e.rr + 1) % len(e.readTargets)
+			}
+		} else {
+			s := &e.shards[sh]
+			e.stack.Send(s.sequencer, req)
+			for i := 0; i < e.cfg.FanoutReads && i < len(s.readTargets); i++ {
+				e.stack.Send(s.readTargets[s.rr], req)
+				s.rr = (s.rr + 1) % len(s.readTargets)
+			}
 		}
 	} else {
 		req.Method = e.cfg.UpdateMethod
 		// Fresh payload per update: replicas retain the body until commit.
-		buf := make([]byte, 0, len(e.cfg.UpdateKey)+21)
-		buf = append(buf, e.cfg.UpdateKey...)
+		buf := make([]byte, 0, len(key)+21)
+		buf = append(buf, key...)
 		buf = append(buf, '=')
 		req.Payload = strconv.AppendUint(buf, e.nextSeq, 10)
 		e.m.Updates++
-		for _, p := range e.cfg.Service.Primaries {
+		primaries := e.cfg.Service.Primaries
+		if sh >= 0 {
+			primaries = e.shards[sh].info.Primaries
+		}
+		for _, p := range primaries {
 			e.stack.Send(p, req)
 		}
 	}
 	e.m.Issued++
 	e.outstanding[c]++
-	e.pending[e.nextSeq] = engPending{t0: e.ctx.Now(), client: c, read: read}
+	e.pending[e.nextSeq] = engPending{t0: e.ctx.Now(), client: c, shard: int16(sh), read: read}
 	e.order = append(e.order, e.nextSeq)
 }
 
@@ -487,14 +568,37 @@ func (e *Engine) deliver(from node.ID, m node.Message) {
 	case consistency.Reply:
 		e.onReply(msg)
 	case consistency.SequencerAnnounce:
-		e.sequencer = msg.Sequencer
+		e.setSequencer(from, msg.Sequencer)
 	case consistency.PerfBroadcast:
 		if msg.Sequencer != "" {
-			e.sequencer = msg.Sequencer
+			e.setSequencer(msg.Replica, msg.Sequencer)
 		}
 	default:
 		// The engine models clients that ignore everything else.
 	}
+}
+
+// setSequencer records a sequencer failover. In multi-shard mode the update
+// applies to the announcing replica's shard; announcements from unknown
+// senders are ignored rather than cross-wired into another shard.
+func (e *Engine) setSequencer(from node.ID, seq node.ID) {
+	if len(e.shards) == 0 {
+		e.sequencer = seq
+		return
+	}
+	if i, ok := e.replicaShard[from]; ok {
+		e.shards[i].sequencer = seq
+	}
+}
+
+// ShardCounts returns per-shard issued and completed request counts
+// (nil outside multi-shard mode) — the skew evidence for hot-shard runs.
+func (e *Engine) ShardCounts() (issued, completed []uint64) {
+	for i := range e.shards {
+		issued = append(issued, e.shards[i].issued)
+		completed = append(completed, e.shards[i].completed)
+	}
+	return issued, completed
 }
 
 func (e *Engine) onReply(r consistency.Reply) {
@@ -504,6 +608,9 @@ func (e *Engine) onReply(r consistency.Reply) {
 	}
 	delete(e.pending, r.ID.Seq)
 	e.outstanding[p.client]--
+	if p.shard >= 0 {
+		e.shards[p.shard].completed++
+	}
 	lat := e.ctx.Now().Sub(p.t0)
 	e.m.Completed++
 	if p.read {

@@ -228,3 +228,16 @@ go run ./cmd/aquabench -experiment loadmax -progress=false \
 	-loadmax-json BENCH_loadmax.json
 
 echo "wrote BENCH_loadmax.json"
+
+# ---- Sharded scale-out shardmax ----
+# Repeats the open-loop ramp against 1, 2, and 4 independent shard
+# deployments (internal/shard keyspace partitioning, one sequencer and lazy
+# publisher per shard) on one simulated runtime, batching always on. Each
+# point is a share-nothing run at its own derived seed; the report records
+# per-shard completion counts and the peak sustained updates/sec per shard
+# count plus the speedup over the 1-shard ramp. TestBenchShardmaxJSONWellFormed
+# enforces the >= 2.5x acceptance floor on speedup_updates at 4 shards in CI.
+go run ./cmd/aquabench -experiment shardmax -progress=false \
+	-shards 1,2,4 -shardmax-json BENCH_shardmax.json
+
+echo "wrote BENCH_shardmax.json"
