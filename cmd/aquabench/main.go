@@ -10,6 +10,7 @@
 //	aquabench -experiment loadmax -loadmax-json BENCH_loadmax.json
 //	aquabench -experiment shardmax -shards 1,2,4 -shardmax-json BENCH_shardmax.json
 //	aquabench -experiment shardchaos -chaos-runs 4
+//	aquabench -experiment livemax -livemax-json BENCH_livemax.json
 package main
 
 import (
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		which        = flag.String("experiment", "all", "experiment id: fig3, fig4a, fig4b, lui, reqdelay, baselines, hotspot, failover, calibration, groupsplit, window, estimator, scalability, loss, arrivals, chaos, loadmax, shardmax, shardchaos, all")
+		which        = flag.String("experiment", "all", "experiment id: fig3, fig4a, fig4b, lui, reqdelay, baselines, hotspot, failover, calibration, groupsplit, window, estimator, scalability, loss, arrivals, chaos, loadmax, shardmax, shardchaos, livemax, all")
 		requests     = flag.Int("requests", 1000, "requests per client per run (paper: 1000)")
 		seed         = flag.Int64("seed", 2002, "base random seed")
 		iters        = flag.Int("iters", 2000, "iterations per fig3 measurement point")
@@ -44,6 +45,9 @@ func main() {
 		shards       = flag.String("shards", "", "shard counts for the shardmax ramp, comma list (default 1,2,4)")
 		shardmaxJSON = flag.String("shardmax-json", "", "also write the shardmax report as JSON to this file (BENCH_shardmax.json)")
 		shardmaxQk   = flag.Bool("shardmax-quick", false, "shrink the shardmax ramp for smoke runs (fewer clients, shorter steps)")
+		livemaxJSON  = flag.String("livemax-json", "", "also write the livemax report as JSON to this file (BENCH_livemax.json)")
+		livemaxQuick = flag.Bool("livemax-quick", false, "shrink the livemax ramp for smoke runs (two rates, short wall-clock windows, no sim comparison)")
+		livemaxShard = flag.Int("livemax-shards", 0, "shard count for the livemax serving process (default 1)")
 	)
 	flag.Parse()
 
@@ -54,7 +58,7 @@ func main() {
 		})
 	}
 
-	if err := run(*which, *requests, *seed, *iters, *obsPath, *tracePath, *faults, *chaosRuns, *loadmaxJSON, *loadmaxQuick, *shards, *shardmaxJSON, *shardmaxQk); err != nil {
+	if err := run(*which, *requests, *seed, *iters, *obsPath, *tracePath, *faults, *chaosRuns, *loadmaxJSON, *loadmaxQuick, *shards, *shardmaxJSON, *shardmaxQk, *livemaxJSON, *livemaxQuick, *livemaxShard); err != nil {
 		fmt.Fprintln(os.Stderr, "aquabench:", err)
 		os.Exit(1)
 	}
@@ -180,6 +184,42 @@ func runShardmax(out *os.File, seed int64, shardsSpec, jsonPath string, quick bo
 	return nil
 }
 
+// runLivemax executes the live-cluster ramp over TCP loopback (legacy vs
+// optimized hot path in one invocation), prints the table, and optionally
+// writes the JSON artifact. Unlike the virtual-time experiments this one
+// consumes real wall clock and real cores.
+func runLivemax(out *os.File, seed int64, jsonPath string, quick bool, shards int) error {
+	cfg := experiment.LivemaxConfig{Seed: seed, Shards: shards, SimCompare: !quick}
+	if quick {
+		cfg.Rates = []float64{500, 2000}
+		cfg.Warmup = 150 * time.Millisecond
+		cfg.StepDuration = 400 * time.Millisecond
+	}
+	rep := experiment.RunLivemax(cfg, func(stage string, rate float64, legacy bool) {
+		mode := "optimized"
+		if legacy {
+			mode = "baseline"
+		}
+		if stage == "hotpath" {
+			fmt.Fprintf(os.Stderr, "aquabench: livemax hotpath pump, %s\n", mode)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "aquabench: livemax %s @ %.0f req/s\n", mode, rate)
+	})
+	experiment.WriteLivemaxTable(out, rep)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return fmt.Errorf("-livemax-json: %w", err)
+		}
+		defer f.Close()
+		if err := experiment.WriteLivemaxJSON(f, rep); err != nil {
+			return fmt.Errorf("-livemax-json: %w", err)
+		}
+	}
+	return nil
+}
+
 // runShardChaos executes the sharded chaos acceptance scenario across seeded
 // runs; any invariant violation, stalled loop, or failed split fails the
 // whole command.
@@ -204,7 +244,7 @@ func runShardChaos(out *os.File, seed int64, runs int) error {
 	return nil
 }
 
-func run(which string, requests int, seed int64, iters int, obsPath, tracePath, faultSpec string, chaosRuns int, loadmaxJSON string, loadmaxQuick bool, shardsSpec, shardmaxJSON string, shardmaxQuick bool) error {
+func run(which string, requests int, seed int64, iters int, obsPath, tracePath, faultSpec string, chaosRuns int, loadmaxJSON string, loadmaxQuick bool, shardsSpec, shardmaxJSON string, shardmaxQuick bool, livemaxJSON string, livemaxQuick bool, livemaxShards int) error {
 	base := experiment.Fig4Config{
 		Seed:     seed,
 		Deadline: 140 * time.Millisecond,
@@ -397,6 +437,16 @@ func run(which string, requests int, seed int64, iters int, obsPath, tracePath, 
 	if which == "shardchaos" {
 		ran = true
 		if err := runShardChaos(out, seed, chaosRuns); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	// Livemax is excluded from "all" for a stronger reason than the other
+	// benchmarks: it measures wall-clock throughput over real sockets, so
+	// its numbers depend on the machine. It lives in BENCH_livemax.json.
+	if which == "livemax" {
+		ran = true
+		if err := runLivemax(out, seed, livemaxJSON, livemaxQuick, livemaxShards); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)

@@ -239,6 +239,9 @@ func (g *Gateway) handleDelivery(from node.ID, m node.Message) {
 	switch msg := m.(type) {
 	case consistency.Reply:
 		g.onReply(msg)
+	case *consistency.Reply:
+		// Pointer form from the live transport's shared decoder.
+		g.onReply(*msg)
 	case consistency.PerfBroadcast:
 		g.onPerfBroadcast(msg)
 	case consistency.SequencerAnnounce:

@@ -1,0 +1,266 @@
+// The hot-path pump: the serving-stack isolation stage of livemax. The
+// full-protocol service ramp in livemax.go saturates on replication
+// protocol CPU (and, sharing cores with its generator, on the generator
+// itself), which masks the transport/runtime layers this benchmark exists
+// to compare. The pump strips the pipeline to exactly the optimized
+// layers: a mode-invariant raw-socket load generator blasts pre-encoded
+// update frames (with interleaved read probes) at an unreplicated store
+// node hosted on the live runtime, so the measured path is socket read →
+// frame decode → mailbox enqueue → handler → reply encode → writer flush
+// and nothing else. Only the serving process switches between the legacy
+// and optimized hot paths; the generator is identical in both runs.
+package experiment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aqua/internal/apps"
+	"aqua/internal/consistency"
+	"aqua/internal/live"
+	"aqua/internal/node"
+	"aqua/internal/tcpnet"
+	"aqua/internal/workload"
+)
+
+// hotSink is the unreplicated store node: updates apply straight to a
+// local KV (no ordering, no replication — replication factor 1), acked
+// cumulatively every ackEvery updates the way a group-commit store acks;
+// reads answer immediately with the stored value.
+type hotSink struct {
+	kv       *apps.KVStore
+	ctx      node.Context
+	ackEvery int
+	updates  atomic.Uint64
+	reads    atomic.Uint64
+	pending  int
+}
+
+func (s *hotSink) Init(ctx node.Context) { s.ctx = ctx }
+
+func (s *hotSink) Recv(from node.ID, m node.Message) {
+	var req consistency.Request
+	switch v := m.(type) {
+	case consistency.Request:
+		req = v
+	case *consistency.Request:
+		req = *v
+	default:
+		return
+	}
+	if req.ReadOnly {
+		s.reads.Add(1)
+		val, _ := s.kv.Read(req.Method, req.Payload)
+		s.ctx.Send(from, consistency.Reply{ID: req.ID, Payload: val})
+		return
+	}
+	s.kv.ApplyUpdate(req.Method, req.Payload)
+	s.updates.Add(1)
+	if s.pending++; s.pending >= s.ackEvery {
+		s.pending = 0
+		s.ctx.Send(from, consistency.Reply{ID: req.ID})
+	}
+}
+
+// HotpathResult is one pump run: peak closed-loop updates/s through the
+// serving hot path with read-probe latency quantiles.
+type HotpathResult struct {
+	Legacy bool `json:"legacy"`
+
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	ReadsPerSec   float64 `json:"reads_per_sec"`
+	ReadP50MS     float64 `json:"read_p50_ms"`
+	ReadP99MS     float64 `json:"read_p99_ms"`
+
+	Sustained bool `json:"sustained"`
+}
+
+const (
+	hotSinks    = 2  // sink nodes, so batched enqueue sees >1 destination
+	hotAckEvery = 64 // cumulative-ack interval at the sink
+	hotChunk    = 64 // frames per generator write: 63 updates + 1 read probe
+	hotRingBits = 13 // read-probe seq ring (1<<13 outstanding probes)
+)
+
+// RunHotpathPoint measures one mode's pump throughput: warm up, then count
+// updates processed by the sinks over one wall-clock window while read
+// probes sample end-to-end latency. Closed loop: the generator writes as
+// fast as the serving process drains, so the window measures the stack's
+// peak, and TCP backpressure bounds in-flight frames (which is what keeps
+// read p99 finite).
+func RunHotpathPoint(cfg LivemaxConfig, legacy bool) HotpathResult {
+	cfg.setDefaults()
+
+	var liveOpts []live.Option
+	trOpts := []tcpnet.Option{tcpnet.WithSendQueue(cfg.SendQueue)}
+	if legacy {
+		liveOpts = append(liveOpts, live.WithLegacyHotPath())
+		trOpts = append(trOpts, tcpnet.WithLegacyInbound())
+	}
+	rt := live.NewRuntime(liveOpts...)
+	sinks := make([]*hotSink, hotSinks)
+	for i := range sinks {
+		sinks[i] = &hotSink{kv: apps.NewKVStore(), ackEvery: hotAckEvery}
+		rt.Register(node.ID(fmt.Sprintf("hot%d", i)), sinks[i])
+	}
+	tr, err := tcpnet.New(rt, "127.0.0.1:0", nil, trOpts...)
+	if err != nil {
+		panic(fmt.Sprintf("experiment: hotpath listen: %v", err))
+	}
+	rt.SetRemote(tr.Send)
+
+	// The generator's reply side is a raw listener, not a runtime — the
+	// generator is not the system under test and must not switch modes.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(fmt.Sprintf("experiment: hotpath reply listen: %v", err))
+	}
+	tr.AddPeer("load", ln.Addr().String())
+	rt.Start()
+
+	// Read-probe bookkeeping: send times by probe seq, observed latencies
+	// under a lock (one writer goroutine, one reader goroutine).
+	const ring = 1 << hotRingBits
+	base := time.Now()
+	var sendNanos [ring]atomic.Int64
+	var histMu sync.Mutex
+	hist := &workload.LatencyHist{}
+	var measuring atomic.Bool
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // reply pump: parse frames, record read-probe latencies
+		defer wg.Done()
+		var dec tcpnet.FrameDecoder
+		buf := make([]byte, 1<<20)
+		have := 0
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		for {
+			n, err := conn.Read(buf[have:])
+			if err != nil {
+				return
+			}
+			have += n
+			off := 0
+			for have-off >= 4 {
+				fl := int(binary.BigEndian.Uint32(buf[off:]))
+				if fl <= 0 || have-off-4 < fl {
+					break
+				}
+				if _, _, m, err := dec.Decode(buf[off+4 : off+4+fl]); err == nil {
+					if rep, ok := m.(consistency.Reply); ok && rep.ID.Client == "probe" {
+						at := sendNanos[rep.ID.Seq&(ring-1)].Load()
+						if at > 0 && measuring.Load() {
+							histMu.Lock()
+							hist.Observe(time.Since(base) - time.Duration(at))
+							histMu.Unlock()
+						}
+					}
+				}
+				off += 4 + fl
+			}
+			copy(buf, buf[off:have])
+			have -= off
+		}
+	}()
+
+	// Pre-encode the blast chunk: hotChunk-1 updates round-robined over
+	// the sinks plus one read-probe slot re-encoded per send (its seq
+	// changes). Values are UpdateBytes of filler — the realistic KV value
+	// size the copying decoder must copy and the shared decoder aliases.
+	val := make([]byte, cfg.UpdateBytes)
+	for i := range val {
+		val[i] = 'v'
+	}
+	upd := consistency.Request{ID: consistency.RequestID{Client: "load", Seq: 1},
+		Method: "Set", Payload: append([]byte("k="), val...)}
+	var chunk []byte
+	for i := 0; i < hotChunk-1; i++ {
+		to := node.ID(fmt.Sprintf("hot%d", i%hotSinks))
+		chunk, err = tcpnet.AppendFrame(chunk, "load", to, upd)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: hotpath encode: %v", err))
+		}
+	}
+	readFrame := func(seq uint64) []byte {
+		f, err := tcpnet.AppendFrame(nil, "load", "hot0", consistency.Request{
+			ID:       consistency.RequestID{Client: "probe", Seq: seq},
+			ReadOnly: true, Method: "Get", Payload: []byte("k")})
+		if err != nil {
+			panic(fmt.Sprintf("experiment: hotpath encode: %v", err))
+		}
+		return f
+	}
+
+	conn, err := net.Dial("tcp", tr.Addr())
+	if err != nil {
+		panic(fmt.Sprintf("experiment: hotpath dial: %v", err))
+	}
+
+	stopBlast := make(chan struct{})
+	wg.Add(1)
+	go func() { // blast loop: closed-loop writes until told to stop
+		defer wg.Done()
+		seq := uint64(0)
+		out := make([]byte, 0, len(chunk)+256)
+		for {
+			select {
+			case <-stopBlast:
+				return
+			default:
+			}
+			seq++
+			sendNanos[seq&(ring-1)].Store(int64(time.Since(base)))
+			out = append(out[:0], chunk...)
+			out = append(out, readFrame(seq)...)
+			if _, err := conn.Write(out); err != nil {
+				return
+			}
+		}
+	}()
+
+	time.Sleep(cfg.Warmup)
+	measuring.Store(true)
+	var u0, r0 uint64
+	for _, s := range sinks {
+		u0 += s.updates.Load()
+		r0 += s.reads.Load()
+	}
+	time.Sleep(cfg.StepDuration)
+	measuring.Store(false)
+	var u1, r1 uint64
+	for _, s := range sinks {
+		u1 += s.updates.Load()
+		r1 += s.reads.Load()
+	}
+
+	close(stopBlast)
+	conn.Close()
+	rt.Stop()
+	tr.Close()
+	ln.Close()
+	wg.Wait()
+
+	secs := cfg.StepDuration.Seconds()
+	histMu.Lock()
+	p50 := durMS(hist.Quantile(0.50))
+	p99 := durMS(hist.Quantile(0.99))
+	n := hist.Total()
+	histMu.Unlock()
+	res := HotpathResult{
+		Legacy:        legacy,
+		UpdatesPerSec: float64(u1-u0) / secs,
+		ReadsPerSec:   float64(r1-r0) / secs,
+		ReadP50MS:     p50,
+		ReadP99MS:     p99,
+	}
+	res.Sustained = res.UpdatesPerSec > 0 && n > 0 && p99 <= durMS(cfg.P99Bound)
+	return res
+}

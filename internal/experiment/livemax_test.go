@@ -1,0 +1,154 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// smokeLivemaxConfig shrinks the wall-clock windows to CI scale. Unlike
+// the virtual-time smokes this consumes real time and real cores, so it
+// runs one low rate only — the point is that the live plumbing (two
+// runtimes, loopback sockets, engine, shard deployment, teardown) works,
+// not where the ceiling is.
+func smokeLivemaxConfig() LivemaxConfig {
+	return LivemaxConfig{
+		Seed:         41,
+		Rates:        []float64{500},
+		Warmup:       100 * time.Millisecond,
+		StepDuration: 300 * time.Millisecond,
+	}
+}
+
+func TestLivemaxSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock benchmark smoke")
+	}
+	cfg := smokeLivemaxConfig()
+	p := RunLivemaxPoint(cfg, cfg.Rates[0], false)
+	if p.Issued == 0 || p.Completed == 0 {
+		t.Fatalf("live point issued %d, completed %d — nothing flowed", p.Issued, p.Completed)
+	}
+	if p.UpdatesPerSec <= 0 || p.ReadsPerSec <= 0 {
+		t.Fatalf("live point rates: %.0f upd/s, %.0f reads/s", p.UpdatesPerSec, p.ReadsPerSec)
+	}
+	if p.FastServed == 0 {
+		t.Fatal("no reads served on the frontier fast path")
+	}
+}
+
+func TestLivemaxSmokeLegacyMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock benchmark smoke")
+	}
+	cfg := smokeLivemaxConfig()
+	p := RunLivemaxPoint(cfg, cfg.Rates[0], true)
+	if p.Completed == 0 {
+		t.Fatal("legacy hot path completed nothing — baseline mode is broken")
+	}
+}
+
+func TestLivemaxSmokeSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock benchmark smoke")
+	}
+	cfg := smokeLivemaxConfig()
+	cfg.Shards = 2
+	p := RunLivemaxPoint(cfg, cfg.Rates[0], false)
+	if p.Completed == 0 {
+		t.Fatal("two-shard live deployment completed nothing")
+	}
+}
+
+func TestHotpathPumpSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock benchmark smoke")
+	}
+	cfg := smokeLivemaxConfig()
+	for _, legacy := range []bool{true, false} {
+		h := RunHotpathPoint(cfg, legacy)
+		if h.UpdatesPerSec <= 0 {
+			t.Fatalf("legacy=%v: pump pushed no updates", legacy)
+		}
+		if h.ReadsPerSec <= 0 {
+			t.Fatalf("legacy=%v: no read probes answered", legacy)
+		}
+	}
+}
+
+func TestLivemaxTableRenders(t *testing.T) {
+	var rep LivemaxReport
+	rep.Config.setDefaults()
+	rep.GOMAXPROCS = 1
+	var buf bytes.Buffer
+	WriteLivemaxTable(&buf, rep)
+	if err := WriteLivemaxJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+// BENCH_livemax.json at the repo root is the committed artifact of the
+// full live ramp plus the hot-path pump (scripts/bench.sh regenerates
+// it). Guard its shape and the headline claim.
+//
+// The floor is conditional on the recorded host parallelism, because the
+// optimized runtime's wins are contention wins: one wakeup per mailbox
+// batch instead of per message, zero-copy decode instead of per-frame
+// allocation pressure on a shared GC, one vectored writev instead of
+// per-frame scheduling. On GOMAXPROCS>=4 those multiply and the pump
+// must clear 3x. On a single-core host everything serializes onto one
+// CPU, kernel TCP and the store apply dominate the profile as shared
+// serial cost, and the honest separation compresses to the pure
+// instruction-count saving — we require >=1.25x there rather than
+// inventing a multicore number the machine cannot produce (see
+// EXPERIMENTS.md, "livemax").
+func TestBenchLivemaxJSONWellFormed(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_livemax.json")
+	if err != nil {
+		t.Skipf("BENCH_livemax.json not present: %v", err)
+	}
+	var doc struct {
+		Experiment string `json:"experiment"`
+		LivemaxReport
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("BENCH_livemax.json is not valid JSON: %v", err)
+	}
+	if doc.Experiment != "livemax" {
+		t.Fatalf("experiment = %q, want livemax", doc.Experiment)
+	}
+	if doc.GOMAXPROCS < 1 {
+		t.Fatalf("gomaxprocs = %d — artifact does not record host parallelism", doc.GOMAXPROCS)
+	}
+	if len(doc.Baseline.Points) == 0 || len(doc.Optimized.Points) == 0 {
+		t.Fatal("missing live ramp points")
+	}
+	if doc.Baseline.PeakUpdatesPerSec <= 0 || doc.Optimized.PeakUpdatesPerSec <= 0 {
+		t.Fatalf("non-positive ramp peaks: baseline %.0f, optimized %.0f",
+			doc.Baseline.PeakUpdatesPerSec, doc.Optimized.PeakUpdatesPerSec)
+	}
+	if doc.SimPeakUpdatesPerSec <= 0 || doc.LiveVsSimUpdates <= 0 {
+		t.Fatal("missing sim-vs-live comparison row")
+	}
+	hp := doc.Hotpath
+	if hp.Baseline.UpdatesPerSec <= 0 || hp.Optimized.UpdatesPerSec <= 0 {
+		t.Fatalf("non-positive pump throughput: baseline %.0f, optimized %.0f",
+			hp.Baseline.UpdatesPerSec, hp.Optimized.UpdatesPerSec)
+	}
+	if !hp.Baseline.Sustained || !hp.Optimized.Sustained {
+		t.Fatal("pump read p99 blew its bound — throughput was bought with unbounded latency")
+	}
+	floor := 1.25
+	if doc.GOMAXPROCS >= 4 {
+		floor = 3.0
+	}
+	if hp.Speedup < floor {
+		t.Fatalf("hotpath speedup = %.2f, want >= %.2f at gomaxprocs=%d",
+			hp.Speedup, floor, doc.GOMAXPROCS)
+	}
+}

@@ -231,9 +231,29 @@ func (s *Stack) Multicast(group string, m node.Message) {
 // true when the message belonged to the substrate (data envelope, ack, or
 // heartbeat); the caller must not process it further. Application payloads
 // extracted from data envelopes are handed to the deliver callback.
+// Both value and pointer forms are accepted: the live transport's shared
+// decoder boxes hot messages as pointers into its arena (tcpnet
+// DecodeShared), while the simulator and local delivery keep values.
 func (s *Stack) Handle(from node.ID, m node.Message) bool {
 	switch msg := m.(type) {
+	case *DataMsg:
+		return s.handleData(from, *msg)
 	case DataMsg:
+		return s.handleData(from, msg)
+	case *AckMsg:
+		return s.handleAck(from, *msg)
+	case AckMsg:
+		return s.handleAck(from, msg)
+	case HeartbeatMsg, *HeartbeatMsg:
+		s.noteAlive(from)
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Stack) handleData(from node.ID, msg DataMsg) bool {
+	{
 		s.noteAlive(from)
 		l, ok := s.in[from]
 		switch {
@@ -252,7 +272,11 @@ func (s *Stack) Handle(from node.ID, m node.Message) bool {
 		// duplicates and quenches retransmits of delivered messages.
 		s.ctx.Send(from, AckMsg{SrcEpoch: msg.SrcEpoch, DstEpoch: s.incarnation, Gen: l.gen, Expected: l.expected})
 		return true
-	case AckMsg:
+	}
+}
+
+func (s *Stack) handleAck(from node.ID, msg AckMsg) bool {
+	{
 		s.noteAlive(from)
 		if msg.SrcEpoch != s.incarnation {
 			return true // ack addressed to a previous life of this node
@@ -288,11 +312,6 @@ func (s *Stack) Handle(from node.ID, m node.Message) bool {
 			s.armRetransmit()
 		}
 		return true
-	case HeartbeatMsg:
-		s.noteAlive(from)
-		return true
-	default:
-		return false
 	}
 }
 

@@ -4,6 +4,14 @@
 // the same gateways run unchanged on either. Delivery is in-process by
 // default; a RemoteSender hook (implemented by tcpnet) routes messages for
 // node IDs not registered locally.
+//
+// The hot path is built for sustained socket traffic: sends resolve the
+// destination through a copy-on-write map (no global lock per message),
+// each mailbox is a chunked ring drained in batches with one consumer
+// wakeup per empty→non-empty transition, and SetTimer is a small CAS state
+// machine that releases its runtime timer promptly on cancel. The
+// WithLegacyHotPath option restores the original mutex+slice mailbox and
+// channel-based timers so benchmarks can measure both in one run.
 package live
 
 import (
@@ -12,6 +20,7 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aqua/internal/node"
@@ -25,13 +34,20 @@ type RemoteSender func(from, to node.ID, m node.Message)
 type Runtime struct {
 	mu      sync.Mutex
 	nodes   map[node.ID]*liveNode
+	nodesCW atomic.Value // map[node.ID]*liveNode, copy-on-write snapshot
 	seed    int64
 	logW    io.Writer
 	logMu   sync.Mutex
-	remote  RemoteSender
+	remote  atomic.Value // remoteBox
 	started bool
 	stopped bool
+	legacy  bool
+	timers  atomic.Int64 // armed cancellable timers (SetTimer, non-legacy)
 }
+
+// remoteBox wraps RemoteSender so atomic.Value never sees inconsistently
+// typed (or nil-interface) stores.
+type remoteBox struct{ fn RemoteSender }
 
 // Option configures a Runtime.
 type Option func(*Runtime)
@@ -48,12 +64,22 @@ func WithLog(w io.Writer) Option {
 
 // WithRemote installs the forwarding hook for unknown destinations.
 func WithRemote(rs RemoteSender) Option {
-	return func(r *Runtime) { r.remote = rs }
+	return func(r *Runtime) { r.remote.Store(remoteBox{fn: rs}) }
+}
+
+// WithLegacyHotPath restores the pre-optimization mailbox (mutex+slice,
+// one wakeup per enqueue) and SetTimer (sync.Once + stop channel per
+// timer). It exists so the livemax benchmark can measure the old and new
+// hot paths in the same run; nothing else should use it.
+func WithLegacyHotPath() Option {
+	return func(r *Runtime) { r.legacy = true }
 }
 
 // NewRuntime creates an empty live runtime.
 func NewRuntime(opts ...Option) *Runtime {
 	r := &Runtime{nodes: make(map[node.ID]*liveNode), seed: 1}
+	r.remote.Store(remoteBox{})
+	r.nodesCW.Store(map[node.ID]*liveNode{})
 	for _, o := range opts {
 		o(r)
 	}
@@ -64,9 +90,7 @@ func NewRuntime(opts ...Option) *Runtime {
 // it breaks the construction cycle between a runtime and the transport that
 // needs to inject into it.
 func (r *Runtime) SetRemote(rs RemoteSender) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.remote = rs
+	r.remote.Store(remoteBox{fn: rs})
 }
 
 // Register adds a node. It panics on duplicates and after Start, mirroring
@@ -83,6 +107,24 @@ func (r *Runtime) Register(id node.ID, n node.Node) {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d/%s", r.seed, id)
 	r.nodes[id] = newLiveNode(r, id, n, rand.New(rand.NewSource(int64(h.Sum64()))))
+	r.publishNodesLocked()
+}
+
+// publishNodesLocked refreshes the copy-on-write snapshot; r.mu must be
+// held. Registration and StopNode are rare, so copying the map there buys
+// lock-free lookups on every send and inject.
+func (r *Runtime) publishNodesLocked() {
+	snap := make(map[node.ID]*liveNode, len(r.nodes))
+	for id, n := range r.nodes {
+		snap[id] = n
+	}
+	r.nodesCW.Store(snap)
+}
+
+// lookup resolves a destination without taking the runtime lock.
+func (r *Runtime) lookup(to node.ID) *liveNode {
+	m, _ := r.nodesCW.Load().(map[node.ID]*liveNode)
+	return m[to]
 }
 
 // Start initializes every node (in its own goroutine context) and begins
@@ -133,6 +175,7 @@ func (r *Runtime) StopNode(id node.ID) {
 	n, ok := r.nodes[id]
 	if ok {
 		delete(r.nodes, id)
+		r.publishNodesLocked()
 	}
 	r.mu.Unlock()
 	if ok {
@@ -144,33 +187,28 @@ func (r *Runtime) StopNode(id node.ID) {
 // locally hosted node. Unknown destinations are dropped (the peer may have
 // stopped).
 func (r *Runtime) Inject(from, to node.ID, m node.Message) {
-	r.mu.Lock()
-	dst := r.nodes[to]
-	r.mu.Unlock()
-	if dst != nil {
+	if dst := r.lookup(to); dst != nil {
 		dst.enqueue(envelope{from: from, msg: m})
 	}
 }
 
 // Local reports whether id is hosted by this runtime.
 func (r *Runtime) Local(id node.ID) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	_, ok := r.nodes[id]
-	return ok
+	return r.lookup(id) != nil
 }
 
+// ActiveTimers reports the number of armed cancellable timers created by
+// SetTimer that have neither fired nor been cancelled. It exists for leak
+// regression tests; the count is not maintained under WithLegacyHotPath.
+func (r *Runtime) ActiveTimers() int64 { return r.timers.Load() }
+
 func (r *Runtime) route(from, to node.ID, m node.Message) {
-	r.mu.Lock()
-	dst := r.nodes[to]
-	remote := r.remote
-	r.mu.Unlock()
-	if dst != nil {
+	if dst := r.lookup(to); dst != nil {
 		dst.enqueue(envelope{from: from, msg: m})
 		return
 	}
-	if remote != nil {
-		remote(from, to, m)
+	if box, _ := r.remote.Load().(remoteBox); box.fn != nil {
+		box.fn(from, to, m)
 		return
 	}
 	r.logf("live: dropped message %T from %s to unknown node %s", m, from, to)
@@ -185,11 +223,13 @@ func (r *Runtime) logf(format string, args ...interface{}) {
 	fmt.Fprintf(r.logW, format+"\n", args...)
 }
 
-// envelope is one mailbox entry: either a message or a timer callback.
+// envelope is one mailbox entry: a message, a fire-and-forget callback
+// (Post, legacy timers), or a cancellable timer.
 type envelope struct {
 	from  node.ID
 	msg   node.Message
 	timer func()
+	t     *liveTimer
 }
 
 // liveNode owns one node's mailbox goroutine.
@@ -199,24 +239,35 @@ type liveNode struct {
 	n    node.Node
 	rand *rand.Rand
 
-	mu      sync.Mutex
-	queue   []envelope
-	ready   chan struct{} // capacity 1: wakeup signal
-	stopped bool
-	done    chan struct{}
+	mb   *mailbox // nil under the legacy hot path
+	done chan struct{}
+
+	// Legacy (pre-optimization) mailbox, kept verbatim so livemax can
+	// benchmark against it in the same run.
+	legacy    bool
+	legacyMu  sync.Mutex
+	legacyQ   []envelope
+	ready     chan struct{} // capacity 1: per-enqueue wakeup signal
+	legacyOff bool          // legacy stopped flag
 }
 
 var _ node.Context = (*liveNode)(nil)
 
 func newLiveNode(rt *Runtime, id node.ID, n node.Node, rng *rand.Rand) *liveNode {
-	return &liveNode{
-		rt:    rt,
-		id:    id,
-		n:     n,
-		rand:  rng,
-		ready: make(chan struct{}, 1),
-		done:  make(chan struct{}),
+	l := &liveNode{
+		rt:   rt,
+		id:   id,
+		n:    n,
+		rand: rng,
+		done: make(chan struct{}),
 	}
+	if rt.legacy {
+		l.legacy = true
+		l.ready = make(chan struct{}, 1)
+	} else {
+		l.mb = newMailbox()
+	}
+	return l
 }
 
 func (l *liveNode) start() {
@@ -226,20 +277,66 @@ func (l *liveNode) start() {
 func (l *liveNode) run() {
 	defer close(l.done)
 	l.n.Init(l)
+	if l.legacy {
+		l.runLegacy()
+		return
+	}
+	var spare *mchunk
 	for {
-		l.mu.Lock()
-		for len(l.queue) == 0 && !l.stopped {
-			l.mu.Unlock()
-			<-l.ready
-			l.mu.Lock()
-		}
-		if l.stopped {
-			l.mu.Unlock()
+		chain, ok := l.mb.take(spare)
+		spare = nil
+		if !ok {
+			dropChain(chain)
 			return
 		}
-		batch := l.queue
-		l.queue = nil
-		l.mu.Unlock()
+		for c := chain; c != nil; {
+			for i := c.r; i < c.w; i++ {
+				env := &c.envs[i]
+				switch {
+				case env.t != nil:
+					env.t.fire()
+				case env.timer != nil:
+					env.timer()
+				default:
+					l.n.Recv(env.from, env.msg)
+				}
+			}
+			next := c.next
+			*c = mchunk{} // clear message references and cursors for reuse
+			c.next = spare
+			spare = c
+			c = next
+		}
+	}
+}
+
+// dropChain releases timer accounting for envelopes that will never run
+// because their node stopped with them still queued.
+func dropChain(chain *mchunk) {
+	for c := chain; c != nil; c = c.next {
+		for i := c.r; i < c.w; i++ {
+			if t := c.envs[i].t; t != nil {
+				t.drop()
+			}
+		}
+	}
+}
+
+func (l *liveNode) runLegacy() {
+	for {
+		l.legacyMu.Lock()
+		for len(l.legacyQ) == 0 && !l.legacyOff {
+			l.legacyMu.Unlock()
+			<-l.ready
+			l.legacyMu.Lock()
+		}
+		if l.legacyOff {
+			l.legacyMu.Unlock()
+			return
+		}
+		batch := l.legacyQ
+		l.legacyQ = nil
+		l.legacyMu.Unlock()
 
 		for _, env := range batch {
 			if env.timer != nil {
@@ -254,27 +351,50 @@ func (l *liveNode) run() {
 // enqueue appends to the unbounded mailbox; unbounded so that two nodes
 // flooding each other can never deadlock.
 func (l *liveNode) enqueue(env envelope) {
-	l.mu.Lock()
-	if l.stopped {
-		l.mu.Unlock()
+	if l.legacy {
+		l.legacyMu.Lock()
+		if l.legacyOff {
+			l.legacyMu.Unlock()
+			return
+		}
+		l.legacyQ = append(l.legacyQ, env)
+		l.legacyMu.Unlock()
+		select {
+		case l.ready <- struct{}{}:
+		default:
+		}
 		return
 	}
-	l.queue = append(l.queue, env)
-	l.mu.Unlock()
-	select {
-	case l.ready <- struct{}{}:
-	default:
+	if !l.mb.put(env) && env.t != nil {
+		env.t.drop()
 	}
 }
 
-func (l *liveNode) stop() {
-	l.mu.Lock()
-	l.stopped = true
-	l.mu.Unlock()
-	select {
-	case l.ready <- struct{}{}:
-	default:
+// enqueueBatch delivers a batch of message envelopes under one lock with at
+// most one wakeup (see Batcher).
+func (l *liveNode) enqueueBatch(envs []envelope) {
+	if l.legacy {
+		for i := range envs {
+			l.enqueue(envs[i])
+		}
+		return
 	}
+	l.mb.putBatch(envs)
+}
+
+func (l *liveNode) stop() {
+	if l.legacy {
+		l.legacyMu.Lock()
+		l.legacyOff = true
+		l.legacyMu.Unlock()
+		select {
+		case l.ready <- struct{}{}:
+		default:
+		}
+		<-l.done
+		return
+	}
+	l.mb.stop()
 	<-l.done
 }
 
@@ -293,9 +413,85 @@ func (l *liveNode) Send(to node.ID, m node.Message) {
 	l.rt.route(l.id, to, m)
 }
 
+// liveTimer is a cancellable timer as a tiny CAS state machine:
+//
+//	0 armed    — AfterFunc pending in the Go runtime
+//	1 queued   — fired, envelope sitting in the mailbox
+//	2 done     — executed, cancelled, or dropped
+//
+// Exactly one transition into state 2 happens, and every path into it
+// releases the runtime's ActiveTimers count once. Cancel stops the
+// underlying time.Timer immediately, so cancelled timers release their Go
+// runtime slot promptly instead of holding it (plus a stop channel and two
+// closures) until expiry like the old implementation.
+type liveTimer struct {
+	l     *liveNode
+	f     func()
+	t     *time.Timer
+	state atomic.Uint32
+}
+
+const (
+	timerArmed uint32 = iota
+	timerQueued
+	timerDone
+)
+
+// fire runs on the mailbox goroutine.
+func (t *liveTimer) fire() {
+	if t.state.CompareAndSwap(timerQueued, timerDone) {
+		t.l.rt.timers.Add(-1)
+		t.f()
+	}
+}
+
+// drop releases accounting for a queued timer whose node stopped.
+func (t *liveTimer) drop() {
+	if t.state.CompareAndSwap(timerQueued, timerDone) {
+		t.l.rt.timers.Add(-1)
+	}
+}
+
+// cancel is the returned CancelFunc. The node.Context contract says it is
+// only invoked from the node's own callbacks, but it is written to be safe
+// from any goroutine.
+func (t *liveTimer) cancel() {
+	for {
+		s := t.state.Load()
+		if s == timerDone {
+			return
+		}
+		if t.state.CompareAndSwap(s, timerDone) {
+			t.t.Stop()
+			t.l.rt.timers.Add(-1)
+			return
+		}
+	}
+}
+
 // SetTimer implements node.Context: f runs in this node's mailbox, never
 // concurrently with Recv.
 func (l *liveNode) SetTimer(d time.Duration, f func()) node.CancelFunc {
+	if l.legacy {
+		return l.setTimerLegacy(d, f)
+	}
+	t := &liveTimer{l: l, f: f}
+	l.rt.timers.Add(1)
+	t.t = time.AfterFunc(d, func() {
+		if !t.state.CompareAndSwap(timerArmed, timerQueued) {
+			return // cancelled while armed
+		}
+		if !l.mb.put(envelope{t: t}) {
+			t.drop() // node stopped; release accounting
+		}
+	})
+	return t.cancel
+}
+
+// setTimerLegacy is the pre-optimization SetTimer: a sync.Once, a stop
+// channel, and two closures per timer, with cancelled timers holding their
+// time.AfterFunc slot until expiry. Kept for same-run baselines.
+func (l *liveNode) setTimerLegacy(d time.Duration, f func()) node.CancelFunc {
 	var canceled sync.Once
 	stop := make(chan struct{})
 	timer := time.AfterFunc(d, func() {

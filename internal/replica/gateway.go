@@ -293,19 +293,30 @@ func (g *Gateway) Recv(from node.ID, m node.Message) {
 
 // handleDelivery processes substrate-delivered application payloads.
 func (g *Gateway) handleDelivery(from node.ID, m node.Message) {
+	// Hot types arrive as pointers from the live transport's shared decoder
+	// (tcpnet DecodeShared) and as values from the simulator; both forms
+	// are accepted.
 	switch msg := m.(type) {
 	case consistency.Request:
 		g.onRequest(from, msg)
+	case *consistency.Request:
+		g.onRequest(from, *msg)
 	case consistency.GSNAssign:
 		g.onAssign(msg)
+	case *consistency.GSNAssign:
+		g.onAssign(*msg)
 	case consistency.GSNAssignBatch:
 		g.onAssignBatch(msg)
+	case *consistency.GSNAssignBatch:
+		g.onAssignBatch(*msg)
 	case consistency.GSNRequest:
 		g.onGSNRequest(from, msg)
 	case consistency.BodyRequest:
 		g.onBodyRequest(from, msg)
 	case consistency.StateUpdate:
 		g.onStateUpdate(msg)
+	case *consistency.StateUpdate:
+		g.onStateUpdate(*msg)
 	case consistency.SyncRequest:
 		g.onSyncRequest(from)
 	case consistency.GSNQuery:

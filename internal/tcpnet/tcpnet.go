@@ -107,6 +107,8 @@ type Transport struct {
 	ins      instruments
 	queueCap int
 
+	legacyIn bool // pre-optimization inbound path (benchmark baseline)
+
 	mu      sync.Mutex
 	peers   map[node.ID]string // node -> address
 	writers map[string]*peerWriter
@@ -132,6 +134,15 @@ func WithSendQueue(n int) Option {
 			t.queueCap = n
 		}
 	}
+}
+
+// WithLegacyInbound restores the pre-optimization inbound path (buffered
+// copies, per-frame decode allocations, one runtime injection per frame)
+// and disables the writer's vectored flush. It exists so the livemax
+// benchmark can measure the old and new transport hot paths in the same
+// run; nothing else should use it.
+func WithLegacyInbound() Option {
+	return func(t *Transport) { t.legacyIn = true }
 }
 
 // New starts a transport listening on listenAddr (e.g. ":7100" or
@@ -311,12 +322,23 @@ func (t *Transport) acceptLoop() {
 	}
 }
 
-// readLoop parses length-prefixed frames off one inbound connection,
-// reusing a single body buffer across frames. Any framing or decode error
-// (unknown version or tag, truncation, oversize) drops the connection —
-// the sender re-dials, the stream resynchronizes at a frame boundary, and
-// the group layer retransmits — so a desynchronized stream can never be
-// misdecoded into wrong messages.
+// readSlab is the size of the decoder-owned inbound buffer. Reads go
+// straight from the socket into the slab and decoded messages alias it, so
+// a slab is write-once: when it fills, a fresh one is allocated and the
+// old one is garbage once its messages die. 256KB amortizes that
+// allocation over thousands of typical frames.
+const readSlab = 256 << 10
+
+// readMinFree is the minimum free tail space worth issuing a read into;
+// below it the loop moves to a fresh slab rather than degrade into tiny
+// reads.
+const readMinFree = 16 << 10
+
+// readLoop parses length-prefixed frames off one inbound connection. Any
+// framing or decode error (unknown version or tag, truncation, oversize)
+// drops the connection — the sender re-dials, the stream resynchronizes at
+// a frame boundary, and the group layer retransmits — so a desynchronized
+// stream can never be misdecoded into wrong messages.
 func (t *Transport) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer func() {
@@ -325,6 +347,81 @@ func (t *Transport) readLoop(conn net.Conn) {
 		delete(t.inbound, conn)
 		t.mu.Unlock()
 	}()
+	if t.legacyIn {
+		t.readFramesLegacy(conn)
+		return
+	}
+	t.readFrames(conn)
+}
+
+// readFrames is the zero-copy inbound hot path: the socket is read directly
+// into a decoder-owned slab, every complete frame in the readable window is
+// decoded with DecodeShared (byte fields alias the slab, hot types box from
+// the decoder's arena), and the whole window's messages are injected as one
+// batched enqueue per destination node. Decoded messages own their slab
+// regions, so the slab is never rewritten behind them; the parse cursor
+// only moves forward and cramped tails migrate to a fresh slab.
+func (t *Transport) readFrames(conn net.Conn) {
+	var dec FrameDecoder // per-connection string intern cache + arena
+	bat := live.NewBatcher(t.rt)
+	slab := make([]byte, readSlab)
+	r, w := 0, 0 // parse and fill cursors into slab
+	for {
+		for w-r >= 4 {
+			n := int(binary.BigEndian.Uint32(slab[r : r+4]))
+			if n == 0 || n > maxFrameBytes {
+				bat.Flush()
+				return
+			}
+			if w-r-4 < n {
+				break // frame body not fully arrived
+			}
+			body := slab[r+4 : r+4+n : r+4+n]
+			r += 4 + n
+			from, to, m, err := dec.DecodeShared(body)
+			if err != nil {
+				bat.Flush()
+				return
+			}
+			t.ins.messagesRecv.Inc()
+			bat.Add(from, to, m)
+		}
+		bat.Flush()
+
+		// Need more bytes. need = the full span of the pending frame when
+		// its length is already readable, else just the length prefix.
+		need := 4
+		if w-r >= 4 {
+			if n := int(binary.BigEndian.Uint32(slab[r : r+4])); n > 0 && n <= maxFrameBytes {
+				need = 4 + n
+			}
+		}
+		if len(slab)-r < need || len(slab)-w < readMinFree {
+			// The pending frame cannot fit in (or the free tail is too
+			// cramped for useful reads from) the current slab: carry the
+			// partial tail to a fresh one. Earlier regions stay untouched
+			// for the messages that alias them.
+			ns := make([]byte, max(readSlab, need))
+			copy(ns, slab[r:w])
+			w -= r
+			r = 0
+			slab = ns
+		}
+		n, err := conn.Read(slab[w:])
+		if n > 0 {
+			t.ins.bytesRecv.Add(uint64(n))
+			w += n
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// readFramesLegacy is the pre-optimization inbound path — buffered reads,
+// one copying decode and one runtime injection per frame — kept verbatim so
+// livemax can benchmark against it in the same run (WithLegacyInbound).
+func (t *Transport) readFramesLegacy(conn net.Conn) {
 	br := bufio.NewReaderSize(countingReader{r: conn, c: t.ins.bytesRecv}, 64<<10)
 	var lenBuf [4]byte
 	var body []byte

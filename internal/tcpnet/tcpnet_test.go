@@ -65,7 +65,8 @@ func TestTCPRoundTrip(t *testing.T) {
 			ctx.Send("b", consistency.Request{Method: "Get", Payload: []byte("k")})
 		},
 		OnRecv: func(from node.ID, m node.Message) {
-			if r, ok := m.(consistency.Reply); ok && string(r.Payload) == "pong" {
+			// Flatten: the live inbound path boxes hot types as pointers.
+			if r, ok := Flatten(m).(consistency.Reply); ok && string(r.Payload) == "pong" {
 				echoed.Store(true)
 			}
 		},
@@ -80,7 +81,7 @@ func TestTCPRoundTrip(t *testing.T) {
 	b = &node.FuncNode{
 		OnInit: func(ctx node.Context) { bCtx.Store(ctx) },
 		OnRecv: func(from node.ID, m node.Message) {
-			if req, ok := m.(consistency.Request); ok && req.Method == "Get" {
+			if req, ok := Flatten(m).(consistency.Request); ok && req.Method == "Get" {
 				bCtx.Load().(node.Context).Send(from, consistency.Reply{Payload: []byte("pong")})
 			}
 		},
@@ -188,7 +189,7 @@ func TestTCPConcurrentSendersFraming(t *testing.T) {
 	var wrong atomic.Int64
 	b := &node.FuncNode{
 		OnRecv: func(from node.ID, m node.Message) {
-			req, ok := m.(consistency.Request)
+			req, ok := Flatten(m).(consistency.Request)
 			if !ok || req.Method != "Set" || string(req.Payload) != "k=v" {
 				wrong.Add(1)
 				return
@@ -386,7 +387,7 @@ func TestTCPReconnectMidStreamExactlyOnce(t *testing.T) {
 	recv := &node.FuncNode{
 		OnInit: func(ctx node.Context) {
 			recvH.s = group.NewStack(ctx, gcfg, func(from node.ID, m node.Message) {
-				req := m.(consistency.Request)
+				req := Flatten(m).(consistency.Request)
 				mu.Lock()
 				seen[req.ID.Seq]++
 				mu.Unlock()

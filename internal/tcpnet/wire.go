@@ -154,11 +154,19 @@ func (c *stateUpdateCache) encoded(su consistency.StateUpdate) []byte {
 func (t *Transport) appendFrameCached(buf []byte, from, to node.ID, m node.Message) ([]byte, error) {
 	dm, ok := m.(group.DataMsg)
 	if !ok {
-		return AppendFrame(buf, from, to, m)
+		if p, isPtr := m.(*group.DataMsg); isPtr {
+			dm = *p
+		} else {
+			return AppendFrame(buf, from, to, m)
+		}
 	}
 	su, ok := dm.Payload.(consistency.StateUpdate)
 	if !ok {
-		return AppendFrame(buf, from, to, m)
+		if p, isPtr := dm.Payload.(*consistency.StateUpdate); isPtr {
+			su = *p
+		} else {
+			return AppendFrame(buf, from, to, m)
+		}
 	}
 	body := t.suCache.encoded(su)
 	start := len(buf)
@@ -179,6 +187,50 @@ func (t *Transport) appendFrameCached(buf []byte, from, to node.ID, m node.Messa
 	return buf, nil
 }
 
+// appendFrameVec is appendFrameCached for the vectored flush: a DataMsg
+// carrying a StateUpdate appends only the frame header (length prefix
+// covering header+body, addressing, DataMsg fields) to buf and returns the
+// cached payload encoding separately, so the writer can splice it into a
+// net.Buffers write instead of copying it per peer. Every other message
+// appends fully with cached == nil. Wire bytes are identical to
+// AppendFrame's.
+func (t *Transport) appendFrameVec(buf []byte, from, to node.ID, m node.Message) (out, cached []byte, err error) {
+	dm, ok := m.(group.DataMsg)
+	if !ok {
+		if p, isPtr := m.(*group.DataMsg); isPtr {
+			dm = *p
+		} else {
+			out, err = AppendFrame(buf, from, to, m)
+			return out, nil, err
+		}
+	}
+	su, ok := dm.Payload.(consistency.StateUpdate)
+	if !ok {
+		if p, isPtr := dm.Payload.(*consistency.StateUpdate); isPtr {
+			su = *p
+		} else {
+			out, err = AppendFrame(buf, from, to, m)
+			return out, nil, err
+		}
+	}
+	body := t.suCache.encoded(su)
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = append(buf, WireVersion)
+	buf = appendString(buf, string(from))
+	buf = appendString(buf, string(to))
+	buf = append(buf, tagDataMsg)
+	buf = appendUvarint(buf, dm.SrcEpoch)
+	buf = appendUvarint(buf, dm.Gen)
+	buf = appendUvarint(buf, dm.Seq)
+	n := len(buf) - start - 4 + len(body)
+	if n > maxFrameBytes {
+		return buf[:start], nil, errFrameSize
+	}
+	binary.BigEndian.PutUint32(buf[start:], uint32(n))
+	return buf, body, nil
+}
+
 // DecodeFrame parses one frame body (the bytes after the 4-byte length
 // prefix). Variable-length fields are copied out of body, so the caller may
 // reuse it. Unknown versions or type tags, truncated fields, and trailing
@@ -190,10 +242,12 @@ func DecodeFrame(body []byte) (from, to node.ID, m node.Message, err error) {
 
 // FrameDecoder is DecodeFrame plus a small intern cache for the short
 // strings every frame repeats (node IDs, method names), so steady-state
-// decoding of a connection's traffic does not re-allocate them per frame.
+// decoding of a connection's traffic does not re-allocate them per frame,
+// and typed slabs backing the zero-copy DecodeShared path (wirearena.go).
 // Not safe for concurrent use; each read loop owns one.
 type FrameDecoder struct {
 	intern internTable
+	arena  decodeArena
 }
 
 // Decode is DecodeFrame against this decoder's intern cache.
@@ -250,6 +304,25 @@ func appendMessage(b []byte, m node.Message, depth int) ([]byte, error) {
 		return b, errNested
 	}
 	switch v := m.(type) {
+	// Pointer forms come from DecodeShared's slab boxing; a node that
+	// forwards a received message re-encodes it here, so both forms are
+	// accepted and produce identical bytes.
+	case *group.DataMsg:
+		return appendMessage(b, *v, depth)
+	case *group.AckMsg:
+		return appendMessage(b, *v, depth)
+	case *group.HeartbeatMsg:
+		return appendMessage(b, *v, depth)
+	case *consistency.Request:
+		return appendMessage(b, *v, depth)
+	case *consistency.Reply:
+		return appendMessage(b, *v, depth)
+	case *consistency.GSNAssign:
+		return appendMessage(b, *v, depth)
+	case *consistency.GSNAssignBatch:
+		return appendMessage(b, *v, depth)
+	case *consistency.StateUpdate:
+		return appendMessage(b, *v, depth)
 	case group.DataMsg:
 		b = append(b, tagDataMsg)
 		b = appendUvarint(b, v.SrcEpoch)
@@ -368,6 +441,7 @@ func appendMessage(b []byte, m node.Message, depth int) ([]byte, error) {
 // err once at the end.
 type wireReader struct {
 	intern *internTable
+	arena  *decodeArena // non-nil: shared decode (alias bytes, slab boxing)
 	b      []byte
 	err    error
 }
@@ -426,6 +500,13 @@ func (r *wireReader) bytes() []byte {
 	}
 	if n == 0 {
 		return nil
+	}
+	if r.arena != nil {
+		// Shared decode: alias the frame body instead of copying. The
+		// DecodeShared contract transfers buffer ownership to the message.
+		out := r.b[:n:n]
+		r.b = r.b[n:]
+		return out
 	}
 	out := make([]byte, n)
 	copy(out, r.b[:n])
@@ -517,7 +598,12 @@ func (r *wireReader) requestIDs() []consistency.RequestID {
 	if n == 0 {
 		return nil
 	}
-	out := make([]consistency.RequestID, n)
+	var out []consistency.RequestID
+	if r.arena != nil {
+		out = r.arena.requestIDs(int(n))
+	} else {
+		out = make([]consistency.RequestID, n)
+	}
 	for i := range out {
 		out[i] = r.requestID()
 	}
@@ -536,6 +622,9 @@ func decodeMessage(r *wireReader, depth int) node.Message {
 		m.Gen = r.uvarint()
 		m.Seq = r.uvarint()
 		m.Payload = decodeMessage(r, depth+1)
+		if r.arena != nil {
+			return r.arena.putDataMsg(m)
+		}
 		return m
 	case tagAckMsg:
 		var m group.AckMsg
@@ -543,8 +632,14 @@ func decodeMessage(r *wireReader, depth int) node.Message {
 		m.DstEpoch = r.uvarint()
 		m.Gen = r.uvarint()
 		m.Expected = r.uvarint()
+		if r.arena != nil {
+			return r.arena.putAck(m)
+		}
 		return m
 	case tagHeartbeatMsg:
+		if r.arena != nil {
+			return r.arena.putHeartbeat(group.HeartbeatMsg{Group: r.str()})
+		}
 		return group.HeartbeatMsg{Group: r.str()}
 	case tagRequest:
 		var m consistency.Request
@@ -553,6 +648,9 @@ func decodeMessage(r *wireReader, depth int) node.Message {
 		m.Payload = r.bytes()
 		m.ReadOnly = r.bool_()
 		m.Staleness = int(r.varint())
+		if r.arena != nil {
+			return r.arena.putRequest(m)
+		}
 		return m
 	case tagReply:
 		var m consistency.Reply
@@ -563,12 +661,18 @@ func decodeMessage(r *wireReader, depth int) node.Message {
 		m.CSN = r.uvarint()
 		m.Replica = r.id()
 		m.Deferred = r.bool_()
+		if r.arena != nil {
+			return r.arena.putReply(m)
+		}
 		return m
 	case tagGSNAssign:
 		var m consistency.GSNAssign
 		m.ID = r.requestID()
 		m.GSN = r.uvarint()
 		m.Update = r.bool_()
+		if r.arena != nil {
+			return r.arena.putAssign(m)
+		}
 		return m
 	case tagGSNRequest:
 		var m consistency.GSNRequest
@@ -591,6 +695,9 @@ func decodeMessage(r *wireReader, depth int) node.Message {
 		m.CSN = r.uvarint()
 		m.Snapshot = r.bytes()
 		m.RecentIDs = r.requestIDs()
+		if r.arena != nil {
+			return r.arena.putStateUpdate(m)
+		}
 		return m
 	case tagPerfBroadcast:
 		var m consistency.PerfBroadcast
@@ -620,6 +727,9 @@ func decodeMessage(r *wireReader, depth int) node.Message {
 		m.Updates = r.requestIDs()
 		m.ReadGSN = r.uvarint()
 		m.Reads = r.requestIDs()
+		if r.arena != nil {
+			return r.arena.putAssignBatch(m)
+		}
 		return m
 	case tagShardMapAnnounce:
 		var m consistency.ShardMapAnnounce

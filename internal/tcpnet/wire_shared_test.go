@@ -1,0 +1,147 @@
+package tcpnet
+
+import (
+	"reflect"
+	"testing"
+
+	"aqua/internal/consistency"
+	"aqua/internal/group"
+	"aqua/internal/node"
+)
+
+// TestWireDecodeSharedMatchesDecode pins the shared decoder against the
+// copying one across every seed message shape: identical frames must yield
+// semantically identical messages (after Flatten normalizes pointer
+// boxing), with identical addressing.
+func TestWireDecodeSharedMatchesDecode(t *testing.T) {
+	var shared, plain FrameDecoder
+	for i, m := range fuzzSeedMessages() {
+		frame, err := AppendFrame(nil, "p00", "c01", m)
+		if err != nil {
+			t.Fatalf("seed %d: encode: %v", i, err)
+		}
+		body := frame[4:]
+		f1, t1, m1, err1 := plain.Decode(body)
+		// DecodeShared consumes ownership of its body; give it a copy so
+		// the two decoders cannot interfere.
+		bodyCopy := append([]byte(nil), body...)
+		f2, t2, m2, err2 := shared.DecodeShared(bodyCopy)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("seed %d: decode errs: %v / %v", i, err1, err2)
+		}
+		if f1 != f2 || t1 != t2 {
+			t.Fatalf("seed %d: addressing mismatch: %s->%s vs %s->%s", i, f1, t1, f2, t2)
+		}
+		if !reflect.DeepEqual(m1, Flatten(m2)) {
+			t.Fatalf("seed %d: decoded mismatch:\n plain: %#v\nshared: %#v", i, m1, Flatten(m2))
+		}
+	}
+}
+
+// TestWireDecodeSharedAliasesInput pins the zero-copy contract (the inverse
+// of TestWireDecodedPayloadDoesNotAliasInput, which guards the copying
+// decoder): byte fields of a shared-decoded message alias the frame body.
+func TestWireDecodeSharedAliasesInput(t *testing.T) {
+	req := consistency.Request{ID: consistency.RequestID{Client: "c00", Seq: 1},
+		Method: "Set", Payload: []byte("payload-bytes")}
+	frame, err := AppendFrame(nil, "a", "b", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := frame[4:]
+	var d FrameDecoder
+	_, _, m, err := d.DecodeShared(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := m.(*consistency.Request)
+	if !ok {
+		t.Fatalf("shared decode boxed %T, want *consistency.Request", m)
+	}
+	if len(got.Payload) == 0 {
+		t.Fatal("empty payload")
+	}
+	inBody := false
+	for i := range body {
+		if &body[i] == &got.Payload[0] {
+			inBody = true
+			break
+		}
+	}
+	if !inBody {
+		t.Fatal("shared-decoded payload does not alias the frame body; the zero-copy path regressed to copying")
+	}
+}
+
+// TestWireDecodeSharedZeroAlloc is the inbound counterpart of
+// TestWireEncodeZeroAlloc and the satellite alloc guard: steady-state
+// decoding of the transport's hot frames with a warm decoder performs zero
+// heap allocations per frame. Slabs are primed by a warmup pass sized so
+// the measured runs never trigger a slab refill (arenaSlab is larger than
+// the run count per message shape).
+func TestWireDecodeSharedZeroAlloc(t *testing.T) {
+	rid := consistency.RequestID{Client: "c00", Seq: 7}
+	msgs := []node.Message{
+		group.DataMsg{SrcEpoch: 3, Gen: 1, Seq: 42,
+			Payload: consistency.Request{ID: rid, Method: "Set", Payload: []byte("key=value")}},
+		group.AckMsg{SrcEpoch: 3, DstEpoch: 2, Gen: 1, Expected: 43},
+		consistency.Reply{ID: rid, Payload: []byte("ok"), CSN: 9, Replica: "p01"},
+		group.DataMsg{SrcEpoch: 3, Gen: 1, Seq: 43,
+			Payload: consistency.GSNAssignBatch{First: 30, Updates: []consistency.RequestID{rid},
+				ReadGSN: 31, Reads: []consistency.RequestID{rid}}},
+	}
+	const runs = 100
+	if runs+1 >= arenaSlab {
+		t.Fatalf("measured runs %d must stay under arenaSlab %d or refills skew the count", runs, arenaSlab)
+	}
+	var d FrameDecoder
+	for _, m := range msgs {
+		frame, err := AppendFrame(nil, "p00", "p01", m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := frame[4:]
+		// Warm the intern table and prime every slab this shape touches.
+		if _, _, _, err := d.DecodeShared(body); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(runs, func() {
+			if _, _, _, err := d.DecodeShared(body); err != nil {
+				panic(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("DecodeShared(%T): %v allocs per frame, want 0", m, allocs)
+		}
+	}
+}
+
+// TestWireEncodePointerFormsMatchValueForms pins that re-encoding a
+// pointer-boxed message (as a forwarding node would after a shared decode)
+// produces byte-identical frames to the value form.
+func TestWireEncodePointerFormsMatchValueForms(t *testing.T) {
+	rid := consistency.RequestID{Client: "c00", Seq: 7}
+	su := consistency.StateUpdate{CSN: 5, Snapshot: []byte{1, 2, 3},
+		RecentIDs: []consistency.RequestID{rid}}
+	pairs := []struct{ val, ptr node.Message }{
+		{group.AckMsg{SrcEpoch: 1, Gen: 2, Expected: 3}, &group.AckMsg{SrcEpoch: 1, Gen: 2, Expected: 3}},
+		{group.HeartbeatMsg{Group: "g"}, &group.HeartbeatMsg{Group: "g"}},
+		{consistency.Request{ID: rid, Method: "Get"}, &consistency.Request{ID: rid, Method: "Get"}},
+		{consistency.Reply{ID: rid, CSN: 4}, &consistency.Reply{ID: rid, CSN: 4}},
+		{consistency.GSNAssign{ID: rid, GSN: 9}, &consistency.GSNAssign{ID: rid, GSN: 9}},
+		{consistency.GSNAssignBatch{First: 1}, &consistency.GSNAssignBatch{First: 1}},
+		{su, &su},
+		{group.DataMsg{Seq: 1, Payload: consistency.Request{ID: rid}},
+			&group.DataMsg{Seq: 1, Payload: &consistency.Request{ID: rid}}},
+	}
+	for i, p := range pairs {
+		a, err1 := AppendFrame(nil, "x", "y", p.val)
+		b, err2 := AppendFrame(nil, "x", "y", p.ptr)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("pair %d: %v / %v", i, err1, err2)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("pair %d (%T): pointer form encodes differently", i, p.val)
+		}
+	}
+}

@@ -48,7 +48,18 @@ type peerWriter struct {
 	// steady-state encode path allocates nothing per frame.
 	batch         []frameRec
 	buf           []byte
+	splices       []vecSplice
+	nbScratch     [][]byte
 	cooldownUntil time.Time
+}
+
+// vecSplice marks a point in the flush buffer where a cached StateUpdate
+// body belongs. Offsets (not sub-slices) because buf may reallocate while
+// later frames append to it; the net.Buffers view is materialized only
+// after the whole batch is encoded.
+type vecSplice struct {
+	off  int    // buf offset the body is spliced after
+	body []byte // cached, immutable encoded payload
 }
 
 func newPeerWriter(t *Transport, addr string, queueCap int) *peerWriter {
@@ -110,24 +121,39 @@ func (w *peerWriter) run() {
 	}
 }
 
-// flush encodes the drained batch into the reused buffer and writes it with
-// a single conn.Write. Connection setup (and its retry/backoff/cooldown)
-// happens here, on the writer goroutine, never on a Send caller.
+// flush encodes the drained batch into the reused buffer and writes it in
+// one syscall. Frames whose tail is a cached StateUpdate body are not
+// copied into the buffer: flush records a splice point and hands the kernel
+// a vectored net.Buffers write ([header|...|header, cached-body, ...]), so
+// a fan-out of large snapshots moves each body zero extra times. Connection
+// setup (and its retry/backoff/cooldown) happens here, on the writer
+// goroutine, never on a Send caller.
 func (w *peerWriter) flush() {
 	if w.getConn() == nil && !w.dial() {
 		w.t.ins.drops.Add(uint64(len(w.batch)))
 		return
 	}
 	w.buf = w.buf[:0]
+	w.splices = w.splices[:0]
+	vectored := !w.t.legacyIn
 	frames := 0
 	for i := range w.batch {
 		f := &w.batch[i]
-		b, err := w.t.appendFrameCached(w.buf, f.from, f.to, f.msg)
+		var b, cached []byte
+		var err error
+		if vectored {
+			b, cached, err = w.t.appendFrameVec(w.buf, f.from, f.to, f.msg)
+		} else {
+			b, err = w.t.appendFrameCached(w.buf, f.from, f.to, f.msg)
+		}
 		if err != nil {
 			w.t.ins.drops.Inc() // unregistered type: skip, keep the rest
 			continue
 		}
 		w.buf = b
+		if cached != nil {
+			w.splices = append(w.splices, vecSplice{off: len(b), body: cached})
+		}
 		frames++
 	}
 	if frames == 0 {
@@ -139,7 +165,30 @@ func (w *peerWriter) flush() {
 		w.t.ins.drops.Add(uint64(frames))
 		return
 	}
-	if _, err := conn.Write(w.buf); err != nil {
+	total := len(w.buf)
+	var err error
+	if len(w.splices) == 0 {
+		_, err = conn.Write(w.buf)
+	} else {
+		// Materialize the vectored view: buffer segments between splice
+		// points interleaved with the cached bodies, then one writev.
+		w.nbScratch = w.nbScratch[:0]
+		prev := 0
+		for _, sp := range w.splices {
+			if sp.off > prev {
+				w.nbScratch = append(w.nbScratch, w.buf[prev:sp.off])
+			}
+			w.nbScratch = append(w.nbScratch, sp.body)
+			total += len(sp.body)
+			prev = sp.off
+		}
+		if prev < len(w.buf) {
+			w.nbScratch = append(w.nbScratch, w.buf[prev:])
+		}
+		nb := net.Buffers(w.nbScratch)
+		_, err = nb.WriteTo(conn)
+	}
+	if err != nil {
 		// Broken pipe: drop the batch and the connection; the next flush
 		// re-dials and the group layer retransmits.
 		w.t.ins.drops.Add(uint64(frames))
@@ -147,7 +196,7 @@ func (w *peerWriter) flush() {
 		return
 	}
 	w.t.ins.messagesSent.Add(uint64(frames))
-	w.t.ins.bytesSent.Add(uint64(len(w.buf)))
+	w.t.ins.bytesSent.Add(uint64(total))
 }
 
 // dial establishes the connection with the bounded retry ladder; on

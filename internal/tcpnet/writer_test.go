@@ -1,0 +1,74 @@
+package tcpnet
+
+import (
+	"sync"
+	"testing"
+
+	"aqua/internal/consistency"
+	"aqua/internal/live"
+	"aqua/internal/node"
+	"aqua/internal/obs"
+)
+
+// TestWriterRingOverflowAccounting hammers one peer's bounded send ring
+// from concurrent senders while the peer is unreachable, then checks the
+// books balance exactly: every enqueued frame is either a counted drop
+// (ring overflow or failed-dial flush) — never lost silently, never
+// double-counted — and the queue-depth gauge returns to zero. Run under
+// -race in CI.
+func TestWriterRingOverflowAccounting(t *testing.T) {
+	rt := live.NewRuntime()
+	defer rt.Stop()
+	// Peer address points at a fresh, unbound port: dials fail, so nothing
+	// is ever delivered and every send must eventually surface as a drop.
+	probe, err := New(rt, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := probe.Addr()
+	probe.Close() // release the port; nothing listens there now
+
+	tr, err := New(rt, "127.0.0.1:0", map[node.ID]string{"peer": deadAddr},
+		WithSendQueue(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	reg := obs.NewRegistry()
+	tr.Instrument(reg)
+
+	const senders, perSender = 4, 500
+	var wg sync.WaitGroup
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				tr.Send("local", "peer", consistency.GSNQuery{Epoch: uint64(i)})
+			}
+		}()
+	}
+	wg.Wait()
+
+	const total = senders * perSender
+	waitFor(t, func() bool {
+		return counterValue(t, reg, "tcpnet_drops_total") == total
+	}, "all sends accounted as drops")
+	waitFor(t, func() bool {
+		return gaugeValue(t, reg, "tcpnet_send_queue_depth") == 0
+	}, "queue depth back to zero")
+	if sent := counterValue(t, reg, "tcpnet_messages_sent_total"); sent != 0 {
+		t.Fatalf("messages_sent = %d with no reachable peer", sent)
+	}
+}
+
+func gaugeValue(t *testing.T, reg *obs.Registry, name string) int64 {
+	t.Helper()
+	for _, s := range reg.Snapshot() {
+		if s.Name == name {
+			return int64(s.Value)
+		}
+	}
+	t.Fatalf("gauge %s not in snapshot", name)
+	return 0
+}

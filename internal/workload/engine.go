@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 	"strconv"
+	"sync"
 	"time"
 
 	"aqua/internal/client"
@@ -136,6 +137,14 @@ type EngineConfig struct {
 	Clients int
 	// Arrivals drives the aggregate request stream. Required.
 	Arrivals Process
+	// ArrivalCoalesce, when positive, quantizes the arrival schedule on the
+	// live runtime: consecutive inter-arrival gaps are summed until they
+	// reach this span, and that many requests are issued in one timer fire.
+	// This trades per-arrival timer precision for far fewer runtime timers
+	// at high offered rates (a real load generator's batching). Zero (the
+	// default) keeps one timer per arrival — the simulator experiments use
+	// that and are byte-identical to before this knob existed.
+	ArrivalCoalesce time.Duration
 	// ReadFraction is the probability an arrival is a read (0 = all
 	// updates, 1 = all reads).
 	ReadFraction float64
@@ -146,6 +155,11 @@ type EngineConfig struct {
 	// "Set"/"x").
 	UpdateMethod string
 	UpdateKey    string
+	// UpdatePad, when positive, pads every update payload to at least this
+	// many bytes with trailing filler — the knob that gives live
+	// benchmarks realistic KV value sizes. Zero (the default) keeps the
+	// historical bare "key=<seq>" payloads, byte-identical to before.
+	UpdatePad int
 	// Staleness is the read staleness bound a (0 = sequential consistency).
 	Staleness int
 	// Deadline classifies read completions: past it they count as timing
@@ -353,6 +367,7 @@ type Engine struct {
 	stopped  bool
 	nextSeq  uint64
 	clientRR uint32 // round-robin attribution cursor over the population
+	pad      []byte // cached filler for UpdatePad
 
 	// outstanding is the per-client in-flight count — the entire state of a
 	// simulated client, which is what lets one node stand in for a million
@@ -363,8 +378,15 @@ type Engine struct {
 	order   []uint64 // pending seqs in issue order; head indexes the oldest
 	head    int
 
-	m EngineMetrics
+	// mu guards the accounting (m, pending bookkeeping, shard counters) so
+	// Metrics/Pending/ShardCounts can snapshot mid-run on the live runtime,
+	// where the engine's mailbox goroutine runs concurrently with the
+	// measuring goroutine. Under the simulator the lock is uncontended and
+	// changes nothing observable.
+	mu sync.Mutex
+	m  EngineMetrics
 
+	arrivalN  int // arrivals to issue at the next timer fire (coalescing)
 	arrivalFn func()
 	sweepFn   func()
 }
@@ -436,11 +458,20 @@ func (e *Engine) Recv(from node.ID, m node.Message) {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Metrics returns a snapshot of the engine's accounting (value semantics —
-// diff two snapshots with Sub to scope a measurement window).
-func (e *Engine) Metrics() EngineMetrics { return e.m }
+// diff two snapshots with Sub to scope a measurement window). Safe to call
+// from outside the engine's goroutine while a live run is in progress.
+func (e *Engine) Metrics() EngineMetrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.m
+}
 
 // Pending returns the current in-flight request count.
-func (e *Engine) Pending() int { return len(e.pending) }
+func (e *Engine) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.pending)
+}
 
 // arrival issues one request (or sheds it) and schedules the next — the
 // open loop: the schedule depends only on the arrival process, never on
@@ -449,12 +480,32 @@ func (e *Engine) arrival() {
 	if e.stopped {
 		return
 	}
-	e.issue()
-	if e.cfg.MaxRequests > 0 && e.m.Issued+e.m.Shed >= e.cfg.MaxRequests {
-		e.stopped = true
-		return
+	n := e.arrivalN
+	if n < 1 {
+		n = 1
 	}
-	e.ctx.Post(e.cfg.Arrivals.Gap(e.ctx.Rand(), e.ctx.Now().Sub(e.started)), e.arrivalFn)
+	e.mu.Lock()
+	for i := 0; i < n; i++ {
+		e.issue()
+		if e.cfg.MaxRequests > 0 && e.m.Issued+e.m.Shed >= e.cfg.MaxRequests {
+			e.mu.Unlock()
+			e.stopped = true
+			return
+		}
+	}
+	e.mu.Unlock()
+	// With coalescing off this is exactly one Gap draw and one Post per
+	// arrival, the historical schedule; with it on, gaps accumulate until
+	// the coalesce span is covered and the count carries to the next fire.
+	elapsed := e.ctx.Now().Sub(e.started)
+	gap := e.cfg.Arrivals.Gap(e.ctx.Rand(), elapsed)
+	count := 1
+	for e.cfg.ArrivalCoalesce > 0 && gap < e.cfg.ArrivalCoalesce {
+		gap += e.cfg.Arrivals.Gap(e.ctx.Rand(), elapsed)
+		count++
+	}
+	e.arrivalN = count
+	e.ctx.Post(gap, e.arrivalFn)
 }
 
 func (e *Engine) issue() {
@@ -512,10 +563,19 @@ func (e *Engine) issue() {
 	} else {
 		req.Method = e.cfg.UpdateMethod
 		// Fresh payload per update: replicas retain the body until commit.
-		buf := make([]byte, 0, len(key)+21)
+		buf := make([]byte, 0, max(len(key)+21, e.cfg.UpdatePad))
 		buf = append(buf, key...)
 		buf = append(buf, '=')
 		req.Payload = strconv.AppendUint(buf, e.nextSeq, 10)
+		if n := e.cfg.UpdatePad - len(req.Payload); n > 0 {
+			if len(e.pad) < n {
+				e.pad = make([]byte, n)
+				for i := range e.pad {
+					e.pad[i] = '.'
+				}
+			}
+			req.Payload = append(req.Payload, e.pad[:n]...)
+		}
 		e.m.Updates++
 		primaries := e.cfg.Service.Primaries
 		if sh >= 0 {
@@ -536,6 +596,7 @@ func (e *Engine) issue() {
 // stops at the first live one.
 func (e *Engine) sweep() {
 	cutoff := e.ctx.Now().Add(-e.cfg.ExpireAfter)
+	e.mu.Lock()
 	for e.head < len(e.order) {
 		seq := e.order[e.head]
 		p, ok := e.pending[seq]
@@ -558,7 +619,9 @@ func (e *Engine) sweep() {
 		e.order = append(e.order[:0], e.order[e.head:]...)
 		e.head = 0
 	}
-	if !e.stopped || len(e.pending) > 0 {
+	again := !e.stopped || len(e.pending) > 0
+	e.mu.Unlock()
+	if again {
 		e.ctx.Post(e.cfg.ExpireAfter/4, e.sweepFn)
 	}
 }
@@ -567,6 +630,9 @@ func (e *Engine) deliver(from node.ID, m node.Message) {
 	switch msg := m.(type) {
 	case consistency.Reply:
 		e.onReply(msg)
+	case *consistency.Reply:
+		// Pointer form from the live transport's shared decoder.
+		e.onReply(*msg)
 	case consistency.SequencerAnnounce:
 		e.setSequencer(from, msg.Sequencer)
 	case consistency.PerfBroadcast:
@@ -594,6 +660,8 @@ func (e *Engine) setSequencer(from node.ID, seq node.ID) {
 // ShardCounts returns per-shard issued and completed request counts
 // (nil outside multi-shard mode) — the skew evidence for hot-shard runs.
 func (e *Engine) ShardCounts() (issued, completed []uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for i := range e.shards {
 		issued = append(issued, e.shards[i].issued)
 		completed = append(completed, e.shards[i].completed)
@@ -602,6 +670,8 @@ func (e *Engine) ShardCounts() (issued, completed []uint64) {
 }
 
 func (e *Engine) onReply(r consistency.Reply) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	p, ok := e.pending[r.ID.Seq]
 	if !ok {
 		return // duplicate reply (read fan-out) or already expired

@@ -241,3 +241,18 @@ go run ./cmd/aquabench -experiment shardmax -progress=false \
 	-shards 1,2,4 -shardmax-json BENCH_shardmax.json
 
 echo "wrote BENCH_shardmax.json"
+
+# ---- Live-cluster livemax ----
+# The only wall-clock benchmark in this file: the open-loop engine drives a
+# real deployment (parallel node runtime, TCP loopback sockets) through an
+# offered-load ramp, once on the pre-optimization hot path (per-message
+# mailbox wakeups + per-frame inbound allocation) and once on the optimized
+# one, in the same run; a closed-loop hot-path pump then isolates the
+# runtime/transport layers from protocol CPU. The report records the host's
+# GOMAXPROCS — the speedup floor enforced by TestBenchLivemaxJSONWellFormed
+# depends on it, because the optimized paths win on contention that a
+# single-core host cannot express (see EXPERIMENTS.md).
+go run ./cmd/aquabench -experiment livemax -progress=false \
+	-livemax-json BENCH_livemax.json
+
+echo "wrote BENCH_livemax.json"
