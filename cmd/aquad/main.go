@@ -37,6 +37,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -50,6 +51,7 @@ import (
 	"aqua/internal/node"
 	"aqua/internal/obs"
 	"aqua/internal/tcpnet"
+	"aqua/internal/wal"
 )
 
 func main() {
@@ -69,6 +71,9 @@ func main() {
 		shards      = flag.Int("shards", 0, "host a self-contained N-shard service in this process (-primaries/-host ignored; -cluster lists client peers only)")
 		shardPrim   = flag.Int("shard-primaries", 2, "serving primaries per shard in -shards mode (the sequencer is extra)")
 		shardSec    = flag.Int("shard-secondaries", 1, "secondaries per shard in -shards mode")
+		walDir      = flag.String("wal-dir", "", "directory for per-replica WAL + snapshot files; a restarted process recovers from it instead of re-fetching history (empty = durability off)")
+		snapEvery   = flag.Int("snapshot-every", 0, "WAL compaction threshold in log records (0 = default)")
+		replAssign  = flag.Bool("replicated-assign", false, "enable majority-floor replicated GSN ordering in the primary group")
 	)
 	flag.Parse()
 
@@ -82,7 +87,7 @@ func main() {
 			*metricsAddr, *shards, *shardPrim, *shardSec, *verbose)
 	} else {
 		err = run(*clusterSpec, *primaries, *clients, *host, *listen, *sendq, *lazy, *appName,
-			*metricsAddr, *tracePath, *verbose)
+			*metricsAddr, *tracePath, *walDir, *snapEvery, *replAssign, *verbose)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aquad:", err)
@@ -222,7 +227,7 @@ func idList(ids []node.ID) string {
 }
 
 func run(clusterSpec, primaries, clients, host, listen string, sendq int, lazy time.Duration, appName string,
-	metricsAddr, tracePath string, verbose bool) error {
+	metricsAddr, tracePath, walDir string, snapEvery int, replAssign bool, verbose bool) error {
 	spec, err := cluster.Parse(clusterSpec, primaries, clients)
 	if err != nil {
 		return err
@@ -264,8 +269,18 @@ func run(clusterSpec, primaries, clients, host, listen string, sendq int, lazy t
 	tr.Instrument(o.Obs)
 	rt.SetRemote(tr.Send)
 
+	ropts := cluster.ReplicaOptions{SnapshotEvery: snapEvery, ReplicatedAssign: replAssign}
 	for _, id := range hosted {
-		gw, err := spec.NewReplica(id, lazy, mkApp(), o)
+		ropts.Media = nil
+		if walDir != "" {
+			media, err := wal.NewFileMedia(filepath.Join(walDir, string(id)))
+			if err != nil {
+				return fmt.Errorf("-wal-dir: %w", err)
+			}
+			defer media.Close()
+			ropts.Media = media
+		}
+		gw, err := spec.NewReplicaOpts(id, lazy, mkApp(), o, ropts)
 		if err != nil {
 			return err
 		}

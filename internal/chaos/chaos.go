@@ -22,6 +22,10 @@ const (
 	ActHeal
 	ActLink
 	ActLinkClear
+	// ActRestartRecover restarts the target from its durable state (WAL +
+	// snapshot) instead of a blank slate. Appended so existing action values
+	// stay stable.
+	ActRestartRecover
 )
 
 func (a Action) String() string {
@@ -38,6 +42,8 @@ func (a Action) String() string {
 		return "link"
 	case ActLinkClear:
 		return "link_clear"
+	case ActRestartRecover:
+		return "restart_recover"
 	}
 	return fmt.Sprintf("action(%d)", uint8(a))
 }
@@ -64,7 +70,7 @@ type Event struct {
 // String renders the event for traces; the format is deterministic.
 func (e Event) String() string {
 	switch e.Action {
-	case ActCrash, ActRestart:
+	case ActCrash, ActRestart, ActRestartRecover:
 		return fmt.Sprintf("%s %s", e.Action, e.Target)
 	case ActPartition:
 		return fmt.Sprintf("partition %s open {%s | %s}", e.Name, joinIDs(e.SideA), joinIDs(e.SideB))
@@ -117,6 +123,10 @@ type Injector struct {
 	// Fresh builds the replacement node for a restart (state lost; recovery
 	// is the protocol's job). Required if the schedule contains restarts.
 	Fresh func(id node.ID) (node.Node, error)
+	// FreshRecovered builds the replacement node for a restart_recover
+	// event: the node keeps its durable media and replays snapshot + WAL at
+	// Init. Required if the schedule contains restart_recover events.
+	FreshRecovered func(id node.ID) (node.Node, error)
 	// Obs, if non-nil, is notified of every injected fault.
 	Obs Observer
 }
@@ -148,10 +158,24 @@ func (in *Injector) apply(ev Event) {
 		if err != nil {
 			panic(fmt.Sprintf("chaos: restart %s: %v", ev.Target, err))
 		}
-		in.RT.Restart(ev.Target, n)
+		// Notify the observer before Init runs: Init-time recorder events
+		// (the durable path's Recover) must land in the new incarnation.
 		if in.Obs != nil {
 			in.Obs.Restart(ev.Target)
 		}
+		in.RT.Restart(ev.Target, n)
+	case ActRestartRecover:
+		if in.FreshRecovered == nil {
+			panic("chaos: schedule contains a restart_recover but Injector.FreshRecovered is nil")
+		}
+		n, err := in.FreshRecovered(ev.Target)
+		if err != nil {
+			panic(fmt.Sprintf("chaos: restart_recover %s: %v", ev.Target, err))
+		}
+		if in.Obs != nil {
+			in.Obs.Restart(ev.Target)
+		}
+		in.RT.Restart(ev.Target, n)
 	case ActPartition:
 		in.Faults.OpenPartition(ev.Name, ev.SideA, ev.SideB)
 		in.note(ev)

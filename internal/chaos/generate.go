@@ -39,6 +39,11 @@ type GenConfig struct {
 	// MinDown/MaxDown bound each fault's duration. Zero values default to
 	// Horizon/10 and Horizon/4.
 	MinDown, MaxDown time.Duration
+	// RecoverRestarts swaps every generated restart for a restart_recover
+	// (durable state preserved, replayed at Init). It draws no extra
+	// randomness, so schedules with it off are byte-identical to builds
+	// that predate the knob.
+	RecoverRestarts bool
 }
 
 type span struct{ from, to time.Duration }
@@ -87,6 +92,11 @@ func Generate(r *rand.Rand, topo Topology, cfg GenConfig) Schedule {
 		return quantize(time.Duration(r.Int63n(int64(cfg.Horizon))))
 	}
 
+	restartAct := ActRestart
+	if cfg.RecoverRestarts {
+		restartAct = ActRestartRecover
+	}
+
 	var s Schedule
 	busy := make(map[node.ID][]span) // per-node downtime
 	var primaryDown []span           // any serving-primary/sequencer downtime
@@ -99,7 +109,7 @@ func Generate(r *rand.Rand, topo Topology, cfg GenConfig) Schedule {
 		d := dur()
 		s = append(s,
 			Event{At: at, Action: ActCrash, Target: topo.Sequencer},
-			Event{At: at + d, Action: ActRestart, Target: topo.Sequencer},
+			Event{At: at + d, Action: restartAct, Target: topo.Sequencer},
 		)
 		busy[topo.Sequencer] = append(busy[topo.Sequencer], span{at, at + d})
 		primaryDown = append(primaryDown, span{at - grace, at + d + grace})
@@ -128,7 +138,7 @@ func Generate(r *rand.Rand, topo Topology, cfg GenConfig) Schedule {
 			}
 			s = append(s,
 				Event{At: at, Action: ActCrash, Target: target},
-				Event{At: at + d, Action: ActRestart, Target: target},
+				Event{At: at + d, Action: restartAct, Target: target},
 			)
 			busy[target] = append(busy[target], span{at, at + d})
 			if primary {

@@ -16,7 +16,12 @@
 //     state update whose CSN covers its staleness requirement arrived;
 //  5. read-your-writes — within a closed-loop client session, a read is
 //     ordered at (and, with a = 0, reflects) a GSN no lower than any update
-//     the same session completed earlier.
+//     the same session completed earlier;
+//  6. recovery-frontier — a replica restarting with durable state recovers
+//     to a commit frontier no lower than its prior incarnation's reflected
+//     frontier (the WAL is written before any effect becomes visible, so
+//     nothing observable may be lost), and never re-fetches a state
+//     snapshot below what it recovered.
 //
 // The oracles are pure functions of the event trace, so the same trace
 // always yields the same verdicts, and the trace itself (WriteTrace) is
@@ -37,9 +42,10 @@ import (
 // Kind labels one trace event.
 type Kind uint8
 
-// Event kinds. Apply/ServeRead/Restore come from gateway hooks; Crash,
-// Restart and Fault from the chaos injector; Client from the workload
-// driver.
+// Event kinds. Apply/ServeRead/Restore/Recover come from gateway hooks;
+// Crash, Restart and Fault from the chaos injector; Client from the
+// workload driver. Appended in order: existing indices are load-bearing
+// for recorded traces.
 const (
 	KindApply Kind = iota + 1
 	KindServeRead
@@ -48,6 +54,7 @@ const (
 	KindRestart
 	KindFault
 	KindClient
+	KindRecover
 )
 
 func (k Kind) String() string {
@@ -66,6 +73,8 @@ func (k Kind) String() string {
 		return "fault"
 	case KindClient:
 		return "client"
+	case KindRecover:
+		return "recover"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -139,6 +148,13 @@ func (r *Recorder) Restore(replica node.ID, csn uint64) {
 	r.add(Event{Kind: KindRestore, Node: replica, CSN: csn})
 }
 
+// Recover records a durable recovery (the replica OnRecover hook): the
+// fresh incarnation reconstructed its state to csn from snapshot + WAL
+// replay at Init, before rejoining the group.
+func (r *Recorder) Recover(replica node.ID, csn uint64) {
+	r.add(Event{Kind: KindRecover, Node: replica, CSN: csn})
+}
+
 // Crash records a replica crash (injected fault).
 func (r *Recorder) Crash(replica node.ID) {
 	r.add(Event{Kind: KindCrash, Node: replica})
@@ -185,6 +201,8 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 				e.At, e.Node, e.Inc, e.Req.Client, e.Req.Seq, e.GSN, e.CSN, e.Staleness, e.Deferred)
 		case KindRestore:
 			_, err = fmt.Fprintf(w, "t=%s restore node=%s/%d csn=%d\n", e.At, e.Node, e.Inc, e.CSN)
+		case KindRecover:
+			_, err = fmt.Fprintf(w, "t=%s recover node=%s/%d csn=%d\n", e.At, e.Node, e.Inc, e.CSN)
 		case KindCrash:
 			_, err = fmt.Fprintf(w, "t=%s crash node=%s/%d\n", e.At, e.Node, e.Inc)
 		case KindRestart:
@@ -231,7 +249,8 @@ func (v *Verdict) violate(format string, args ...interface{}) {
 	}
 }
 
-// Report bundles the five invariant verdicts, in fixed order.
+// Report bundles the six invariant verdicts, in fixed order (appended,
+// never reordered: tests index into Verdicts).
 type Report struct {
 	Verdicts []Verdict
 }
@@ -281,7 +300,7 @@ type incKey struct {
 
 func (k incKey) String() string { return fmt.Sprintf("%s/%d", k.node, k.inc) }
 
-// Run judges a trace against the five protocol invariants. It is a pure
+// Run judges a trace against the six protocol invariants. It is a pure
 // function: the same event slice always produces the same report, including
 // the order and wording of violation messages.
 func Run(events []Event) Report {
@@ -291,12 +310,14 @@ func Run(events []Event) Report {
 		{Invariant: "staleness-bound"},
 		{Invariant: "deferred-read"},
 		{Invariant: "read-your-writes"},
+		{Invariant: "recovery-frontier"},
 	}}
 	checkSequential(events, &rep.Verdicts[0])
 	checkCSNMonotone(events, &rep.Verdicts[1])
 	checkStalenessBound(events, &rep.Verdicts[2])
 	checkDeferredRead(events, &rep.Verdicts[3])
 	checkReadYourWrites(events, &rep.Verdicts[4])
+	checkRecovery(events, &rep.Verdicts[5])
 	return rep
 }
 
@@ -330,10 +351,13 @@ func checkSequential(events []Event, v *Verdict) {
 		e := &events[i]
 		k := incKey{e.Node, e.Inc}
 		switch e.Kind {
-		case KindRestore:
-			// A snapshot advances the frontier wholesale: it reflects every
-			// update up to its CSN. One below the frontier adds nothing (the
-			// csn-monotonicity oracle judges rewinds).
+		case KindRestore, KindRecover:
+			// A snapshot — or a durable recovery — advances the frontier
+			// wholesale: it reflects every update up to its CSN. One below
+			// the frontier adds nothing (the csn-monotonicity oracle judges
+			// rewinds). Seeding from Recover means a recovered incarnation's
+			// first apply must continue at CSN+1: a re-apply of replayed
+			// history is flagged as a duplicate right here.
 			s := state(k)
 			if e.CSN > s.frontier {
 				s.frontier = e.CSN
@@ -392,7 +416,7 @@ func checkCSNMonotone(events []Event, v *Verdict) {
 			if s := state(k); e.GSN > s.maxApplied {
 				s.maxApplied = e.GSN
 			}
-		case KindServeRead, KindRestore:
+		case KindServeRead, KindRestore, KindRecover:
 			v.Checked++
 			s := state(k)
 			if s.haveCSN && e.CSN < s.lastCSN {
@@ -431,7 +455,9 @@ func checkDeferredRead(events []Event, v *Verdict) {
 		e := &events[i]
 		k := incKey{e.Node, e.Inc}
 		switch e.Kind {
-		case KindRestore:
+		case KindRestore, KindRecover:
+			// Recovered state covers its CSN exactly as an installed
+			// snapshot does.
 			if e.CSN > restores[k] {
 				restores[k] = e.CSN
 			}
@@ -448,6 +474,67 @@ func checkDeferredRead(events []Event, v *Verdict) {
 				}
 				v.violate("%s served deferred read %s/%d (gsn %d, a=%d) without a covering state update (%s)",
 					k, e.Req.Client, e.Req.Seq, e.GSN, e.Staleness, got)
+			}
+		}
+	}
+}
+
+// checkRecovery verifies the recovery-frontier invariant for replicas that
+// restart with durable state. The WAL append precedes both the apply and
+// the ack (and snapshot installs persist the cell at the same CSN), so at
+// any crash point the durable frontier is at least the reflected frontier:
+// a recovery reporting less lost observable history. And because recovery
+// reconstructs that frontier locally, the recovered incarnation must never
+// re-fetch a peer snapshot below it — a Restore under the recovered CSN
+// means the replica fell back to the chase/sync path recovery exists to
+// replace. Incarnations without a Recover event (fresh boots, state-loss
+// restarts) are out of scope.
+func checkRecovery(events []Event, v *Verdict) {
+	// Pass 1: each incarnation's final reflected frontier (applies and
+	// snapshot installs, plus its own recovery seed).
+	frontier := make(map[incKey]uint64)
+	for i := range events {
+		e := &events[i]
+		k := incKey{e.Node, e.Inc}
+		switch e.Kind {
+		case KindApply:
+			if e.GSN > frontier[k] {
+				frontier[k] = e.GSN
+			}
+		case KindRestore, KindRecover:
+			if e.CSN > frontier[k] {
+				frontier[k] = e.CSN
+			}
+		}
+	}
+	// Pass 2: judge each recovery against the prior incarnation, and each
+	// restore in a recovered incarnation against the recovery seed.
+	recovered := make(map[incKey]uint64)
+	for i := range events {
+		e := &events[i]
+		k := incKey{e.Node, e.Inc}
+		switch e.Kind {
+		case KindRecover:
+			v.Checked++
+			if _, dup := recovered[k]; !dup {
+				recovered[k] = e.CSN
+			}
+			if e.Inc == 0 {
+				continue // first boot: nothing durable to compare against
+			}
+			if prior := frontier[incKey{e.Node, e.Inc - 1}]; e.CSN < prior {
+				v.violate("%s recovered to csn %d below its prior incarnation's frontier %d (durable history lost)",
+					k, e.CSN, prior)
+			}
+		case KindRestore:
+			seed, ok := recovered[k]
+			if !ok {
+				continue
+			}
+			v.Checked++
+			if e.CSN < seed {
+				v.violate("%s re-fetched a snapshot at csn %d below its recovered frontier %d at t=%s",
+					k, e.CSN, seed, e.At)
 			}
 		}
 	}

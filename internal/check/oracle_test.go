@@ -287,3 +287,104 @@ func TestReportWriteFormat(t *testing.T) {
 		t.Fatal("healthy single-apply trace reported violations")
 	}
 }
+
+// TestRecoveryFrontierHealthy: a durable restart recovers to exactly the
+// prior incarnation's frontier and continues from there.
+func TestRecoveryFrontierHealthy(t *testing.T) {
+	clk := newClock()
+	r := NewRecorder(epoch, clk.now)
+	for gsn := uint64(1); gsn <= 5; gsn++ {
+		clk.advance(time.Millisecond)
+		r.Apply("p02", gsn, rid("c00", gsn))
+	}
+	r.Crash("p02")
+	r.Restart("p02")
+	r.Recover("p02", 5)
+	r.Apply("p02", 6, rid("c00", 6))
+	rep := Run(r.Events())
+	requireOK(t, rep, "recovery-frontier")
+	requireOK(t, rep, "sequential-consistency")
+	if v := verdict(t, rep, "recovery-frontier"); v.Checked == 0 {
+		t.Fatal("recovery-frontier checked nothing")
+	}
+}
+
+// TestRecoveryFrontierAheadOfApplied: the durable frontier may legally lead
+// the applied frontier (the WAL append precedes the apply; a crash lands in
+// between).
+func TestRecoveryFrontierAheadOfApplied(t *testing.T) {
+	clk := newClock()
+	r := NewRecorder(epoch, clk.now)
+	r.Apply("p02", 1, rid("c00", 1))
+	r.Crash("p02") // gsn 2 was logged but never applied
+	r.Restart("p02")
+	r.Recover("p02", 2)
+	r.Apply("p02", 3, rid("c00", 3))
+	requireOK(t, Run(r.Events()), "recovery-frontier")
+}
+
+// TestRecoveryFrontierLostHistory: recovering below the prior incarnation's
+// frontier is exactly the bug the oracle exists to catch.
+func TestRecoveryFrontierLostHistory(t *testing.T) {
+	clk := newClock()
+	r := NewRecorder(epoch, clk.now)
+	for gsn := uint64(1); gsn <= 5; gsn++ {
+		r.Apply("p02", gsn, rid("c00", gsn))
+	}
+	r.Crash("p02")
+	r.Restart("p02")
+	r.Recover("p02", 3) // two applied updates vanished
+	rep := Run(r.Events())
+	requireFail(t, rep, "recovery-frontier", "below its prior incarnation's frontier")
+}
+
+// TestRecoveryRefetchBelowFrontier: a recovered incarnation pulling a peer
+// snapshot beneath its own recovered frontier defeats the purpose of the
+// log and is flagged.
+func TestRecoveryRefetchBelowFrontier(t *testing.T) {
+	clk := newClock()
+	r := NewRecorder(epoch, clk.now)
+	for gsn := uint64(1); gsn <= 4; gsn++ {
+		r.Apply("p02", gsn, rid("c00", gsn))
+	}
+	r.Crash("p02")
+	r.Restart("p02")
+	r.Recover("p02", 4)
+	r.Restore("p02", 2) // re-fetched stale history
+	requireFail(t, Run(r.Events()), "recovery-frontier", "below its recovered frontier")
+}
+
+// TestRecoveryVacuousWithoutDurability: legacy state-loss restarts emit no
+// Recover events; the oracle stays a vacuous pass and catch-up restores are
+// not misjudged.
+func TestRecoveryVacuousWithoutDurability(t *testing.T) {
+	clk := newClock()
+	r := NewRecorder(epoch, clk.now)
+	for gsn := uint64(1); gsn <= 3; gsn++ {
+		r.Apply("p02", gsn, rid("c00", gsn))
+	}
+	r.Crash("p02")
+	r.Restart("p02")
+	r.Restore("p02", 3) // sync-based catch-up, the legacy path
+	rep := Run(r.Events())
+	v := verdict(t, rep, "recovery-frontier")
+	if !v.OK() || v.Checked != 0 {
+		t.Fatalf("expected vacuous pass, got checks=%d violations=%v", v.Checked, v.Violations)
+	}
+}
+
+// TestRecoverTraceLine locks the recover line's trace format.
+func TestRecoverTraceLine(t *testing.T) {
+	clk := newClock()
+	r := NewRecorder(epoch, clk.now)
+	r.Restart("p02")
+	r.Recover("p02", 7)
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "t=0s recover node=p02/1 csn=7\n"
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("trace %q missing %q", buf.String(), want)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"aqua/internal/obs"
 	"aqua/internal/qos"
 	"aqua/internal/replica"
+	"aqua/internal/wal"
 )
 
 // Observability bundles the optional metrics registry and trace sink a
@@ -148,24 +149,51 @@ func (s *Spec) ServiceInfo(lazy time.Duration) client.ServiceInfo {
 	}
 }
 
+// ReplicaOptions are the durability and ordering knobs a process can arm
+// on the replicas it hosts. The zero value is the legacy configuration:
+// no WAL, per-sequencer GSN ordering.
+type ReplicaOptions struct {
+	// Media, when non-nil, equips the replica with a WAL + snapshot store
+	// over it; a restart of the process then recovers from media instead
+	// of re-fetching history.
+	Media wal.Media
+	// SnapshotEvery is the WAL compaction threshold in log records
+	// (0 = replica default).
+	SnapshotEvery int
+	// ReplicatedAssign enables majority-floor replicated GSN ordering.
+	ReplicatedAssign bool
+}
+
 // NewReplica builds a replica gateway config for one hosted ID.
 func (s *Spec) NewReplica(id node.ID, lazy time.Duration, application app.Application, o Observability) (*replica.Gateway, error) {
+	return s.NewReplicaOpts(id, lazy, application, o, ReplicaOptions{})
+}
+
+// NewReplicaOpts is NewReplica with durability and ordering options.
+func (s *Spec) NewReplicaOpts(id node.ID, lazy time.Duration, application app.Application, o Observability, opts ReplicaOptions) (*replica.Gateway, error) {
 	if _, ok := s.Addresses[id]; !ok {
 		return nil, fmt.Errorf("cluster: unknown replica %q", id)
 	}
 	if s.Clients.Contains(id) {
 		return nil, fmt.Errorf("cluster: %q is a client, not a replica", id)
 	}
+	var store *wal.Store
+	if opts.Media != nil {
+		store = wal.NewStore(opts.Media)
+	}
 	return replica.New(replica.Config{
-		Primary:      s.Primaries.Contains(id),
-		PrimaryGroup: s.Primaries,
-		Secondaries:  s.Secondaries,
-		Clients:      s.Clients,
-		Group:        group.DefaultConfig(),
-		LazyInterval: lazy,
-		App:          application,
-		Obs:          o.Obs,
-		Tracer:       o.Tracer,
+		Primary:          s.Primaries.Contains(id),
+		PrimaryGroup:     s.Primaries,
+		Secondaries:      s.Secondaries,
+		Clients:          s.Clients,
+		Group:            group.DefaultConfig(),
+		LazyInterval:     lazy,
+		Durable:          store,
+		SnapshotEvery:    opts.SnapshotEvery,
+		ReplicatedAssign: opts.ReplicatedAssign,
+		App:              application,
+		Obs:              o.Obs,
+		Tracer:           o.Tracer,
 	}), nil
 }
 

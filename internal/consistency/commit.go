@@ -27,6 +27,17 @@ type CommitBuffer struct {
 	// detects ordering bugs rather than merely tolerating faults.
 	faultReorder bool
 
+	// Replicated GSN assignment (DESIGN.md §14) adds a release gate: when
+	// gated, drain stops at the ceiling — the highest GSN the sequencer has
+	// announced as majority-replicated (OrderCommit.Floor) — so no commit is
+	// released to the application before its assignment survives any
+	// sequencer death. assigned tracks the update GSNs above my_CSN whose
+	// assignments this replica holds, backing AssignFrontier; it is
+	// maintained only when gated.
+	gated    bool
+	ceiling  uint64
+	assigned map[uint64]bool
+
 	// drainScratch and idScratch back the slices returned by
 	// AddBody/AddAssign/SkipTo and PendingBodies/PendingAssignments. The
 	// returned slices are valid only until the next call on the buffer;
@@ -64,6 +75,66 @@ func (b *CommitBuffer) StagedLen() int {
 	return len(b.ready) + len(b.pendingBody) + len(b.pendingGSN)
 }
 
+// Bootstrap seeds a recovered replica's position: my_GSN = my_CSN = csn,
+// with the release ceiling at least csn (the recovered prefix was released
+// before the crash). Called once, before any traffic reaches the buffer.
+func (b *CommitBuffer) Bootstrap(csn uint64) {
+	b.myGSN, b.myCSN = csn, csn
+	if csn > b.ceiling {
+		b.ceiling = csn
+	}
+}
+
+// GateReleases switches the buffer into replicated-assignment mode: drain
+// stops at the release ceiling until SetCeiling raises it. The ceiling
+// starts at the current commit frontier, so the already-released prefix
+// stays released.
+func (b *CommitBuffer) GateReleases() {
+	b.gated = true
+	if b.assigned == nil {
+		b.assigned = make(map[uint64]bool)
+	}
+	if b.myCSN > b.ceiling {
+		b.ceiling = b.myCSN
+	}
+}
+
+// SetCeiling raises the release ceiling to the sequencer's majority floor
+// and returns the commits that become releasable, in commit order. Floors
+// are monotone facts, so a stale (lower) floor is ignored. No-op when the
+// buffer is not gated.
+func (b *CommitBuffer) SetCeiling(floor uint64) []Request {
+	if !b.gated || floor <= b.ceiling {
+		return nil
+	}
+	b.ceiling = floor
+	return b.drain()
+}
+
+// Ceiling returns the current release ceiling (meaningful only when gated).
+func (b *CommitBuffer) Ceiling() uint64 { return b.ceiling }
+
+// AssignFrontier returns the replica's contiguous assignment frontier: the
+// largest A ≥ my_CSN such that this replica holds the assignment for every
+// update GSN in (my_CSN, A]. This — not my_GSN, which read snapshots can
+// advance past assignments the replica never received — is what an
+// AssignAck reports: every GSN at or below A is locally recoverable.
+// Meaningful only when gated.
+func (b *CommitBuffer) AssignFrontier() uint64 {
+	a := b.myCSN
+	for b.assigned[a+1] {
+		a++
+	}
+	return a
+}
+
+// recordAssign notes an update assignment above my_CSN for AssignFrontier.
+func (b *CommitBuffer) recordAssign(gsn uint64) {
+	if b.gated {
+		b.assigned[gsn] = true
+	}
+}
+
 // ObserveGSN folds any externally learned GSN (e.g. from a read's GSNAssign
 // broadcast) into my_GSN.
 func (b *CommitBuffer) ObserveGSN(gsn uint64) {
@@ -98,6 +169,7 @@ func (b *CommitBuffer) AddAssign(a GSNAssign) []Request {
 		delete(b.pendingBody, a.ID)
 		return nil
 	}
+	b.recordAssign(a.GSN)
 	if req, ok := b.pendingBody[a.ID]; ok {
 		delete(b.pendingBody, a.ID)
 		return b.stage(a.GSN, req)
@@ -128,6 +200,7 @@ func (b *CommitBuffer) AddAssignBatch(first uint64, ids []RequestID) []Request {
 			delete(b.pendingBody, id)
 			continue
 		}
+		b.recordAssign(gsn)
 		if req, ok := b.pendingBody[id]; ok {
 			delete(b.pendingBody, id)
 			b.ready[gsn] = req
@@ -211,11 +284,23 @@ func (b *CommitBuffer) SkipTo(csn uint64) []Request {
 	}
 	b.myCSN = csn
 	b.ObserveGSN(csn)
+	if csn > b.ceiling {
+		// A snapshot's state is already majority-committed at its publisher;
+		// adopting it implies release up to its CSN.
+		b.ceiling = csn
+	}
 	// Drop staged updates the snapshot already covers, then emit any that
 	// became sequential.
 	for gsn := range b.ready {
 		if gsn <= csn {
 			delete(b.ready, gsn)
+		}
+	}
+	if b.gated {
+		for gsn := range b.assigned {
+			if gsn <= csn {
+				delete(b.assigned, gsn)
+			}
 		}
 	}
 	return b.drain()
@@ -239,6 +324,11 @@ func (b *CommitBuffer) EnableFaultReorder() { b.faultReorder = true }
 func (b *CommitBuffer) drain() []Request {
 	out := b.drainScratch[:0]
 	for {
+		if b.gated && b.myCSN+1 > b.ceiling {
+			// Replicated-assignment gate: the next GSN is not yet known to
+			// be majority-replicated; hold it until the ceiling rises.
+			break
+		}
 		req, ok := b.ready[b.myCSN+1]
 		if !ok {
 			if b.faultReorder {
@@ -255,6 +345,9 @@ func (b *CommitBuffer) drain() []Request {
 		}
 		delete(b.ready, b.myCSN+1)
 		b.myCSN++
+		if b.gated {
+			delete(b.assigned, b.myCSN)
+		}
 		out = append(out, req)
 	}
 	b.drainScratch = out

@@ -134,8 +134,40 @@ type (
 	GSNReport struct {
 		Epoch uint64
 		GSN   uint64
+		// Assigns, sent under replicated GSN assignment, carries the
+		// reporter's recent (request → GSN) assignment memo so the new
+		// sequencer merges every survivor's table before resuming: any
+		// assignment released to the application was acknowledged by a
+		// majority, every takeover quorum intersects that majority, and the
+		// merge therefore re-covers it — no assignment hole survives a
+		// sequencer death. Empty in the legacy (timeout-takeover) mode.
+		Assigns []GSNAssign
 	}
 )
+
+// AssignAck is a primary's cumulative ordering acknowledgement under
+// replicated GSN assignment (DESIGN.md §14): the sender knows the
+// (GSN → request) mapping for every update GSN at or below Frontier.
+// Frontiers are monotone within an incarnation, so redelivery and
+// reordering are harmless.
+type AssignAck struct {
+	// Epoch echoes the sender's view of the sequencer era (diagnostic; the
+	// floor's safety rests on frontier monotonicity, not on epochs).
+	Epoch uint64
+	// Frontier is the sender's contiguous assignment frontier
+	// (CommitBuffer.AssignFrontier).
+	Frontier uint64
+}
+
+// OrderCommit is the sequencer's replicated-ordering release: a majority of
+// the primary group (sequencer included) has acknowledged every assignment
+// at or below Floor, so replicas may release commits up to it. Floors are
+// monotone facts — once a majority holds an assignment it holds it forever —
+// so a stale or duplicated OrderCommit is harmless.
+type OrderCommit struct {
+	Epoch uint64
+	Floor uint64
+}
 
 // DigestAnnounce is the sequencer's periodic anti-entropy beacon: its
 // applied position and a hash of its state. A primary at the same position

@@ -1,0 +1,180 @@
+package consistency
+
+import "testing"
+
+// --- CommitBuffer replicated-assignment gate -------------------------------
+
+func TestCommitBufferGateHoldsUntilCeiling(t *testing.T) {
+	b := NewCommitBuffer()
+	b.GateReleases()
+	b.AddBody(upd(1))
+	b.AddBody(upd(2))
+	if got := b.AddAssign(assign(1, 1)); got != nil {
+		t.Fatalf("released below ceiling: %v", got)
+	}
+	if got := b.AddAssign(assign(2, 2)); got != nil {
+		t.Fatalf("released below ceiling: %v", got)
+	}
+	if b.MyCSN() != 0 {
+		t.Fatalf("CSN advanced past ceiling: %d", b.MyCSN())
+	}
+	// Raising the ceiling to 1 releases exactly GSN 1.
+	got := b.SetCeiling(1)
+	if len(got) != 1 || got[0].ID != rid("w", 1) || b.MyCSN() != 1 {
+		t.Fatalf("SetCeiling(1) = %v, CSN = %d", got, b.MyCSN())
+	}
+	// A stale (lower) floor is a no-op; a higher one drains the rest.
+	if got := b.SetCeiling(1); got != nil {
+		t.Fatalf("stale floor released commits: %v", got)
+	}
+	got = b.SetCeiling(5)
+	if len(got) != 1 || got[0].ID != rid("w", 2) || b.MyCSN() != 2 {
+		t.Fatalf("SetCeiling(5) = %v, CSN = %d", got, b.MyCSN())
+	}
+	if b.Ceiling() != 5 {
+		t.Fatalf("Ceiling = %d, want 5", b.Ceiling())
+	}
+}
+
+func TestCommitBufferUngatedIgnoresCeiling(t *testing.T) {
+	b := NewCommitBuffer()
+	b.AddBody(upd(1))
+	if got := b.AddAssign(assign(1, 1)); len(got) != 1 {
+		t.Fatalf("legacy mode gated a release: %v", got)
+	}
+	if got := b.SetCeiling(10); got != nil {
+		t.Fatalf("SetCeiling on ungated buffer = %v", got)
+	}
+}
+
+func TestCommitBufferBootstrap(t *testing.T) {
+	b := NewCommitBuffer()
+	b.Bootstrap(7)
+	b.GateReleases()
+	if b.MyCSN() != 7 || b.MyGSN() != 7 || b.Ceiling() != 7 {
+		t.Fatalf("after Bootstrap(7): CSN=%d GSN=%d ceiling=%d", b.MyCSN(), b.MyGSN(), b.Ceiling())
+	}
+	// Duplicate assignments at or below the bootstrap frontier are absorbed.
+	if got := b.AddAssign(assign(3, 3)); got != nil {
+		t.Fatalf("stale assign released: %v", got)
+	}
+	// The next commit continues the frontier.
+	b.AddBody(upd(8))
+	b.AddAssign(assign(8, 8))
+	got := b.SetCeiling(8)
+	if len(got) != 1 || got[0].ID != rid("w", 8) || b.MyCSN() != 8 {
+		t.Fatalf("commit after bootstrap = %v, CSN = %d", got, b.MyCSN())
+	}
+}
+
+func TestCommitBufferAssignFrontier(t *testing.T) {
+	b := NewCommitBuffer()
+	b.GateReleases()
+	if b.AssignFrontier() != 0 {
+		t.Fatalf("empty frontier = %d", b.AssignFrontier())
+	}
+	// Assignments 1, 2 and 4: frontier is 2 (hole at 3).
+	b.AddAssign(assign(1, 1))
+	b.AddAssign(assign(2, 2))
+	b.AddAssign(assign(4, 4))
+	if b.AssignFrontier() != 2 {
+		t.Fatalf("frontier with hole at 3 = %d, want 2", b.AssignFrontier())
+	}
+	// A read broadcast jumps my_GSN but must not move the assign frontier.
+	b.ObserveGSN(9)
+	if b.MyGSN() != 9 || b.AssignFrontier() != 2 {
+		t.Fatalf("GSN=%d frontier=%d after read observe, want 9/2", b.MyGSN(), b.AssignFrontier())
+	}
+	// Filling the hole extends the frontier through 4; pairing bodies and
+	// releasing commits keeps it at 4 (the range (CSN, 4] shrinks).
+	b.AddAssign(assign(3, 3))
+	if b.AssignFrontier() != 4 {
+		t.Fatalf("frontier after fill = %d, want 4", b.AssignFrontier())
+	}
+	for seq := uint64(1); seq <= 4; seq++ {
+		b.AddBody(upd(seq))
+	}
+	b.SetCeiling(4)
+	if b.MyCSN() != 4 || b.AssignFrontier() != 4 {
+		t.Fatalf("CSN=%d frontier=%d after release, want 4/4", b.MyCSN(), b.AssignFrontier())
+	}
+}
+
+func TestCommitBufferAssignFrontierBatch(t *testing.T) {
+	b := NewCommitBuffer()
+	b.GateReleases()
+	ids := []RequestID{rid("w", 1), rid("w", 2), rid("w", 3)}
+	b.AddAssignBatch(1, ids)
+	if b.AssignFrontier() != 3 {
+		t.Fatalf("frontier after batch = %d, want 3", b.AssignFrontier())
+	}
+}
+
+func TestCommitBufferSkipToRaisesCeiling(t *testing.T) {
+	b := NewCommitBuffer()
+	b.GateReleases()
+	b.AddAssign(assign(1, 1))
+	// A snapshot at CSN 5 subsumes the gate: its state is already
+	// majority-committed at the publisher.
+	b.SkipTo(5)
+	if b.MyCSN() != 5 || b.Ceiling() != 5 {
+		t.Fatalf("after SkipTo(5): CSN=%d ceiling=%d", b.MyCSN(), b.Ceiling())
+	}
+	if b.AssignFrontier() != 5 {
+		t.Fatalf("frontier after SkipTo = %d, want 5", b.AssignFrontier())
+	}
+	// Commits above the snapshot wait for the ceiling again.
+	b.AddBody(upd(6))
+	if got := b.AddAssign(assign(6, 6)); got != nil {
+		t.Fatalf("released past snapshot ceiling: %v", got)
+	}
+	if got := b.SetCeiling(6); len(got) != 1 || b.MyCSN() != 6 {
+		t.Fatalf("SetCeiling(6) = %v, CSN = %d", got, b.MyCSN())
+	}
+}
+
+// --- OrderTracker ----------------------------------------------------------
+
+func TestOrderTrackerQuorumFloor(t *testing.T) {
+	// Group of 3: quorum 2 (self + one peer).
+	tr := NewOrderTracker(3)
+	if tr.Quorum() != 2 {
+		t.Fatalf("quorum = %d, want 2", tr.Quorum())
+	}
+	if f := tr.Floor(5); f != 0 {
+		t.Fatalf("floor with no acks = %d, want 0", f)
+	}
+	tr.Observe("p01", 3)
+	if f := tr.Floor(5); f != 3 {
+		t.Fatalf("floor = %d, want 3 (self 5, peer 3)", f)
+	}
+	tr.Observe("p02", 5)
+	if f := tr.Floor(5); f != 5 {
+		t.Fatalf("floor = %d, want 5 (self 5, peers 3 and 5)", f)
+	}
+}
+
+func TestOrderTrackerMonotone(t *testing.T) {
+	tr := NewOrderTracker(3)
+	tr.Observe("p01", 8)
+	if f := tr.Floor(8); f != 8 {
+		t.Fatalf("floor = %d, want 8", f)
+	}
+	// A stale ack and a lower self frontier never regress the floor.
+	tr.Observe("p01", 2)
+	if f := tr.Floor(3); f != 8 {
+		t.Fatalf("floor regressed to %d", f)
+	}
+}
+
+func TestOrderTrackerFiveNode(t *testing.T) {
+	// Group of 5: quorum 3. Floor is the 3rd-largest frontier.
+	tr := NewOrderTracker(5)
+	tr.Observe("p01", 10)
+	tr.Observe("p02", 7)
+	tr.Observe("p03", 4)
+	tr.Observe("p04", 1)
+	if f := tr.Floor(12); f != 7 {
+		t.Fatalf("floor = %d, want 7 (frontiers 12,10,7,4,1)", f)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"aqua/internal/qos"
 	"aqua/internal/replica"
 	"aqua/internal/selection"
+	"aqua/internal/wal"
 )
 
 // Runtime is the minimal registration surface both runtimes expose.
@@ -65,6 +66,27 @@ type ServiceConfig struct {
 	SeqCostPerReq time.Duration
 	// FastReads enables the replicas' frontier read fast path.
 	FastReads bool
+	// Durable equips every replica with a write-ahead log plus periodic
+	// snapshots (package wal). A replica restarted with recovery (see
+	// Deployment.NewRecoveredReplicaGateway) replays its durable state at
+	// Init instead of re-fetching history through the sync protocol.
+	Durable bool
+	// SnapshotEvery is the WAL compaction threshold in log records
+	// (0 = replica default).
+	SnapshotEvery int
+	// ReplicatedAssign enables majority-floor replicated GSN ordering in
+	// the primary group: commits release only once a majority holds their
+	// assignments, so sequencer death leaves no assignment holes. See
+	// replica.Config.ReplicatedAssign.
+	ReplicatedAssign bool
+	// NewMedia overrides the per-replica durable media (file-backed for a
+	// live deployment). Nil uses an in-memory registry owned by the
+	// Deployment, which survives simulated restarts. Consulted only when
+	// Durable is set.
+	NewMedia func(id node.ID) (wal.Media, error)
+	// OnRecover, if set, observes every durable recovery with the replayed
+	// commit frontier. Feeds the recovery-frontier chaos oracle.
+	OnRecover func(replica node.ID, csn uint64)
 	// ExtraClients names client nodes the replicas must treat as clients
 	// (perf broadcasts, sequencer announcements) even though Deploy does
 	// not instantiate them — the hosts of shard routers and other
@@ -143,39 +165,63 @@ type Deployment struct {
 	Replicas map[node.ID]*replica.Gateway
 	Clients  map[node.ID]*client.Gateway
 
+	// Media is the per-replica durable state when Durable is on without a
+	// NewMedia override. It outlives gateway incarnations — that is what
+	// makes simulated recovery possible — and adversarial tests reach in
+	// to plant corruption between incarnations.
+	Media *wal.Registry
+
 	// Info is what each client was told about the service.
 	Info client.ServiceInfo
 
 	svc ServiceConfig
 }
 
-// NewReplicaGateway builds a fresh gateway for a deployed replica ID — the
-// replacement instance for a process restart (pass it to the runtime's
-// Restart). The new instance starts empty and recovers state through the
-// replica recovery protocol (startup SyncRequest, commit-gap chase).
-func (d *Deployment) NewReplicaGateway(id node.ID) (*replica.Gateway, error) {
-	primary := false
+// roleOf reports whether id is a primary of this deployment, or an error if
+// it is not a replica at all.
+func (d *Deployment) roleOf(id node.ID) (bool, error) {
 	for _, p := range d.PrimaryGroup {
 		if p == id {
-			primary = true
+			return true, nil
 		}
 	}
-	if !primary {
-		found := false
-		for _, s := range d.Secondaries {
-			if s == id {
-				found = true
-			}
-		}
-		if !found {
-			return nil, fmt.Errorf("core: %q is not a replica of this deployment", id)
+	for _, s := range d.Secondaries {
+		if s == id {
+			return false, nil
 		}
 	}
-	gw := replica.New(replica.Config{
+	return false, fmt.Errorf("core: %q is not a replica of this deployment", id)
+}
+
+// durableStore builds id's WAL store over its media (nil when durability is
+// off). Each gateway incarnation gets a fresh Store; the media underneath
+// persists or not depending on the restart flavor.
+func (d *Deployment) durableStore(id node.ID) (*wal.Store, error) {
+	if !d.svc.Durable {
+		return nil, nil
+	}
+	if d.svc.NewMedia != nil {
+		m, err := d.svc.NewMedia(id)
+		if err != nil {
+			return nil, fmt.Errorf("core: media for %s: %w", id, err)
+		}
+		return wal.NewStore(m), nil
+	}
+	return wal.NewStore(d.Media.Get(id)), nil
+}
+
+// buildReplicaConfig renders the deployment's replica.Config for one node.
+func (d *Deployment) buildReplicaConfig(id node.ID, primary bool) (replica.Config, error) {
+	durable, err := d.durableStore(id)
+	if err != nil {
+		return replica.Config{}, err
+	}
+	return replica.Config{
 		Primary:           primary,
 		OnApply:           bindApply(d.svc.OnApply, id),
 		OnServeRead:       bindServeRead(d.svc.OnServeRead, id),
 		OnRestore:         bindRestore(d.svc.OnRestore, id),
+		OnRecover:         bindRecover(d.svc.OnRecover, id),
 		PrimaryGroup:      d.PrimaryGroup,
 		Secondaries:       d.Secondaries,
 		Clients:           d.ClientIDs,
@@ -189,10 +235,49 @@ func (d *Deployment) NewReplicaGateway(id node.ID) (*replica.Gateway, error) {
 		SeqCostBase:       d.svc.SeqCostBase,
 		SeqCostPerReq:     d.svc.SeqCostPerReq,
 		FastReads:         d.svc.FastReads,
+		Durable:           durable,
+		SnapshotEvery:     d.svc.SnapshotEvery,
+		ReplicatedAssign:  d.svc.ReplicatedAssign,
 		App:               d.svc.NewApp(),
 		Obs:               d.svc.Obs,
 		Tracer:            d.svc.Tracer,
-	})
+	}, nil
+}
+
+// NewReplicaGateway builds a fresh gateway for a deployed replica ID — the
+// replacement instance for a process restart with total state loss (pass it
+// to the runtime's Restart). Any durable media is wiped — this restart
+// flavor models losing the disk with the process — and the new instance
+// recovers through the replica recovery protocol (startup SyncRequest,
+// commit-gap chase).
+func (d *Deployment) NewReplicaGateway(id node.ID) (*replica.Gateway, error) {
+	if d.Media != nil {
+		d.Media.Wipe(id)
+	}
+	return d.newReplica(id)
+}
+
+// NewRecoveredReplicaGateway builds a replacement gateway that keeps id's
+// durable media: at Init it replays snapshot + WAL suffix back to the
+// pre-crash commit frontier instead of re-fetching history from peers.
+// Requires ServiceConfig.Durable.
+func (d *Deployment) NewRecoveredReplicaGateway(id node.ID) (*replica.Gateway, error) {
+	if !d.svc.Durable {
+		return nil, errors.New("core: NewRecoveredReplicaGateway requires ServiceConfig.Durable")
+	}
+	return d.newReplica(id)
+}
+
+func (d *Deployment) newReplica(id node.ID) (*replica.Gateway, error) {
+	primary, err := d.roleOf(id)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := d.buildReplicaConfig(id, primary)
+	if err != nil {
+		return nil, err
+	}
+	gw := replica.New(cfg)
 	d.Replicas[id] = gw
 	return gw, nil
 }
@@ -217,6 +302,13 @@ func bindServeRead(fn func(node.ID, consistency.RequestID, uint64, uint64, int, 
 }
 
 func bindRestore(fn func(node.ID, uint64), id node.ID) func(uint64) {
+	if fn == nil {
+		return nil
+	}
+	return func(csn uint64) { fn(id, csn) }
+}
+
+func bindRecover(fn func(node.ID, uint64), id node.ID) func(uint64) {
 	if fn == nil {
 		return nil
 	}
@@ -260,6 +352,9 @@ func Deploy(rt Runtime, svc ServiceConfig, clients []ClientConfig) (*Deployment,
 		Clients:  make(map[node.ID]*client.Gateway),
 		svc:      svc,
 	}
+	if svc.Durable && svc.NewMedia == nil {
+		d.Media = wal.NewRegistry()
+	}
 	for i := 0; i < svc.Primaries; i++ {
 		d.PrimaryGroup = append(d.PrimaryGroup, node.ID(fmt.Sprintf("%sp%02d", svc.NodePrefix, i)))
 	}
@@ -280,38 +375,18 @@ func Deploy(rt Runtime, svc ServiceConfig, clients []ClientConfig) (*Deployment,
 		LazyInterval: svc.LazyInterval,
 	}
 
-	replicaCfg := func(id node.ID, primary bool) replica.Config {
-		return replica.Config{
-			OnApply:           bindApply(svc.OnApply, id),
-			OnServeRead:       bindServeRead(svc.OnServeRead, id),
-			OnRestore:         bindRestore(svc.OnRestore, id),
-			Primary:           primary,
-			PrimaryGroup:      d.PrimaryGroup,
-			Secondaries:       d.Secondaries,
-			Clients:           d.ClientIDs,
-			Group:             svc.Group,
-			LazyInterval:      svc.LazyInterval,
-			ServiceDelay:      svc.ServiceDelay,
-			ChaseInterval:     svc.ChaseInterval,
-			TakeoverTimeout:   svc.TakeoverTimeout,
-			AssignBatch:       svc.AssignBatch,
-			AssignBatchWindow: svc.AssignBatchWindow,
-			SeqCostBase:       svc.SeqCostBase,
-			SeqCostPerReq:     svc.SeqCostPerReq,
-			FastReads:         svc.FastReads,
-			App:               svc.NewApp(),
-			Obs:               svc.Obs,
-			Tracer:            svc.Tracer,
-		}
-	}
 	for _, id := range d.PrimaryGroup {
-		gw := replica.New(replicaCfg(id, true))
-		d.Replicas[id] = gw
+		gw, err := d.newReplica(id)
+		if err != nil {
+			return nil, err
+		}
 		rt.Register(id, gw)
 	}
 	for _, id := range d.Secondaries {
-		gw := replica.New(replicaCfg(id, false))
-		d.Replicas[id] = gw
+		gw, err := d.newReplica(id)
+		if err != nil {
+			return nil, err
+		}
 		rt.Register(id, gw)
 	}
 

@@ -17,6 +17,7 @@ import (
 	"aqua/internal/netsim"
 	"aqua/internal/node"
 	"aqua/internal/qos"
+	"aqua/internal/replica"
 	"aqua/internal/sim"
 	"aqua/internal/stats"
 )
@@ -73,10 +74,26 @@ type ChaosConfig struct {
 	// from Faults — the acceptance tests pin exact scenarios with it.
 	Schedule chaos.Schedule
 
+	// Durable gives every replica a WAL + snapshot store; SnapshotEvery is
+	// its compaction threshold (0 = replica default). With Durable on, the
+	// schedule's restart_recover events rebuild replicas from their own
+	// durable media instead of blank state.
+	Durable       bool
+	SnapshotEvery int
+
+	// ReplicatedAssign enables majority-floor replicated GSN ordering, so
+	// sequencer kills leave no assignment holes behind released commits.
+	ReplicatedAssign bool
+
 	// Mutate, if set, runs after deployment and before the run starts —
 	// the hook the oracle-sensitivity test uses to arm a deliberate bug on
 	// one replica.
 	Mutate func(d *core.Deployment)
+
+	// MutateFresh, if set, runs on every replacement gateway built for a
+	// restart, before its Init — the recovery-sensitivity test arms a
+	// planted WAL bug (drop-tail) on the incarnation that will recover.
+	MutateFresh func(id node.ID, gw *replica.Gateway)
 }
 
 func (c *ChaosConfig) setDefaults() {
@@ -130,6 +147,13 @@ type ChaosResult struct {
 	// FastServed sums frontier fast-path reads across replicas — nonzero
 	// proves a FastReads run actually exercised the hot path.
 	FastServed uint64
+	// Recovered maps each replica to the durable frontier its final
+	// incarnation replayed at Init (absent when it never recovered).
+	Recovered map[node.ID]uint64
+	// AppStates holds each replica's final application snapshot — what the
+	// adversarial recovery tests compare byte-for-byte against a
+	// never-crashed reference run.
+	AppStates map[node.ID][]byte
 }
 
 // chaosDriver issues total alternating Set/Get requests in a closed loop,
@@ -193,6 +217,12 @@ func RunChaosPoint(cfg ChaosConfig) ChaosResult {
 	svc.AssignBatch = cfg.AssignBatch
 	svc.AssignBatchWindow = cfg.AssignBatchWindow
 	svc.FastReads = cfg.FastReads
+	svc.Durable = cfg.Durable
+	svc.SnapshotEvery = cfg.SnapshotEvery
+	svc.ReplicatedAssign = cfg.ReplicatedAssign
+	if cfg.Durable {
+		svc.OnRecover = rec.Recover
+	}
 
 	var doneCount, completed, failed int
 	clients := make([]core.ClientConfig, cfg.Clients)
@@ -247,6 +277,19 @@ func RunChaosPoint(cfg ChaosConfig) ChaosResult {
 			if err != nil {
 				return nil, err
 			}
+			if cfg.MutateFresh != nil {
+				cfg.MutateFresh(id, gw)
+			}
+			return gw, nil
+		},
+		FreshRecovered: func(id node.ID) (node.Node, error) {
+			gw, err := d.NewRecoveredReplicaGateway(id)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.MutateFresh != nil {
+				cfg.MutateFresh(id, gw)
+			}
 			return gw, nil
 		},
 		Obs: rec,
@@ -276,8 +319,16 @@ func RunChaosPoint(cfg ChaosConfig) ChaosResult {
 		panic(fmt.Sprintf("experiment: chaos trace: %v", err)) // bytes.Buffer cannot fail
 	}
 	var fastServed uint64
-	for _, g := range d.Replicas {
+	recovered := make(map[node.ID]uint64)
+	appStates := make(map[node.ID][]byte)
+	for id, g := range d.Replicas {
 		fastServed += g.FastServed()
+		if r := g.Recovered(); r > 0 {
+			recovered[id] = r
+		}
+		if snap, err := g.App().Snapshot(); err == nil {
+			appStates[id] = snap
+		}
 	}
 	return ChaosResult{
 		Seed:       cfg.Seed,
@@ -289,6 +340,8 @@ func RunChaosPoint(cfg ChaosConfig) ChaosResult {
 		Events:     len(events),
 		Trace:      buf.Bytes(),
 		FastServed: fastServed,
+		Recovered:  recovered,
+		AppStates:  appStates,
 	}
 }
 

@@ -84,6 +84,17 @@ type Fig4Config struct {
 	// with AssignBatch > 1).
 	AssignBatchWindow time.Duration
 
+	// Durable equips every replica with the WAL + snapshot store. The
+	// in-memory media is synchronous (no scheduler events, no rand draws),
+	// so with no recovery faults injected the paper tables must stay
+	// byte-identical — TestFig4DurabilityByteIdentical holds this.
+	Durable       bool
+	SnapshotEvery int
+	// ReplicatedAssign turns on majority-floor GSN ordering. Unlike
+	// Durable it adds real protocol traffic (acks, release floors), so it
+	// carries no byte-identity claim.
+	ReplicatedAssign bool
+
 	// Sharded, when > 0, deploys that many keyspace shards via
 	// core.DeployShards and fronts every client with a shard.Router instead
 	// of a bare gateway. Sharded == 1 is the byte-identity pin: one shard
@@ -284,6 +295,9 @@ func RunFig4Point(cfg Fig4Config) Fig4Result {
 		},
 		AssignBatch:       cfg.AssignBatch,
 		AssignBatchWindow: cfg.AssignBatchWindow,
+		Durable:           cfg.Durable,
+		SnapshotEvery:     cfg.SnapshotEvery,
+		ReplicatedAssign:  cfg.ReplicatedAssign,
 		Obs:               cfg.Obs,
 		Tracer:            cfg.Trace.WithRun(cfg.runLabel(), sim.Epoch),
 	}

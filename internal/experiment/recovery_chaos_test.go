@@ -1,0 +1,411 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"aqua/internal/chaos"
+	"aqua/internal/check"
+	"aqua/internal/core"
+	"aqua/internal/group"
+	"aqua/internal/netsim"
+	"aqua/internal/node"
+	"aqua/internal/replica"
+	"aqua/internal/sim"
+	"aqua/internal/workload"
+
+	"aqua/internal/app"
+	"aqua/internal/apps"
+)
+
+// requireCleanReport fails the test with the full rendered report when any
+// invariant verdict is violated.
+func requireCleanReport(t *testing.T, name string, rep check.Report) {
+	t.Helper()
+	if !rep.OK() {
+		var buf bytes.Buffer
+		rep.Write(&buf)
+		t.Fatalf("%s: invariant violations:\n%s", name, buf.Bytes())
+	}
+}
+
+// recoveryVerdict returns the recovery-frontier verdict, asserting it sits
+// at its pinned index (appended sixth; earlier indices are load-bearing for
+// older tests).
+func recoveryVerdict(t *testing.T, rep check.Report) check.Verdict {
+	t.Helper()
+	if len(rep.Verdicts) != 6 || rep.Verdicts[5].Invariant != "recovery-frontier" {
+		t.Fatalf("verdict layout changed: %+v", rep.Verdicts)
+	}
+	return rep.Verdicts[5]
+}
+
+// TestRecoveryAdversarialSchedules is the durable-recovery acceptance
+// suite: five hand-placed crash schedules, each stressing a different
+// corner of the WAL + replicated-ordering design, all run with durability
+// and majority-floor GSN ordering armed. Every run must satisfy all six
+// invariants, actually recover at least one replica from its own media,
+// and finish with application state byte-identical to a never-faulted
+// reference run of the same configuration.
+func TestRecoveryAdversarialSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos runs in -short mode")
+	}
+
+	base := ChaosConfig{
+		Seed:             424242,
+		Durable:          true,
+		SnapshotEvery:    8, // small threshold: every run crosses several compactions
+		ReplicatedAssign: true,
+	}
+
+	// The reference: identical config, empty schedule (non-nil, so no
+	// faults are generated either).
+	ref := base
+	ref.Schedule = chaos.Schedule{}
+	refRes := RunChaosPoint(ref)
+	requireCleanReport(t, "reference", refRes.Report)
+	if !refRes.Done {
+		t.Fatalf("reference run did not finish: %d requests", refRes.Requests)
+	}
+
+	cases := []struct {
+		name string
+		// mutate tweaks the base config (batching knobs etc.).
+		mutate func(*ChaosConfig)
+		sched  chaos.Schedule
+		// recovers lists replicas that must have replayed durable state.
+		recovers []node.ID
+	}{
+		{
+			// The sequencer batches assignments; the crash lands while a
+			// window is open, so the victim's WAL ends mid-batch and replay
+			// must resume exactly at the batch's released prefix.
+			name: "crash-mid-batch",
+			mutate: func(c *ChaosConfig) {
+				c.AssignBatch = 32
+				c.AssignBatchWindow = 15 * time.Millisecond
+			},
+			sched: chaos.Schedule{
+				{At: 700 * time.Millisecond, Action: chaos.ActCrash, Target: "p01"},
+				{At: 1400 * time.Millisecond, Action: chaos.ActRestartRecover, Target: "p01"},
+			},
+			recovers: []node.ID{"p01"},
+		},
+		{
+			// Dense traffic makes it near-certain the crash lands between a
+			// commit's durable append and the client observing its ack: the
+			// client retries into the recovered incarnation, whose replayed
+			// dedup memo must suppress the duplicate instead of re-applying.
+			name: "crash-between-append-and-ack",
+			mutate: func(c *ChaosConfig) {
+				c.Clients = 4
+				c.RequestDelay = 10 * time.Millisecond
+			},
+			sched: chaos.Schedule{
+				{At: 500 * time.Millisecond, Action: chaos.ActCrash, Target: "p02"},
+				{At: 600 * time.Millisecond, Action: chaos.ActRestartRecover, Target: "p02"},
+			},
+			recovers: []node.ID{"p02"},
+		},
+		{
+			// The second crash lands 20ms after the recovering restart —
+			// enough virtual time for Init's synchronous replay plus a few
+			// fresh appends — so the final incarnation recovers from media
+			// that a recovered incarnation already extended.
+			name: "double-crash-during-replay",
+			sched: chaos.Schedule{
+				{At: 600 * time.Millisecond, Action: chaos.ActCrash, Target: "s01"},
+				{At: 900 * time.Millisecond, Action: chaos.ActRestartRecover, Target: "s01"},
+				{At: 920 * time.Millisecond, Action: chaos.ActCrash, Target: "s01"},
+				{At: 1300 * time.Millisecond, Action: chaos.ActRestartRecover, Target: "s01"},
+			},
+			recovers: []node.ID{"s01"},
+		},
+		{
+			// The kill lands on a lazy-interval boundary (LUI defaults to
+			// 250ms), when secondaries are installing StateUpdate snapshots:
+			// takeover, the snapshot installs' WAL cells, and the recovered
+			// leader's re-join all overlap.
+			name: "sequencer-kill-during-snapshot-install",
+			sched: chaos.Schedule{
+				{At: 1000 * time.Millisecond, Action: chaos.ActCrash, Target: "p00"},
+				{At: 1750 * time.Millisecond, Action: chaos.ActRestartRecover, Target: "p00"},
+			},
+			recovers: []node.ID{"p00"},
+		},
+		{
+			// The replica recovers while still partitioned from the whole
+			// service: replay must stand it at its durable frontier with no
+			// peer reachable, and the post-heal catch-up must never pull
+			// state below that frontier.
+			name: "restart-into-active-partition",
+			sched: chaos.Schedule{
+				{At: 500 * time.Millisecond, Action: chaos.ActPartition, Name: "part00",
+					SideA: []node.ID{"p00", "p01", "p02", "p03", "s00", "s01", "s04", "c00", "c01"},
+					SideB: []node.ID{"s02", "s03"}},
+				{At: 700 * time.Millisecond, Action: chaos.ActCrash, Target: "s02"},
+				{At: 900 * time.Millisecond, Action: chaos.ActRestartRecover, Target: "s02"},
+				{At: 1600 * time.Millisecond, Action: chaos.ActHeal, Name: "part00"},
+			},
+			recovers: []node.ID{"s02"},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			cfg.Schedule = tc.sched
+			if tc.mutate != nil {
+				tc.mutate(&cfg)
+			}
+			res := RunChaosPoint(cfg)
+			if !res.Done {
+				t.Fatalf("clients did not finish: %d requests, %d failed", res.Requests, res.Failed)
+			}
+			requireCleanReport(t, tc.name, res.Report)
+			if v := recoveryVerdict(t, res.Report); v.Checked == 0 {
+				t.Error("recovery-frontier oracle performed no checks")
+			}
+			for _, id := range tc.recovers {
+				if res.Recovered[id] == 0 {
+					t.Errorf("%s never recovered from its durable media", id)
+				}
+			}
+			// Same clients, same per-client keys, last write wins: the
+			// converged application state is schedule-independent. Any
+			// divergence from the never-faulted reference means recovery
+			// lost, duplicated, or reordered a committed update. (The
+			// batching/clients variants change traffic, not final state.)
+			if cfg.Clients == 0 || cfg.Clients == base.Clients {
+				for id, want := range refRes.AppStates {
+					if got, ok := res.AppStates[id]; !ok || !bytes.Equal(got, want) {
+						t.Errorf("%s final state diverged from the never-faulted reference", id)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRecoveryGeneratedSchedulePasses runs the random generator with
+// recovery restarts swapped in for every restart: whatever crash placement
+// it emits, all six invariants must hold and at least one replica must
+// have actually replayed durable state.
+func TestRecoveryGeneratedSchedulePasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos runs in -short mode")
+	}
+	for _, seed := range []int64{19, 73} {
+		cfg := ChaosConfig{
+			Seed:             seed,
+			Requests:         60,
+			Durable:          true,
+			SnapshotEvery:    8,
+			ReplicatedAssign: true,
+			Faults: chaos.GenConfig{
+				Crashes: 3, Partitions: 1, LinkFaults: 2,
+				SequencerKill: true, RecoverRestarts: true,
+			},
+		}
+		res := RunChaosPoint(cfg)
+		if len(res.Schedule) == 0 {
+			t.Fatalf("seed %d: generator produced an empty schedule", seed)
+		}
+		requireCleanReport(t, fmt.Sprintf("seed %d", seed), res.Report)
+		if len(res.Recovered) == 0 {
+			t.Errorf("seed %d: no replica recovered durable state", seed)
+		}
+	}
+}
+
+// TestRecoveryChaosSweepParallelismInvariant mirrors the PR-5 determinism
+// pin for the durable configuration: same seeds, same oracle traces and
+// verdicts, whether the sweep runs sequentially or fanned across workers.
+// Under -race in CI this also checks durability shares nothing across runs.
+func TestRecoveryChaosSweepParallelismInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep in -short mode")
+	}
+	base := ChaosConfig{
+		Requests:         40,
+		Durable:          true,
+		SnapshotEvery:    8,
+		ReplicatedAssign: true,
+		Faults: chaos.GenConfig{
+			Crashes: 2, Partitions: 1, LinkFaults: 2,
+			SequencerKill: true, RecoverRestarts: true,
+		},
+	}
+	seeds := []int64{4, 5, 6}
+
+	render := func(results []ChaosResult) []byte {
+		var buf bytes.Buffer
+		WriteChaosTable(&buf, results)
+		for i := range results {
+			buf.Write(results[i].Trace)
+		}
+		return buf.Bytes()
+	}
+
+	defer SetParallelism(1)
+	var want []byte
+	for _, par := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		SetParallelism(par)
+		got := render(RunChaosSweep(base, seeds))
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("parallelism %d changed recovery chaos traces or verdicts", par)
+		}
+	}
+}
+
+// TestRecoveryOracleCatchesDropTail proves the recovery-frontier oracle
+// can actually fail: a planted WAL bug silently drops the last records of
+// the log during replay, so the replica recovers below its pre-crash
+// frontier — exactly the durable-history loss the oracle exists to flag.
+func TestRecoveryOracleCatchesDropTail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos run in -short mode")
+	}
+	cfg := ChaosConfig{
+		Seed:    99,
+		Durable: true,
+		// No compaction before the crash: the whole history sits in the
+		// log, so dropping its tail certainly loses applied commits.
+		SnapshotEvery: 100000,
+		Schedule: chaos.Schedule{
+			{At: 2 * time.Second, Action: chaos.ActCrash, Target: "p01"},
+			{At: 2500 * time.Millisecond, Action: chaos.ActRestartRecover, Target: "p01"},
+		},
+		MutateFresh: func(id node.ID, gw *replica.Gateway) {
+			if id == "p01" {
+				gw.DurableStore().EnableDropTailFault(3)
+			}
+		},
+	}
+	res := RunChaosPoint(cfg)
+	if res.Recovered["p01"] == 0 {
+		t.Fatal("p01 never recovered — the planted bug was not exercised")
+	}
+	v := recoveryVerdict(t, res.Report)
+	if v.OK() {
+		var buf bytes.Buffer
+		res.Report.Write(&buf)
+		t.Fatalf("planted drop-tail bug was not caught by the recovery-frontier oracle:\n%s", buf.Bytes())
+	}
+}
+
+// TestSeqKillOpenLoopZeroHoles is the replicated-ordering acceptance test:
+// under open-loop load with majority-floor GSN ordering armed, killing the
+// sequencer mid-run must leave no assignment holes — every replica's
+// applied stream stays gap-free through the takeover, judged by the
+// sequential-consistency oracle over the full trace.
+func TestSeqKillOpenLoopZeroHoles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("open-loop chaos run in -short mode")
+	}
+	s := sim.NewScheduler(31337)
+	rt := sim.NewRuntime(s, sim.WithDelay(netsim.UniformDelay{
+		Min: 200 * time.Microsecond,
+		Max: time.Millisecond,
+	}))
+	rec := check.NewRecorder(sim.Epoch, s.Now)
+
+	svc := core.ServiceConfig{
+		Primaries:        3, // sequencer + 2 serving
+		Secondaries:      2,
+		LazyInterval:     100 * time.Millisecond,
+		Group:            group.DefaultConfig(),
+		NewApp:           func() app.Application { return apps.NewKVStore() },
+		ReplicatedAssign: true,
+		OnApply:          rec.Apply,
+		OnServeRead:      rec.ServeRead,
+		OnRestore:        rec.Restore,
+	}
+	d, err := core.Deploy(rt, svc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := workload.NewEngine(workload.EngineConfig{
+		Service:      d.Info,
+		Clients:      200,
+		Arrivals:     workload.Poisson{Rate: 400},
+		ReadFraction: 0.5,
+		Deadline:     50 * time.Millisecond,
+	})
+	rt.Register("load", eng)
+	rt.Start()
+
+	// One second of steady load, then the kill; no restart — takeover
+	// alone must close the ordering pipeline's open window.
+	s.RunFor(time.Second)
+	preKill := eng.Metrics().UpdatesDone
+	rt.Crash(d.Sequencer)
+	rec.Crash(d.Sequencer)
+	s.RunFor(3 * time.Second)
+
+	if m := eng.Metrics(); m.UpdatesDone <= preKill {
+		t.Fatalf("no updates committed after the sequencer kill (before=%d after=%d)",
+			preKill, m.UpdatesDone)
+	}
+	rep := check.Run(rec.Events())
+	requireCleanReport(t, "seq-kill-open-loop", rep)
+	seq := rep.Verdicts[0]
+	if seq.Invariant != "sequential-consistency" || seq.Checked == 0 {
+		t.Fatalf("sequential-consistency oracle did not run: %+v", seq)
+	}
+	var floors uint64
+	for _, id := range d.PrimaryGroup {
+		g := d.Replicas[id]
+		if g.IsLeader() {
+			floors += g.OrderCommits()
+		}
+	}
+	if floors == 0 {
+		t.Error("no OrderCommit floors were ever broadcast — replicated ordering never engaged")
+	}
+}
+
+// TestFig4DurabilityByteIdentical pins the compatibility contract of the
+// durable layer: with the WAL + snapshot store armed on every replica but
+// no recovery faults injected, the Fig4 paper tables must be byte-for-byte
+// identical to a run without durability. The in-memory media is synchronous
+// — no scheduler events, no rand draws — so merely logging must not perturb
+// virtual-time execution.
+func TestFig4DurabilityByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig4 sweep in -short mode")
+	}
+	render := func(durable bool) []byte {
+		var results []Fig4Result
+		for _, deadline := range []time.Duration{100 * time.Millisecond, 200 * time.Millisecond} {
+			results = append(results, RunFig4Point(Fig4Config{
+				Seed:          77,
+				Deadline:      deadline,
+				MinProb:       0.05,
+				Requests:      60,
+				RequestDelay:  100 * time.Millisecond,
+				Durable:       durable,
+				SnapshotEvery: 8,
+			}))
+		}
+		var buf bytes.Buffer
+		WriteFig4aTable(&buf, results)
+		WriteFig4bTable(&buf, results)
+		return buf.Bytes()
+	}
+
+	plain := render(false)
+	durable := render(true)
+	if !bytes.Equal(plain, durable) {
+		t.Fatalf("durability perturbed the paper tables:\n--- plain ---\n%s\n--- durable ---\n%s",
+			plain, durable)
+	}
+}

@@ -1,0 +1,121 @@
+package replica
+
+import (
+	"aqua/internal/consistency"
+	"aqua/internal/wal"
+)
+
+// Durable state (DESIGN.md §14). The gateway's invariant is that the WAL
+// frontier always equals my_CSN: every commit release goes through the log
+// before its job enters the work queue (walAppend in enqueueCommits and the
+// state-update drain), and snapshot installs refresh the cell at the same
+// CSN they advance the buffer to. A crash therefore always lands with the
+// durable frontier at or ahead of the applied frontier — the simulator only
+// crashes nodes between callbacks, and within a callback the append
+// precedes both the apply and the ack.
+
+// recoverDurable rebuilds pre-crash state at Init: restore the snapshot
+// cell, replay the log suffix against the application, and reseed the
+// protocol memos so the replica stands exactly where its last incarnation
+// committed — without re-fetching history from its peers.
+func (g *Gateway) recoverDurable() {
+	rec, err := g.cfg.Durable.Recover()
+	if err != nil {
+		// An unreadable store recovers nothing provable; rejoin as a fresh
+		// node through the usual sync path.
+		g.ctx.Logf("replica: wal recover: %v", err)
+	}
+	if rec.CSN == 0 {
+		return // empty store: first boot, or nothing durable survived
+	}
+	if rec.Snapshot.CSN > 0 || len(rec.Snapshot.App) > 0 {
+		if err := g.cfg.App.Restore(rec.Snapshot.App); err != nil {
+			g.ctx.Logf("replica: wal snapshot restore failed: %v", err)
+			return
+		}
+		for _, id := range rec.Snapshot.RecentIDs {
+			g.markCommitted(id)
+		}
+	}
+	for i := range rec.Records {
+		r := &rec.Records[i]
+		if !r.Dup {
+			if _, err := g.cfg.App.ApplyUpdate(r.Method, r.Payload); err != nil {
+				g.ctx.Logf("replica: wal replay apply %s: %v", fmtID(r.ID), err)
+			}
+		}
+		g.markCommitted(r.ID)
+		g.rememberBody(consistency.Request{ID: r.ID, Method: r.Method, Payload: r.Payload})
+		g.observeAssign(r.ID, r.GSN)
+	}
+	g.commit.Bootstrap(rec.CSN)
+	g.applied = rec.CSN
+	g.recovered = rec.CSN
+	g.ins.recoveries.Inc()
+	g.ins.recoveryReplayed.Observe(float64(len(rec.Records)))
+	// Replay is not re-execution for the trace: the prior incarnation's
+	// OnApply events already cover these GSNs. OnRecover marks where the
+	// recovered incarnation resumes instead.
+	if g.cfg.OnRecover != nil {
+		g.cfg.OnRecover(rec.CSN)
+	}
+	g.ctx.Logf("replica: recovered to CSN %d (snapshot %d + %d records, torn=%t)",
+		rec.CSN, rec.Snapshot.CSN, len(rec.Records), rec.Torn)
+}
+
+// Recovered returns the durable commit frontier Init reconstructed (0 when
+// none) — for tests and diagnostics.
+func (g *Gateway) Recovered() uint64 { return g.recovered }
+
+// DurableStore exposes the gateway's WAL store (nil when durability is
+// off) — the adversarial tests arm crash-point and planted-bug injections
+// on it before Init runs.
+func (g *Gateway) DurableStore() *wal.Store { return g.cfg.Durable }
+
+// walAppend durably logs one released commit before its job enters the
+// work queue: the ack and the visible state change both happen after the
+// record is on media. No-op without a durable store.
+func (g *Gateway) walAppend(gsn uint64, req *consistency.Request, dup bool) {
+	if g.cfg.Durable == nil {
+		return
+	}
+	rec := wal.Record{GSN: gsn, ID: req.ID, Method: req.Method, Payload: req.Payload, Dup: dup}
+	if err := g.cfg.Durable.Append(&rec); err != nil {
+		g.ctx.Logf("replica: wal append gsn %d: %v", gsn, err)
+		return
+	}
+	g.ins.walAppends.Inc()
+}
+
+// walSaveSnapshot replaces the snapshot cell (and resets the log) with
+// state at csn. No-op without a durable store.
+func (g *Gateway) walSaveSnapshot(csn uint64, appState []byte, ids []consistency.RequestID) {
+	if g.cfg.Durable == nil {
+		return
+	}
+	snap := wal.Snapshot{CSN: csn, App: appState, RecentIDs: ids}
+	if err := g.cfg.Durable.SaveSnapshot(&snap); err != nil {
+		g.ctx.Logf("replica: wal snapshot at %d: %v", csn, err)
+		return
+	}
+	g.ins.walSnapshots.Inc()
+}
+
+// maybeCompact folds the log into a fresh snapshot once it exceeds the
+// compaction threshold. Runs only when the applied frontier has caught up
+// with the commit frontier, so the snapshot provably covers every logged
+// record.
+func (g *Gateway) maybeCompact() {
+	if g.cfg.Durable == nil || g.cfg.Durable.LogRecords() < g.cfg.SnapshotEvery {
+		return
+	}
+	if g.applied != g.commit.MyCSN() {
+		return // queued commits not yet applied; next completion retries
+	}
+	snap, err := g.cfg.App.Snapshot()
+	if err != nil {
+		g.ctx.Logf("replica: compaction snapshot failed: %v", err)
+		return
+	}
+	g.walSaveSnapshot(g.applied, snap, g.recentCommittedIDs(1024))
+}

@@ -16,6 +16,7 @@ import (
 	"aqua/internal/group"
 	"aqua/internal/node"
 	"aqua/internal/obs"
+	"aqua/internal/wal"
 )
 
 // PrimaryGroupName is the heartbeating group of primary replicas; its
@@ -82,8 +83,29 @@ type Config struct {
 	// is idle and no service-delay model is configured, is served inline —
 	// no job staging, no queue pass, no deferred-read machinery.
 	FastReads bool
+	// Durable, when non-nil, gives the replica a write-ahead log plus
+	// snapshot cell (DESIGN.md §14): every released commit is logged before
+	// its effects become visible, lazy/recovery snapshots refresh the cell,
+	// and Init replays snapshot + log suffix back to the exact pre-crash
+	// commit frontier instead of re-fetching history from peers.
+	Durable *wal.Store
+	// SnapshotEvery compacts the log into a fresh snapshot once it holds
+	// this many records; 0 selects a default of 256. Only meaningful with
+	// Durable.
+	SnapshotEvery int
+	// ReplicatedAssign enables quorum-replicated GSN assignment: primaries
+	// acknowledge their contiguous assignment frontier (AssignAck), the
+	// sequencer releases commits only up to the majority floor
+	// (OrderCommit), and takeover merges survivors' assignment tables — a
+	// sequencer death leaves no assignment hole behind a released commit.
+	ReplicatedAssign bool
 	// App is this replica's application instance.
 	App app.Application
+	// OnRecover, if set, observes a durable recovery at Init with the
+	// recovered commit frontier (after snapshot restore + log replay,
+	// before the replica rejoins the group). The chaos harness's
+	// recovery-frontier oracle feeds from it.
+	OnRecover func(csn uint64)
 	// OnApply, if set, observes every update actually executed against the
 	// application, in execution order — test hooks use it to verify the
 	// sequential-consistency prefix property across replicas.
@@ -117,6 +139,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.LazyInterval <= 0 {
 		c.LazyInterval = 2 * time.Second
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 256
 	}
 }
 
@@ -215,6 +240,17 @@ type Gateway struct {
 	lastCSN   uint64
 	lastCSNAt time.Time
 
+	// Replicated-assignment state. The tracker lives only at the leader;
+	// lastAckedFrontier suppresses duplicate AssignAcks at followers;
+	// lastFloor suppresses duplicate (or regressing) OrderCommit broadcasts
+	// across sequencer eras; recovered is the durable frontier Init
+	// reconstructed, when any.
+	orderTracker      *consistency.OrderTracker
+	lastAckedFrontier uint64
+	lastFloor         uint64
+	orderCommitsSent  uint64
+	recovered         uint64
+
 	// Reads deferred at a primary until its own commits catch up (the
 	// paper's secondaries defer until a lazy update; a primary's state
 	// converges through its commit stream instead).
@@ -267,6 +303,15 @@ func (g *Gateway) Init(ctx node.Context) {
 	g.ins = newReplicaInstruments(g.cfg.Obs, ctx.ID())
 	g.obsOn = g.cfg.Obs != nil
 
+	if g.cfg.ReplicatedAssign && g.cfg.Primary {
+		g.commit.GateReleases()
+	}
+	// Durable recovery runs before Join: the replica rejoins the group
+	// already standing at its pre-crash commit frontier.
+	if g.cfg.Durable != nil {
+		g.recoverDurable()
+	}
+
 	if g.cfg.Primary {
 		g.stack.Join(PrimaryGroupName, g.cfg.PrimaryGroup, g.onPrimaryView)
 	}
@@ -278,7 +323,10 @@ func (g *Gateway) Init(ctx node.Context) {
 	// rejoining replica converges immediately instead of waiting for the
 	// commit stream (primary) or the next lazy update (secondary). At a
 	// fresh deployment the answer is an empty snapshot at CSN 0, a no-op.
-	if !g.isLeader {
+	// A replica that just recovered durable state skips this — replacing
+	// the peer re-fetch is the point of the log; if it is genuinely behind,
+	// the chase tick's gap detection pulls a snapshot as usual.
+	if !g.isLeader && g.recovered == 0 {
 		g.stack.Send(g.sequencerID, consistency.SyncRequest{})
 	}
 }
@@ -320,9 +368,13 @@ func (g *Gateway) handleDelivery(from node.ID, m node.Message) {
 	case consistency.SyncRequest:
 		g.onSyncRequest(from)
 	case consistency.GSNQuery:
-		g.stack.Send(from, consistency.GSNReport{Epoch: msg.Epoch, GSN: g.commit.MyGSN()})
+		g.stack.Send(from, g.buildGSNReport(msg.Epoch))
 	case consistency.GSNReport:
 		g.onGSNReport(msg)
+	case consistency.AssignAck:
+		g.onAssignAck(from, msg)
+	case consistency.OrderCommit:
+		g.onOrderCommit(msg)
 	case consistency.SequencerAnnounce:
 		g.sequencerID = msg.Sequencer
 	case consistency.DigestAnnounce:

@@ -38,6 +38,16 @@ type replicaInstruments struct {
 	lazyTicks       *obs.Counter
 	lazyBatchHist   *obs.Histogram
 	serviceTimeHist *obs.Histogram
+
+	// Durability: WAL appends and snapshot-cell writes, recoveries run at
+	// Init, and the per-recovery replayed-record count.
+	walAppends       *obs.Counter
+	walSnapshots     *obs.Counter
+	recoveries       *obs.Counter
+	recoveryReplayed *obs.Histogram
+
+	// Replicated ordering: majority-floor broadcasts by the sequencer.
+	orderCommits *obs.Counter
 }
 
 func newReplicaInstruments(reg *obs.Registry, self node.ID) replicaInstruments {
@@ -46,21 +56,26 @@ func newReplicaInstruments(reg *obs.Registry, self node.ID) replicaInstruments {
 	}
 	n := string(self)
 	return replicaInstruments{
-		readsServed:     reg.Counter("aqua_replica_reads_served_total", "node", n),
-		updatesApplied:  reg.Counter("aqua_replica_updates_applied_total", "node", n),
-		readsDeferred:   reg.Counter("aqua_replica_reads_deferred_total", "node", n),
-		perfBroadcasts:  reg.Counter("aqua_replica_perf_broadcasts_total", "node", n),
-		stalenessAtRead: reg.Histogram("aqua_replica_staleness_at_read", obs.DepthBuckets(), "node", n),
-		commitStaged:    reg.Gauge("aqua_replica_commit_staged", "node", n),
-		deferredReads:   reg.Gauge("aqua_replica_deferred_reads", "node", n),
-		queueDepth:      reg.Gauge("aqua_replica_queue_depth", "node", n),
-		gsnAssigned:     reg.Counter("aqua_sequencer_gsn_assigned_total", "node", n),
-		readSnapshots:   reg.Counter("aqua_sequencer_read_snapshots_total", "node", n),
-		assignBatchHist: reg.Histogram("aqua_sequencer_assign_batch_reqs", obs.DepthBuckets(), "node", n),
-		fastReads:       reg.Counter("aqua_replica_fast_reads_total", "node", n),
-		lazyTicks:       reg.Counter("aqua_publisher_lazy_ticks_total", "node", n),
-		lazyBatchHist:   reg.Histogram("aqua_publisher_lazy_batch_updates", obs.DepthBuckets(), "node", n),
-		serviceTimeHist: reg.Histogram("aqua_replica_service_ms", obs.LatencyBucketsMS(), "node", n),
+		readsServed:      reg.Counter("aqua_replica_reads_served_total", "node", n),
+		updatesApplied:   reg.Counter("aqua_replica_updates_applied_total", "node", n),
+		readsDeferred:    reg.Counter("aqua_replica_reads_deferred_total", "node", n),
+		perfBroadcasts:   reg.Counter("aqua_replica_perf_broadcasts_total", "node", n),
+		stalenessAtRead:  reg.Histogram("aqua_replica_staleness_at_read", obs.DepthBuckets(), "node", n),
+		commitStaged:     reg.Gauge("aqua_replica_commit_staged", "node", n),
+		deferredReads:    reg.Gauge("aqua_replica_deferred_reads", "node", n),
+		queueDepth:       reg.Gauge("aqua_replica_queue_depth", "node", n),
+		gsnAssigned:      reg.Counter("aqua_sequencer_gsn_assigned_total", "node", n),
+		readSnapshots:    reg.Counter("aqua_sequencer_read_snapshots_total", "node", n),
+		assignBatchHist:  reg.Histogram("aqua_sequencer_assign_batch_reqs", obs.DepthBuckets(), "node", n),
+		fastReads:        reg.Counter("aqua_replica_fast_reads_total", "node", n),
+		lazyTicks:        reg.Counter("aqua_publisher_lazy_ticks_total", "node", n),
+		lazyBatchHist:    reg.Histogram("aqua_publisher_lazy_batch_updates", obs.DepthBuckets(), "node", n),
+		serviceTimeHist:  reg.Histogram("aqua_replica_service_ms", obs.LatencyBucketsMS(), "node", n),
+		walAppends:       reg.Counter("aqua_replica_wal_appends_total", "node", n),
+		walSnapshots:     reg.Counter("aqua_replica_wal_snapshots_total", "node", n),
+		recoveries:       reg.Counter("aqua_replica_recoveries_total", "node", n),
+		recoveryReplayed: reg.Histogram("aqua_replica_recovery_replayed_records", obs.DepthBuckets(), "node", n),
+		orderCommits:     reg.Counter("aqua_sequencer_order_commits_total", "node", n),
 	}
 }
 

@@ -70,13 +70,29 @@ func (g *Gateway) becomeSequencer() {
 
 	g.epoch++
 	g.seqReady = false
+	g.orderTracker = nil // fresh ack quorum per sequencer era
 	g.takeoverMax = g.commit.MyGSN()
 	peers := g.livePrimaryPeers()
 	if len(peers) == 0 {
 		g.finishTakeover()
 		return
 	}
-	g.takeoverAwait = len(peers)
+	await := len(peers)
+	if g.cfg.ReplicatedAssign {
+		// A majority of the full primary group (self included) suffices:
+		// it intersects the ack quorum behind every released floor, so the
+		// report merge re-covers everything the application could have
+		// observed. Waiting for more only lengthens the takeover gap; any
+		// straggler's report still folds in via the late-report path.
+		if q := len(g.cfg.PrimaryGroup)/2 + 1 - 1; q < await {
+			await = q
+		}
+		if await <= 0 {
+			g.finishTakeover()
+			return
+		}
+	}
+	g.takeoverAwait = await
 	epoch := g.epoch
 	for _, id := range peers {
 		g.stack.Send(id, consistency.GSNQuery{Epoch: epoch})
@@ -95,6 +111,11 @@ func (g *Gateway) onGSNReport(r consistency.GSNReport) {
 	if !g.isLeader || r.Epoch != g.epoch {
 		return
 	}
+	// Merge the survivor's assignment table before anything else: every
+	// released assignment is held by a majority, and this round reaches
+	// one, so the merged memo re-covers it (chases then re-issue original
+	// numbers instead of re-sequencing).
+	g.mergeReportAssigns(r.Assigns)
 	if g.seqReady {
 		// Late report (its link was recovering during the round): fold it
 		// in — Resume is monotone, so this can only correct a takeover
@@ -146,6 +167,9 @@ func (g *Gateway) finishTakeover() {
 	for _, h := range held {
 		g.sequence(h.from, h.req)
 	}
+	// Fold the new leader's own assignment frontier into the fresh-era
+	// tracker so the floor resumes rising without waiting for traffic.
+	g.maybeAckAssigns()
 }
 
 func (g *Gateway) livePrimaryPeers() []node.ID {
@@ -460,6 +484,17 @@ func (g *Gateway) chaseTick() {
 	if g.isLeader && g.seqReady && g.takeoverAwait > 0 {
 		for _, id := range g.livePrimaryPeers() {
 			g.stack.Send(id, consistency.GSNQuery{Epoch: g.epoch})
+		}
+	}
+	// Replicated assignment: re-send the current frontier each tick (acks
+	// ride an unreliable path — a lost ack must not stall the floor), and
+	// the leader re-evaluates its own frontier's contribution.
+	if g.cfg.ReplicatedAssign && g.cfg.Primary {
+		if g.isLeader {
+			g.maybeAckAssigns()
+		} else if f := g.commit.AssignFrontier(); f > 0 {
+			g.lastAckedFrontier = f
+			g.sendAssignAck(f)
 		}
 	}
 	// Anti-entropy beacon: the sequencer publishes its state digest so a

@@ -76,6 +76,7 @@ func (g *Gateway) onAssign(a consistency.GSNAssign) {
 		}
 		g.observeAssign(a.ID, a.GSN)
 		g.enqueueCommits(g.commit.AddAssign(a))
+		g.maybeAckAssigns()
 		return
 	}
 	g.commit.ObserveGSN(a.GSN)
@@ -94,6 +95,7 @@ func (g *Gateway) onAssignBatch(ab consistency.GSNAssignBatch) {
 			g.observeAssign(id, ab.First+uint64(i))
 		}
 		g.enqueueCommits(g.commit.AddAssignBatch(ab.First, ab.Updates))
+		g.maybeAckAssigns()
 	}
 	if len(ab.Reads) > 0 {
 		g.commit.ObserveGSN(ab.ReadGSN)
@@ -124,11 +126,15 @@ func (g *Gateway) enqueueCommits(commits []consistency.Request) {
 			g.markCommitted(req.ID)
 			g.rememberBody(req)
 		}
+		gsn := base + uint64(i) + 1
+		// Durability barrier: the record hits the log before the job (and
+		// with it the apply and the ack) exists.
+		g.walAppend(gsn, &req, dup)
 		g.enqueue(job{
 			kind:      jobUpdate,
 			req:       req,
 			from:      req.ID.Client,
-			gsn:       base + uint64(i) + 1,
+			gsn:       gsn,
 			arrivedAt: arrived,
 			dup:       dup,
 		})
@@ -382,6 +388,7 @@ func (g *Gateway) complete(j job) {
 		if j.gsn > g.applied {
 			g.applied = j.gsn
 		}
+		g.maybeCompact()
 		// A job at or below g.applied was subsumed by a state snapshot
 		// restored while it sat in the queue: applying it again would
 		// corrupt the newer state. The reply (from restored state) still
@@ -498,6 +505,10 @@ func (g *Gateway) onStateUpdate(su consistency.StateUpdate) {
 	for _, id := range su.RecentIDs {
 		g.markCommitted(id)
 	}
+	// The installed snapshot subsumes the log: persist it as the new
+	// durable baseline (the cell is written before the log reset, so a
+	// crash between the two leaves only subsumed records behind).
+	g.walSaveSnapshot(su.CSN, su.Snapshot, su.RecentIDs)
 	if g.isLeader && g.seqState != nil {
 		// A snapshot proves history at least this deep exists; never
 		// assign below it.
@@ -508,6 +519,7 @@ func (g *Gateway) onStateUpdate(su consistency.StateUpdate) {
 		// Updates staged above the snapshot become sequential: queue them
 		// (the apply guard in complete() keeps ordering safe).
 		g.rememberBody(req)
+		g.walAppend(base+uint64(i)+1, &req, false)
 		g.enqueue(job{kind: jobUpdate, req: req, from: req.ID.Client,
 			gsn: base + uint64(i) + 1, arrivedAt: g.ctx.Now()})
 	}

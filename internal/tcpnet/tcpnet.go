@@ -71,6 +71,8 @@ func RegisterProtocolTypes() {
 		gob.Register(consistency.DigestAnnounce{})
 		gob.Register(consistency.GSNAssignBatch{})
 		gob.Register(consistency.ShardMapAnnounce{})
+		gob.Register(consistency.AssignAck{})
+		gob.Register(consistency.OrderCommit{})
 	})
 }
 

@@ -72,6 +72,8 @@ const (
 	tagDigestAnnounce    = 15
 	tagGSNAssignBatch    = 16
 	tagShardMapAnnounce  = 17
+	tagAssignAck         = 18
+	tagOrderCommit       = 19
 )
 
 var (
@@ -374,7 +376,22 @@ func appendMessage(b []byte, m node.Message, depth int) ([]byte, error) {
 	case consistency.GSNReport:
 		b = append(b, tagGSNReport)
 		b = appendUvarint(b, v.Epoch)
-		return appendUvarint(b, v.GSN), nil
+		b = appendUvarint(b, v.GSN)
+		b = appendUvarint(b, uint64(len(v.Assigns)))
+		for _, a := range v.Assigns {
+			b = appendRequestID(b, a.ID)
+			b = appendUvarint(b, a.GSN)
+			b = appendBool(b, a.Update)
+		}
+		return b, nil
+	case consistency.AssignAck:
+		b = append(b, tagAssignAck)
+		b = appendUvarint(b, v.Epoch)
+		return appendUvarint(b, v.Frontier), nil
+	case consistency.OrderCommit:
+		b = append(b, tagOrderCommit)
+		b = appendUvarint(b, v.Epoch)
+		return appendUvarint(b, v.Floor), nil
 	case consistency.StateUpdate:
 		b = append(b, tagStateUpdate)
 		b = appendUvarint(b, v.CSN)
@@ -585,6 +602,34 @@ func (r *wireReader) uint32s() []uint32 {
 	return out
 }
 
+// gsnAssigns decodes a length-prefixed list of GSN assignments (a
+// GSNReport's takeover-merge memo). Always heap-allocated: reports are rare
+// failover traffic, not worth arena space.
+func (r *wireReader) gsnAssigns() []consistency.GSNAssign {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	// Every GSNAssign costs >= 4 bytes on the wire (id >= 2, gsn, update).
+	if n > uint64(len(r.b)) {
+		r.fail(errTruncated)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]consistency.GSNAssign, n)
+	for i := range out {
+		out[i].ID = r.requestID()
+		out[i].GSN = r.uvarint()
+		out[i].Update = r.bool_()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
 func (r *wireReader) requestIDs() []consistency.RequestID {
 	n := r.uvarint()
 	if r.err != nil {
@@ -689,6 +734,17 @@ func decodeMessage(r *wireReader, depth int) node.Message {
 		var m consistency.GSNReport
 		m.Epoch = r.uvarint()
 		m.GSN = r.uvarint()
+		m.Assigns = r.gsnAssigns()
+		return m
+	case tagAssignAck:
+		var m consistency.AssignAck
+		m.Epoch = r.uvarint()
+		m.Frontier = r.uvarint()
+		return m
+	case tagOrderCommit:
+		var m consistency.OrderCommit
+		m.Epoch = r.uvarint()
+		m.Floor = r.uvarint()
 		return m
 	case tagStateUpdate:
 		var m consistency.StateUpdate

@@ -124,10 +124,38 @@ func wireMessageGenerators() map[string]func(rng *rand.Rand, round int) node.Mes
 			return consistency.GSNQuery{Epoch: rng.Uint64()}
 		},
 		"consistency.GSNReport": func(rng *rand.Rand, round int) node.Message {
-			if round == 0 {
+			switch round {
+			case 0:
 				return consistency.GSNReport{}
+			case 1:
+				assigns := make([]consistency.GSNAssign, 1024)
+				for i := range assigns {
+					assigns[i] = consistency.GSNAssign{
+						ID: randReqID(rng), GSN: rng.Uint64(), Update: rng.Intn(2) == 0,
+					}
+				}
+				return consistency.GSNReport{Epoch: rng.Uint64(), GSN: rng.Uint64(), Assigns: assigns}
+			default:
+				var assigns []consistency.GSNAssign
+				for i := 0; i < rng.Intn(4); i++ {
+					assigns = append(assigns, consistency.GSNAssign{
+						ID: randReqID(rng), GSN: rng.Uint64(), Update: rng.Intn(2) == 0,
+					})
+				}
+				return consistency.GSNReport{Epoch: rng.Uint64(), GSN: rng.Uint64(), Assigns: assigns}
 			}
-			return consistency.GSNReport{Epoch: rng.Uint64(), GSN: rng.Uint64()}
+		},
+		"consistency.AssignAck": func(rng *rand.Rand, round int) node.Message {
+			if round == 0 {
+				return consistency.AssignAck{}
+			}
+			return consistency.AssignAck{Epoch: rng.Uint64(), Frontier: rng.Uint64()}
+		},
+		"consistency.OrderCommit": func(rng *rand.Rand, round int) node.Message {
+			if round == 0 {
+				return consistency.OrderCommit{}
+			}
+			return consistency.OrderCommit{Epoch: rng.Uint64(), Floor: rng.Uint64()}
 		},
 		"consistency.StateUpdate": func(rng *rand.Rand, round int) node.Message {
 			switch round {
@@ -227,8 +255,8 @@ func gobRoundTrip(t *testing.T, f Frame) Frame {
 func TestWireCodecDifferential(t *testing.T) {
 	RegisterProtocolTypes()
 	gens := wireMessageGenerators()
-	if len(gens) != 17 {
-		t.Fatalf("generator table covers %d types, want 17 (one per wire tag)", len(gens))
+	if len(gens) != 19 {
+		t.Fatalf("generator table covers %d types, want 19 (one per wire tag)", len(gens))
 	}
 	for name, gen := range gens {
 		t.Run(name, func(t *testing.T) {
@@ -290,7 +318,7 @@ func TestWireCodecRejectsUnknown(t *testing.T) {
 	}
 
 	// Unknown type tags, including 0.
-	for _, tag := range []byte{0, tagShardMapAnnounce + 1, 0x7f, 0xee, 0xff} {
+	for _, tag := range []byte{0, tagOrderCommit + 1, 0x7f, 0xee, 0xff} {
 		raw := []byte{WireVersion, 1, 'a', 1, 'b', tag}
 		if _, _, m, err := DecodeFrame(raw); err == nil {
 			t.Fatalf("unknown tag %d decoded as %T", tag, m)

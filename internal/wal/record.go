@@ -1,0 +1,315 @@
+// Package wal implements the replica's durable state: an append-only
+// write-ahead log of committed updates plus a snapshot cell holding the
+// last compaction point. A restarting replica replays snapshot + WAL
+// suffix to its exact pre-crash commit frontier instead of re-fetching
+// history from its peers (DESIGN.md §14).
+//
+// The binary format follows the live transport's codec conventions
+// (internal/tcpnet/wire.go): length-prefixed framing, a version byte,
+// uvarint integers, length-prefixed strings and byte slices, and
+// decode-exactly-or-error semantics. Every frame additionally carries a
+// CRC32 of its body, because unlike a TCP stream a log survives torn
+// writes and media corruption: a record either decodes byte-exactly with a
+// matching checksum or replay stops at that record boundary. A torn final
+// record is the expected crash artifact and is truncated on recovery;
+// corruption earlier in the log also stops replay deterministically at the
+// preceding boundary (the suffix is unrecoverable either way — the replica
+// rejoins from the frontier it could prove).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"aqua/internal/consistency"
+	"aqua/internal/node"
+)
+
+// Version is the current record format version. Decoders reject anything
+// else outright — a frame is never misdecoded into the wrong shape.
+const Version = 1
+
+// maxRecordBytes bounds one record/snapshot body; larger length prefixes
+// indicate a corrupt or hostile log.
+const maxRecordBytes = 64 << 20
+
+var (
+	// ErrCorrupt reports a record that failed structural validation: bad
+	// version, bad checksum, truncated or trailing bytes inside the frame.
+	ErrCorrupt = errors.New("wal: corrupt record")
+	// ErrTorn reports an incomplete final frame — fewer bytes remain than
+	// the record's own header promises, the signature of a crash mid-append.
+	ErrTorn = errors.New("wal: torn record")
+)
+
+// Record is one committed update as the replica's commit stream released
+// it: the paired (GSN, body) plus the duplicate marker. Records in a log
+// carry strictly ascending GSNs (each commit advances the frontier by one),
+// which replay verifies.
+type Record struct {
+	GSN     uint64
+	ID      consistency.RequestID
+	Method  string
+	Payload []byte
+	// Dup marks a re-sequenced duplicate: it advances the commit frontier
+	// but is not applied to the application (see replica commit dedup).
+	Dup bool
+}
+
+// Snapshot is the compaction cell: the application state at a commit
+// frontier plus the commit-dedup memo seed, mirroring what a StateUpdate
+// carries on the wire.
+type Snapshot struct {
+	CSN       uint64
+	App       []byte
+	RecentIDs []consistency.RequestID
+}
+
+// Frame layout (shared by records and the snapshot cell):
+//
+//	uint32  length of what follows (big-endian, excludes these 4 bytes)
+//	uint32  CRC32 (IEEE) of the body
+//	body:
+//	  byte  version (currently 1)
+//	  ...   fields, uvarint/length-prefixed as in tcpnet/wire.go
+
+// AppendRecord appends one encoded record frame to b.
+func AppendRecord(b []byte, r *Record) []byte {
+	b, start := beginFrame(b)
+	b = append(b, Version)
+	b = binary.AppendUvarint(b, r.GSN)
+	b = appendString(b, string(r.ID.Client))
+	b = binary.AppendUvarint(b, r.ID.Seq)
+	b = appendString(b, r.Method)
+	b = appendBytes(b, r.Payload)
+	b = appendBool(b, r.Dup)
+	return endFrame(b, start)
+}
+
+// AppendSnapshot appends one encoded snapshot frame to b.
+func AppendSnapshot(b []byte, s *Snapshot) []byte {
+	b, start := beginFrame(b)
+	b = append(b, Version)
+	b = binary.AppendUvarint(b, s.CSN)
+	b = appendBytes(b, s.App)
+	b = binary.AppendUvarint(b, uint64(len(s.RecentIDs)))
+	for _, id := range s.RecentIDs {
+		b = appendString(b, string(id.Client))
+		b = binary.AppendUvarint(b, id.Seq)
+	}
+	return endFrame(b, start)
+}
+
+// beginFrame reserves the length+CRC header and returns its offset.
+func beginFrame(b []byte) ([]byte, int) {
+	start := len(b)
+	return append(b, 0, 0, 0, 0, 0, 0, 0, 0), start
+}
+
+// endFrame back-fills the length and CRC over the body written since start.
+func endFrame(b []byte, start int) []byte {
+	body := b[start+8:]
+	binary.BigEndian.PutUint32(b[start:], uint32(len(body)+4))
+	binary.BigEndian.PutUint32(b[start+4:], crc32.ChecksumIEEE(body))
+	return b
+}
+
+// DecodeRecord decodes exactly one record frame from the front of b,
+// returning the bytes it consumed. It never misdecodes: the result is
+// either a record whose encoding occupies exactly n bytes of b, or an
+// error (ErrTorn for an incomplete final frame, ErrCorrupt for anything
+// structurally invalid).
+func DecodeRecord(b []byte) (r Record, n int, err error) {
+	body, n, err := frameBody(b)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	d := decoder{b: body}
+	if v := d.byte_(); v != Version {
+		return Record{}, 0, fmt.Errorf("%w: record version %d", ErrCorrupt, v)
+	}
+	r.GSN = d.uvarint()
+	r.ID.Client = node.ID(d.str())
+	r.ID.Seq = d.uvarint()
+	r.Method = d.str()
+	r.Payload = d.bytes()
+	r.Dup = d.bool_()
+	if d.err != nil || len(d.b) != 0 {
+		return Record{}, 0, ErrCorrupt
+	}
+	return r, n, nil
+}
+
+// DecodeSnapshot decodes exactly one snapshot frame from the front of b.
+// Error semantics match DecodeRecord.
+func DecodeSnapshot(b []byte) (s Snapshot, n int, err error) {
+	body, n, err := frameBody(b)
+	if err != nil {
+		return Snapshot{}, 0, err
+	}
+	d := decoder{b: body}
+	if v := d.byte_(); v != Version {
+		return Snapshot{}, 0, fmt.Errorf("%w: snapshot version %d", ErrCorrupt, v)
+	}
+	s.CSN = d.uvarint()
+	s.App = d.bytes()
+	count := d.uvarint()
+	if d.err == nil && count > uint64(len(d.b)) {
+		// Each ID needs at least one byte; a larger count is corrupt (and
+		// guarding here keeps a hostile count from driving a huge alloc).
+		return Snapshot{}, 0, ErrCorrupt
+	}
+	if d.err == nil && count > 0 {
+		s.RecentIDs = make([]consistency.RequestID, 0, count)
+		for i := uint64(0); i < count; i++ {
+			var id consistency.RequestID
+			id.Client = node.ID(d.str())
+			id.Seq = d.uvarint()
+			s.RecentIDs = append(s.RecentIDs, id)
+		}
+	}
+	if d.err != nil || len(d.b) != 0 {
+		return Snapshot{}, 0, ErrCorrupt
+	}
+	return s, n, nil
+}
+
+// frameBody validates the frame header at the front of b and returns the
+// checked body plus the total frame size.
+func frameBody(b []byte) (body []byte, n int, err error) {
+	if len(b) < 8 {
+		return nil, 0, ErrTorn
+	}
+	length := binary.BigEndian.Uint32(b)
+	if length < 5 || length > maxRecordBytes {
+		return nil, 0, fmt.Errorf("%w: frame length %d", ErrCorrupt, length)
+	}
+	n = 4 + int(length)
+	if len(b) < n {
+		return nil, 0, ErrTorn
+	}
+	sum := binary.BigEndian.Uint32(b[4:])
+	body = b[8:n]
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return body, n, nil
+}
+
+// Replay decodes a log image into records, stopping deterministically at
+// the first invalid boundary. It returns the good prefix, the byte length
+// of that prefix, and whether the remainder was a torn tail (ErrTorn) as
+// opposed to a clean end or detected corruption. Replaying the returned
+// prefix is a fixed point: re-encoding it reproduces exactly the first
+// valid bytes of the log.
+func Replay(log []byte, visit func(Record) error) (valid int, torn bool, err error) {
+	off := 0
+	for off < len(log) {
+		r, n, derr := DecodeRecord(log[off:])
+		if derr != nil {
+			return off, errors.Is(derr, ErrTorn), nil
+		}
+		if visit != nil {
+			if err := visit(r); err != nil {
+				return off, false, err
+			}
+		}
+		off += n
+	}
+	return off, false, nil
+}
+
+// Codec helpers mirroring tcpnet/wire.go's conventions.
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// decoder is a fail-latching cursor over a frame body: the first parse
+// error sticks and subsequent reads return zero values.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrCorrupt
+	}
+}
+
+func (d *decoder) byte_() byte {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) take(n uint64) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)) {
+		d.fail()
+		return nil
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v
+}
+
+// str copies the bytes out: decoded records escape the read buffer.
+func (d *decoder) str() string { return string(d.take(d.uvarint())) }
+
+func (d *decoder) bytes() []byte {
+	p := d.take(d.uvarint())
+	if len(p) == 0 {
+		return nil
+	}
+	out := make([]byte, len(p))
+	copy(out, p)
+	return out
+}
+
+func (d *decoder) bool_() bool {
+	switch d.byte_() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail()
+		return false
+	}
+}

@@ -1,0 +1,184 @@
+package wal
+
+import "fmt"
+
+// Store is one replica's durable state: a snapshot cell plus the log of
+// commits released since that snapshot. The owning gateway appends a record
+// per released commit (before acknowledging it), replaces the snapshot at
+// compaction points, and recovers snapshot + log suffix at startup. All
+// methods are synchronous; the store carries no timers and draws no
+// randomness, so it never perturbs the simulator's virtual time.
+type Store struct {
+	media Media
+
+	// records counts log records since the last snapshot; frontier is the
+	// GSN of the last appended record (the durable commit frontier).
+	records  int
+	frontier uint64
+
+	// scratch backs record encoding between appends.
+	scratch []byte
+
+	// Counters for the observability layer.
+	appends     uint64
+	appendBytes uint64
+	snapshots   uint64
+
+	// dropTail, when > 0, silently discards that many records from the end
+	// of the log during Recover — a deliberate durability bug used to prove
+	// the recovery-frontier oracle can actually fail. Production code never
+	// sets it.
+	dropTail int
+}
+
+// NewStore wraps a media. Nothing is read until Recover.
+func NewStore(m Media) *Store { return &Store{media: m} }
+
+// Recovered is the state a Store reconstructs at startup.
+type Recovered struct {
+	// Snapshot is the compaction cell (zero value when never written).
+	Snapshot Snapshot
+	// Records is the replayable log suffix above the snapshot, in commit
+	// order with strictly ascending GSNs.
+	Records []Record
+	// CSN is the recovered commit frontier: the last record's GSN, or the
+	// snapshot's CSN when the log is empty.
+	CSN uint64
+	// Torn reports that the log ended in an incomplete record (crash
+	// mid-append) which recovery truncated.
+	Torn bool
+}
+
+// Recover loads the snapshot cell and replays the log suffix. A torn final
+// record is truncated (the expected crash artifact); corruption anywhere
+// stops replay at the preceding record boundary — deterministically, so
+// recovering twice from the same image yields the same frontier. Records at
+// or below the snapshot CSN or breaking GSN contiguity also stop replay:
+// past that point the log is not a trustworthy continuation. The store's
+// append frontier resumes from the recovered state.
+func (s *Store) Recover() (Recovered, error) {
+	var out Recovered
+	cell, err := s.media.LoadSnapshot()
+	if err != nil {
+		return out, fmt.Errorf("wal: load snapshot: %w", err)
+	}
+	if len(cell) > 0 {
+		snap, n, err := DecodeSnapshot(cell)
+		if err != nil || n != len(cell) {
+			// An unreadable snapshot cell means no provable baseline: treat
+			// the whole store as empty rather than replay a log whose
+			// starting state is unknown.
+			s.frontier, s.records = 0, 0
+			return Recovered{}, fmt.Errorf("wal: snapshot cell unreadable: %w", errOr(err, ErrCorrupt))
+		}
+		out.Snapshot = snap
+		out.CSN = snap.CSN
+	}
+
+	log, err := s.media.LoadLog()
+	if err != nil {
+		return out, fmt.Errorf("wal: load log: %w", err)
+	}
+	next := out.CSN
+	stop := fmt.Errorf("wal: stop") // sentinel: replay prefix ends here
+	_, torn, _ := Replay(log, func(r Record) error {
+		if r.GSN != next+1 {
+			return stop
+		}
+		next++
+		out.Records = append(out.Records, r)
+		return nil
+	})
+	out.Torn = torn
+	if s.dropTail > 0 {
+		// Injected bug: lose the tail and pretend recovery was complete.
+		n := len(out.Records) - s.dropTail
+		if n < 0 {
+			n = 0
+		}
+		out.Records = out.Records[:n]
+		if n := len(out.Records); n > 0 {
+			next = out.Records[n-1].GSN
+		} else {
+			next = out.Snapshot.CSN
+		}
+	}
+	out.CSN = next
+	s.frontier = next
+	s.records = len(out.Records)
+	return out, nil
+}
+
+// Append durably logs one released commit. Records must arrive in commit
+// order (GSN = frontier+1); anything else is a caller bug.
+func (s *Store) Append(r *Record) error {
+	if s.frontier != 0 || s.records > 0 || s.snapshots > 0 {
+		if r.GSN != s.frontier+1 {
+			return fmt.Errorf("wal: append gsn %d does not extend frontier %d", r.GSN, s.frontier)
+		}
+	} else if r.GSN != 1 {
+		// First record of a fresh store: history starts at GSN 1.
+		return fmt.Errorf("wal: append gsn %d into empty store", r.GSN)
+	}
+	s.scratch = AppendRecord(s.scratch[:0], r)
+	if err := s.media.AppendLog(s.scratch); err != nil {
+		return err
+	}
+	s.frontier = r.GSN
+	s.records++
+	s.appends++
+	s.appendBytes += uint64(len(s.scratch))
+	return nil
+}
+
+// SaveSnapshot replaces the snapshot cell with state at snap.CSN and resets
+// the log: every record at or below it is subsumed. The caller passes state
+// reflecting all logged commits (snap.CSN ≥ the append frontier); the
+// frontier advances to it. The snapshot is made durable before the log is
+// reset, so a crash between the two steps leaves a log whose records fall
+// at or below the new snapshot — replay discards them.
+func (s *Store) SaveSnapshot(snap *Snapshot) error {
+	if snap.CSN < s.frontier {
+		return fmt.Errorf("wal: snapshot csn %d below frontier %d", snap.CSN, s.frontier)
+	}
+	s.scratch = AppendSnapshot(s.scratch[:0], snap)
+	if err := s.media.StoreSnapshot(s.scratch); err != nil {
+		return err
+	}
+	if err := s.media.ResetLog(); err != nil {
+		return err
+	}
+	s.frontier = snap.CSN
+	s.records = 0
+	s.snapshots++
+	return nil
+}
+
+// Frontier returns the durable commit frontier: the highest GSN whose
+// record (or covering snapshot) the media holds.
+func (s *Store) Frontier() uint64 { return s.frontier }
+
+// LogRecords returns how many records the log holds since the last
+// snapshot — the compaction trigger's input.
+func (s *Store) LogRecords() int { return s.records }
+
+// Stats returns the store's append count, appended bytes, snapshot count,
+// and the media's durability-barrier count, for the observability layer.
+func (s *Store) Stats() (appends, appendBytes, snapshots, syncs uint64) {
+	return s.appends, s.appendBytes, s.snapshots, s.media.Syncs()
+}
+
+// EnableDropTailFault arms the deliberate recovery bug: Recover silently
+// discards the last n log records, reporting a frontier below what the
+// media can prove. The recovery-frontier oracle must catch the resulting
+// regression — the planted-bug test that keeps the oracle honest.
+// Production code never calls it.
+func (s *Store) EnableDropTailFault(n int) { s.dropTail = n }
+
+// errOr returns err when non-nil, fallback otherwise.
+func errOr(err, fallback error) error {
+	if err != nil {
+		return err
+	}
+	return fallback
+}

@@ -1,0 +1,361 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"aqua/internal/consistency"
+	"aqua/internal/node"
+)
+
+func rec(gsn uint64) Record {
+	return Record{
+		GSN:     gsn,
+		ID:      consistency.RequestID{Client: node.ID(fmt.Sprintf("c%02d", gsn%3)), Seq: gsn},
+		Method:  "Set",
+		Payload: []byte(fmt.Sprintf("doc%d=%d", gsn%3, gsn)),
+		Dup:     gsn%5 == 0,
+	}
+}
+
+func logImage(n int) []byte {
+	var b []byte
+	for g := uint64(1); g <= uint64(n); g++ {
+		r := rec(g)
+		b = AppendRecord(b, &r)
+	}
+	return b
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	want := rec(7)
+	b := AppendRecord(nil, &want)
+	got, n, err := DecodeRecord(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != len(b) {
+		t.Fatalf("decode consumed %d of %d bytes", n, len(b))
+	}
+	if got.GSN != want.GSN || got.ID != want.ID || got.Method != want.Method ||
+		!bytes.Equal(got.Payload, want.Payload) || got.Dup != want.Dup {
+		t.Fatalf("round trip mismatch: got %+v want %+v", got, want)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	want := Snapshot{
+		CSN: 42,
+		App: []byte("state"),
+		RecentIDs: []consistency.RequestID{
+			{Client: "c00", Seq: 41}, {Client: "c01", Seq: 42},
+		},
+	}
+	b := AppendSnapshot(nil, &want)
+	got, n, err := DecodeSnapshot(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != len(b) {
+		t.Fatalf("decode consumed %d of %d bytes", n, len(b))
+	}
+	if got.CSN != want.CSN || !bytes.Equal(got.App, want.App) || len(got.RecentIDs) != 2 ||
+		got.RecentIDs[0] != want.RecentIDs[0] || got.RecentIDs[1] != want.RecentIDs[1] {
+		t.Fatalf("round trip mismatch: got %+v want %+v", got, want)
+	}
+}
+
+// TestReplayTruncationEveryByte is the crash-point sweep: a crash may tear
+// the log at any byte boundary. For every prefix length the replay must
+// recover exactly the records wholly contained in the prefix and report the
+// partial final record as torn.
+func TestReplayTruncationEveryByte(t *testing.T) {
+	const records = 6
+	full := logImage(records)
+	// Record boundaries.
+	var bounds []int
+	off := 0
+	for off < len(full) {
+		_, n, err := DecodeRecord(full[off:])
+		if err != nil {
+			t.Fatalf("full log invalid at %d: %v", off, err)
+		}
+		off += n
+		bounds = append(bounds, off)
+	}
+	for cut := 0; cut <= len(full); cut++ {
+		var got []Record
+		valid, torn, err := Replay(full[:cut], func(r Record) error {
+			got = append(got, r)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cut=%d: replay error %v", cut, err)
+		}
+		wantRecs := 0
+		wantValid := 0
+		for i, b := range bounds {
+			if b <= cut {
+				wantRecs = i + 1
+				wantValid = b
+			}
+		}
+		if len(got) != wantRecs || valid != wantValid {
+			t.Fatalf("cut=%d: recovered %d records (valid=%d), want %d (valid=%d)",
+				cut, len(got), valid, wantRecs, wantValid)
+		}
+		if wantTorn := cut != wantValid; torn != wantTorn {
+			t.Fatalf("cut=%d: torn=%t want %t", cut, torn, wantTorn)
+		}
+		for i, r := range got {
+			if r.GSN != uint64(i+1) {
+				t.Fatalf("cut=%d: record %d has gsn %d", cut, i, r.GSN)
+			}
+		}
+	}
+}
+
+// TestReplayBitFlipStopsAtBoundary flips every byte of a log in turn; replay
+// must stop at (or before) the corrupted record's boundary and never emit a
+// record that differs from the original sequence.
+func TestReplayBitFlipStopsAtBoundary(t *testing.T) {
+	const records = 4
+	full := logImage(records)
+	for pos := 0; pos < len(full); pos++ {
+		img := append([]byte(nil), full...)
+		img[pos] ^= 0x41
+		var got []Record
+		valid, _, err := Replay(img, func(r Record) error {
+			got = append(got, r)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("pos=%d: replay error %v", pos, err)
+		}
+		if valid > len(full) {
+			t.Fatalf("pos=%d: valid %d beyond image", pos, valid)
+		}
+		for i, r := range got {
+			want := rec(uint64(i + 1))
+			if r.GSN != want.GSN || r.ID != want.ID || r.Method != want.Method ||
+				!bytes.Equal(r.Payload, want.Payload) || r.Dup != want.Dup {
+				t.Fatalf("pos=%d: replay emitted corrupted record %d: %+v", pos, i, r)
+			}
+		}
+		// Determinism: replaying the same corrupt image twice agrees.
+		valid2, _, _ := Replay(img, nil)
+		if valid2 != valid {
+			t.Fatalf("pos=%d: replay nondeterministic: %d then %d", pos, valid, valid2)
+		}
+	}
+}
+
+func TestStoreAppendRecoverCompact(t *testing.T) {
+	m := NewMemMedia()
+	s := NewStore(m)
+	for g := uint64(1); g <= 10; g++ {
+		r := rec(g)
+		if err := s.Append(&r); err != nil {
+			t.Fatalf("append %d: %v", g, err)
+		}
+	}
+	if s.Frontier() != 10 || s.LogRecords() != 10 {
+		t.Fatalf("frontier=%d records=%d", s.Frontier(), s.LogRecords())
+	}
+	// Compact at 10, then log two more.
+	if err := s.SaveSnapshot(&Snapshot{CSN: 10, App: []byte("app@10"),
+		RecentIDs: []consistency.RequestID{{Client: "c01", Seq: 10}}}); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	for g := uint64(11); g <= 12; g++ {
+		r := rec(g)
+		if err := s.Append(&r); err != nil {
+			t.Fatalf("append %d: %v", g, err)
+		}
+	}
+
+	// A fresh store over the same media recovers snapshot + suffix.
+	s2 := NewStore(m)
+	got, err := s2.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if got.CSN != 12 || got.Snapshot.CSN != 10 || string(got.Snapshot.App) != "app@10" {
+		t.Fatalf("recovered csn=%d snapshot=%+v", got.CSN, got.Snapshot)
+	}
+	if len(got.Records) != 2 || got.Records[0].GSN != 11 || got.Records[1].GSN != 12 {
+		t.Fatalf("recovered records %+v", got.Records)
+	}
+	if got.Torn {
+		t.Fatal("clean log reported torn")
+	}
+	// Appends resume above the recovered frontier.
+	r := rec(13)
+	if err := s2.Append(&r); err != nil {
+		t.Fatalf("append after recover: %v", err)
+	}
+	bad := rec(15)
+	if err := s2.Append(&bad); err == nil {
+		t.Fatal("gap append accepted")
+	}
+}
+
+func TestStoreRecoverTornTail(t *testing.T) {
+	m := NewMemMedia()
+	s := NewStore(m)
+	for g := uint64(1); g <= 5; g++ {
+		r := rec(g)
+		if err := s.Append(&r); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	// Tear the final record mid-frame.
+	img := m.Log()
+	m.SetLog(img[:len(img)-3])
+	got, err := NewStore(m).Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if got.CSN != 4 || !got.Torn {
+		t.Fatalf("recovered csn=%d torn=%t, want 4/true", got.CSN, got.Torn)
+	}
+}
+
+// TestStoreFailAfterBoundarySweep drives the crash-point injection through
+// the store: for every byte boundary inside the final append, a store whose
+// media tore there must recover to frontier 4 or 5 — never anything else,
+// and never an error.
+func TestStoreFailAfterBoundarySweep(t *testing.T) {
+	// Length of the durable prefix before the final record.
+	clean := NewMemMedia()
+	cs := NewStore(clean)
+	for g := uint64(1); g <= 4; g++ {
+		r := rec(g)
+		if err := cs.Append(&r); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	base := len(clean.Log())
+	r5 := rec(5)
+	full := AppendRecord(nil, &r5)
+
+	for extra := 0; extra <= len(full); extra++ {
+		m := NewMemMedia()
+		s := NewStore(m)
+		for g := uint64(1); g <= 4; g++ {
+			r := rec(g)
+			if err := s.Append(&r); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+		}
+		m.FailAfter(base + extra)
+		r := rec(5)
+		if err := s.Append(&r); err != nil {
+			t.Fatalf("torn append surfaced: %v", err)
+		}
+		m.FailAfter(-1)
+		got, err := NewStore(m).Recover()
+		if err != nil {
+			t.Fatalf("extra=%d: recover: %v", extra, err)
+		}
+		want := uint64(4)
+		if extra == len(full) {
+			want = 5
+		}
+		if got.CSN != want {
+			t.Fatalf("extra=%d: recovered csn=%d want %d", extra, got.CSN, want)
+		}
+	}
+}
+
+func TestStoreSnapshotCellCorruption(t *testing.T) {
+	m := NewMemMedia()
+	s := NewStore(m)
+	r := rec(1)
+	if err := s.Append(&r); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := s.SaveSnapshot(&Snapshot{CSN: 1, App: []byte("x")}); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	m.snapshot[len(m.snapshot)-1] ^= 0xff
+	if _, err := NewStore(m).Recover(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt snapshot cell recovered: err=%v", err)
+	}
+}
+
+func TestStoreDropTailFault(t *testing.T) {
+	m := NewMemMedia()
+	s := NewStore(m)
+	for g := uint64(1); g <= 6; g++ {
+		r := rec(g)
+		if err := s.Append(&r); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	s2 := NewStore(m)
+	s2.EnableDropTailFault(2)
+	got, err := s2.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if got.CSN != 4 || len(got.Records) != 4 {
+		t.Fatalf("drop-tail fault recovered csn=%d records=%d, want 4/4", got.CSN, len(got.Records))
+	}
+}
+
+func TestRegistrySurvivesAndWipes(t *testing.T) {
+	reg := NewRegistry()
+	m := reg.Get("p01")
+	r := rec(1)
+	if err := NewStore(m).Append(&r); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if got := reg.Get("p01"); got != m || len(got.Log()) == 0 {
+		t.Fatal("registry did not return the surviving media")
+	}
+	reg.Wipe("p01")
+	if got := reg.Get("p01"); len(got.Log()) != 0 {
+		t.Fatal("wiped media still holds a log")
+	}
+}
+
+func TestFileMediaRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewFileMedia(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	s := NewStore(m)
+	for g := uint64(1); g <= 3; g++ {
+		r := rec(g)
+		if err := s.Append(&r); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := s.SaveSnapshot(&Snapshot{CSN: 3, App: []byte("app@3")}); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	r4 := rec(4)
+	if err := s.Append(&r4); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	m2, err := NewFileMedia(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer m2.Close()
+	got, err := NewStore(m2).Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if got.CSN != 4 || got.Snapshot.CSN != 3 || string(got.Snapshot.App) != "app@3" || len(got.Records) != 1 {
+		t.Fatalf("recovered %+v", got)
+	}
+}
