@@ -31,12 +31,13 @@ type CommitBuffer struct {
 	// gated, drain stops at the ceiling — the highest GSN the sequencer has
 	// announced as majority-replicated (OrderCommit.Floor) — so no commit is
 	// released to the application before its assignment survives any
-	// sequencer death. assigned tracks the update GSNs above my_CSN whose
-	// assignments this replica holds, backing AssignFrontier; it is
-	// maintained only when gated.
+	// sequencer death. assigned maps the update GSNs above my_CSN whose
+	// assignments this replica holds to their request IDs, backing
+	// AssignFrontier and ContiguousAssigns (the durable-logging input); it
+	// is maintained only when gated.
 	gated    bool
 	ceiling  uint64
-	assigned map[uint64]bool
+	assigned map[uint64]RequestID
 
 	// drainScratch and idScratch back the slices returned by
 	// AddBody/AddAssign/SkipTo and PendingBodies/PendingAssignments. The
@@ -92,7 +93,7 @@ func (b *CommitBuffer) Bootstrap(csn uint64) {
 func (b *CommitBuffer) GateReleases() {
 	b.gated = true
 	if b.assigned == nil {
-		b.assigned = make(map[uint64]bool)
+		b.assigned = make(map[uint64]RequestID)
 	}
 	if b.myCSN > b.ceiling {
 		b.ceiling = b.myCSN
@@ -122,16 +123,39 @@ func (b *CommitBuffer) Ceiling() uint64 { return b.ceiling }
 // Meaningful only when gated.
 func (b *CommitBuffer) AssignFrontier() uint64 {
 	a := b.myCSN
-	for b.assigned[a+1] {
+	for {
+		if _, ok := b.assigned[a+1]; !ok {
+			return a
+		}
 		a++
 	}
-	return a
+}
+
+// ContiguousAssigns returns the assignment-table entries above from,
+// contiguous from it (result[i] is the assignment for GSN from+i+1), in
+// GSN order. The gateway persists these — the WAL's assign records and the
+// snapshot cell's table both require contiguity. The walk starts at
+// max(from, my_CSN): entries at or below my_CSN were released and dropped.
+// Meaningful only when gated.
+func (b *CommitBuffer) ContiguousAssigns(from uint64) []GSNAssign {
+	if from < b.myCSN {
+		from = b.myCSN
+	}
+	var out []GSNAssign
+	for {
+		id, ok := b.assigned[from+1]
+		if !ok {
+			return out
+		}
+		from++
+		out = append(out, GSNAssign{ID: id, GSN: from, Update: true})
+	}
 }
 
 // recordAssign notes an update assignment above my_CSN for AssignFrontier.
-func (b *CommitBuffer) recordAssign(gsn uint64) {
+func (b *CommitBuffer) recordAssign(gsn uint64, id RequestID) {
 	if b.gated {
-		b.assigned[gsn] = true
+		b.assigned[gsn] = id
 	}
 }
 
@@ -169,7 +193,7 @@ func (b *CommitBuffer) AddAssign(a GSNAssign) []Request {
 		delete(b.pendingBody, a.ID)
 		return nil
 	}
-	b.recordAssign(a.GSN)
+	b.recordAssign(a.GSN, a.ID)
 	if req, ok := b.pendingBody[a.ID]; ok {
 		delete(b.pendingBody, a.ID)
 		return b.stage(a.GSN, req)
@@ -200,7 +224,7 @@ func (b *CommitBuffer) AddAssignBatch(first uint64, ids []RequestID) []Request {
 			delete(b.pendingBody, id)
 			continue
 		}
-		b.recordAssign(gsn)
+		b.recordAssign(gsn, id)
 		if req, ok := b.pendingBody[id]; ok {
 			delete(b.pendingBody, id)
 			b.ready[gsn] = req

@@ -153,6 +153,21 @@ func TestRecoveryAdversarialSchedules(t *testing.T) {
 			},
 			recovers: []node.ID{"s02"},
 		},
+		{
+			// A follower crash-recovers first, then the sequencer dies: the
+			// takeover's majority must count the recovered incarnation, and
+			// the assignments it acked before its own crash must reach the
+			// new leader through its durable GSNReport — the end-to-end path
+			// for the durable-ack rule.
+			name: "follower-recover-then-sequencer-kill",
+			sched: chaos.Schedule{
+				{At: 600 * time.Millisecond, Action: chaos.ActCrash, Target: "p02"},
+				{At: 1000 * time.Millisecond, Action: chaos.ActRestartRecover, Target: "p02"},
+				{At: 1400 * time.Millisecond, Action: chaos.ActCrash, Target: "p00"},
+				{At: 2200 * time.Millisecond, Action: chaos.ActRestartRecover, Target: "p00"},
+			},
+			recovers: []node.ID{"p02", "p00"},
+		},
 	}
 
 	for _, tc := range cases {

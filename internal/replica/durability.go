@@ -1,6 +1,8 @@
 package replica
 
 import (
+	"fmt"
+
 	"aqua/internal/consistency"
 	"aqua/internal/wal"
 )
@@ -25,7 +27,7 @@ func (g *Gateway) recoverDurable() {
 		// node through the usual sync path.
 		g.ctx.Logf("replica: wal recover: %v", err)
 	}
-	if rec.CSN == 0 {
+	if rec.CSN == 0 && len(rec.Assigns) == 0 {
 		return // empty store: first boot, or nothing durable survived
 	}
 	if rec.Snapshot.CSN > 0 || len(rec.Snapshot.App) > 0 {
@@ -49,6 +51,15 @@ func (g *Gateway) recoverDurable() {
 		g.observeAssign(r.ID, r.GSN)
 	}
 	g.commit.Bootstrap(rec.CSN)
+	// Restore the durable assignment table above the commit frontier: the
+	// prior incarnation acknowledged these assignments to the sequencer, so
+	// this incarnation must still hold them — a takeover quorum counting
+	// this node re-learns them from its GSNReport (REVIEW: acked frontiers
+	// must survive crash-recovery, not just the released prefix).
+	for _, a := range rec.Assigns {
+		g.observeAssign(a.ID, a.GSN)
+		g.commit.AddAssign(consistency.GSNAssign{ID: a.ID, GSN: a.GSN, Update: true})
+	}
 	g.applied = rec.CSN
 	g.recovered = rec.CSN
 	g.ins.recoveries.Inc()
@@ -56,11 +67,11 @@ func (g *Gateway) recoverDurable() {
 	// Replay is not re-execution for the trace: the prior incarnation's
 	// OnApply events already cover these GSNs. OnRecover marks where the
 	// recovered incarnation resumes instead.
-	if g.cfg.OnRecover != nil {
+	if rec.CSN > 0 && g.cfg.OnRecover != nil {
 		g.cfg.OnRecover(rec.CSN)
 	}
-	g.ctx.Logf("replica: recovered to CSN %d (snapshot %d + %d records, torn=%t)",
-		rec.CSN, rec.Snapshot.CSN, len(rec.Records), rec.Torn)
+	g.ctx.Logf("replica: recovered to CSN %d (snapshot %d + %d records + %d assigns, torn=%t)",
+		rec.CSN, rec.Snapshot.CSN, len(rec.Records), len(rec.Assigns), rec.Torn)
 }
 
 // Recovered returns the durable commit frontier Init reconstructed (0 when
@@ -72,33 +83,102 @@ func (g *Gateway) Recovered() uint64 { return g.recovered }
 // on it before Init runs.
 func (g *Gateway) DurableStore() *wal.Store { return g.cfg.Durable }
 
+// walFail wedges the replica on a durability failure: a WAL that can no
+// longer extend its frontier means the invariant "durable frontier ≥
+// acknowledged frontier" is about to break, and a replica that keeps
+// applying and acking on top of a stale log silently un-promises
+// durability. Fail stop instead: drop all traffic, stop ticking, go
+// silent — the group treats the node as crashed and heals around it.
+func (g *Gateway) walFail(op string, err error) {
+	if g.wedged {
+		return
+	}
+	g.wedged = true
+	g.ctx.Logf("replica: wal %s failed; wedging (fail-stop): %v", op, err)
+}
+
+// Wedged reports whether a durability failure has fail-stopped this
+// replica (tests and diagnostics).
+func (g *Gateway) Wedged() bool { return g.wedged }
+
 // walAppend durably logs one released commit before its job enters the
 // work queue: the ack and the visible state change both happen after the
-// record is on media. No-op without a durable store.
-func (g *Gateway) walAppend(gsn uint64, req *consistency.Request, dup bool) {
+// record is on media. It reports whether the caller may proceed — an
+// append failure wedges the replica (fail-stop) and the commit must not
+// be applied or acked. No-op without a durable store.
+func (g *Gateway) walAppend(gsn uint64, req *consistency.Request, dup bool) bool {
 	if g.cfg.Durable == nil {
-		return
+		return true
+	}
+	if g.wedged {
+		return false
 	}
 	rec := wal.Record{GSN: gsn, ID: req.ID, Method: req.Method, Payload: req.Payload, Dup: dup}
 	if err := g.cfg.Durable.Append(&rec); err != nil {
-		g.ctx.Logf("replica: wal append gsn %d: %v", gsn, err)
-		return
+		g.walFail(fmt.Sprintf("append gsn %d", gsn), err)
+		return false
 	}
 	g.ins.walAppends.Inc()
+	return true
+}
+
+// walLogAssigns extends the store's durable assignment frontier to the
+// commit buffer's contiguous assignment frontier. It runs before any
+// AssignAck: an acknowledged frontier the acker cannot recover after a
+// crash would let a sequencer release a floor whose takeover quorum no
+// longer holds the assignments. No-op without a durable store.
+func (g *Gateway) walLogAssigns() {
+	if g.cfg.Durable == nil || g.wedged {
+		return
+	}
+	st := g.cfg.Durable
+	from := st.AssignFrontier()
+	if from >= g.commit.AssignFrontier() {
+		return
+	}
+	for _, a := range g.commit.ContiguousAssigns(from) {
+		if err := st.AppendAssign(a.GSN, a.ID); err != nil {
+			g.walFail(fmt.Sprintf("assign gsn %d", a.GSN), err)
+			return
+		}
+		g.ins.walAppends.Inc()
+	}
+}
+
+// ackableFrontier is the assignment frontier this replica may acknowledge:
+// the in-memory contiguous frontier, capped at what the WAL holds when the
+// replica is durable (an ack is a promise to survive a crash).
+func (g *Gateway) ackableFrontier() uint64 {
+	f := g.commit.AssignFrontier()
+	if g.cfg.Durable != nil {
+		if df := g.cfg.Durable.AssignFrontier(); df < f {
+			f = df
+		}
+	}
+	return f
 }
 
 // walSaveSnapshot replaces the snapshot cell (and resets the log) with
-// state at csn. No-op without a durable store.
-func (g *Gateway) walSaveSnapshot(csn uint64, appState []byte, ids []consistency.RequestID) {
+// state at csn, carrying the outstanding assignment table above it. It
+// reports whether the caller may proceed — a snapshot failure wedges the
+// replica. No-op without a durable store.
+func (g *Gateway) walSaveSnapshot(csn uint64, appState []byte, ids []consistency.RequestID) bool {
 	if g.cfg.Durable == nil {
-		return
+		return true
+	}
+	if g.wedged {
+		return false
 	}
 	snap := wal.Snapshot{CSN: csn, App: appState, RecentIDs: ids}
+	for _, a := range g.commit.ContiguousAssigns(csn) {
+		snap.Assigns = append(snap.Assigns, wal.Assign{GSN: a.GSN, ID: a.ID})
+	}
 	if err := g.cfg.Durable.SaveSnapshot(&snap); err != nil {
-		g.ctx.Logf("replica: wal snapshot at %d: %v", csn, err)
-		return
+		g.walFail(fmt.Sprintf("snapshot at %d", csn), err)
+		return false
 	}
 	g.ins.walSnapshots.Inc()
+	return true
 }
 
 // maybeCompact folds the log into a fresh snapshot once it exceeds the

@@ -163,12 +163,15 @@ type Gateway struct {
 	seqReady    bool
 	started     bool
 
-	// Takeover (sequencer failover) state.
-	epoch         uint64
-	takeoverMax   uint64
-	takeoverAwait int
-	takeoverDone  node.CancelFunc
-	heldRequests  []heldRequest
+	// Takeover (sequencer failover) state. takeoverReported tracks which
+	// peers this era's round has counted, so a re-queried peer answering
+	// twice contributes one vote toward the quorum, not two.
+	epoch            uint64
+	takeoverMax      uint64
+	takeoverAwait    int
+	takeoverReported map[node.ID]bool
+	takeoverDone     node.CancelFunc
+	heldRequests     []heldRequest
 
 	// Batched-assignment state (sequencer role, AssignBatch > 1): the
 	// accumulating window, its flush timer, and the scratch that filters
@@ -250,6 +253,11 @@ type Gateway struct {
 	lastFloor         uint64
 	orderCommitsSent  uint64
 	recovered         uint64
+
+	// wedged marks a durability fail-stop (see walFail): the WAL could not
+	// extend its frontier, so the replica goes silent rather than keep
+	// acking commits it can no longer promise to recover.
+	wedged bool
 
 	// Reads deferred at a primary until its own commits catch up (the
 	// paper's secondaries defer until a lazy update; a primary's state
@@ -333,6 +341,12 @@ func (g *Gateway) Init(ctx node.Context) {
 
 // Recv implements node.Node.
 func (g *Gateway) Recv(from node.ID, m node.Message) {
+	if g.wedged {
+		// Fail-stopped on a durability failure: drop everything, including
+		// group heartbeats, so peers detect the silence and heal around
+		// this node exactly as they would around a crash.
+		return
+	}
 	if g.stack.Handle(from, m) {
 		return
 	}
@@ -370,7 +384,7 @@ func (g *Gateway) handleDelivery(from node.ID, m node.Message) {
 	case consistency.GSNQuery:
 		g.stack.Send(from, g.buildGSNReport(msg.Epoch))
 	case consistency.GSNReport:
-		g.onGSNReport(msg)
+		g.onGSNReport(from, msg)
 	case consistency.AssignAck:
 		g.onAssignAck(from, msg)
 	case consistency.OrderCommit:

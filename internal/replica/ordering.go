@@ -16,12 +16,18 @@ import (
 
 // maybeAckAssigns runs after any event that can extend this primary's
 // contiguous assignment frontier: fold it into the leader's tracker
-// directly (when sequencing) or acknowledge it to the sequencer.
+// directly (when sequencing) or acknowledge it to the sequencer. An ack is
+// a durable promise — on a durable replica the assignments are WAL-logged
+// first and the acked frontier never exceeds what the log holds, so the
+// frontier survives this node's own crash-recovery (the takeover-quorum
+// intersection argument needs acks that outlive their acker's incarnation,
+// not just its era).
 func (g *Gateway) maybeAckAssigns() {
-	if !g.cfg.ReplicatedAssign || !g.cfg.Primary {
+	if !g.cfg.ReplicatedAssign || !g.cfg.Primary || g.wedged {
 		return
 	}
-	f := g.commit.AssignFrontier()
+	g.walLogAssigns()
+	f := g.ackableFrontier()
 	if g.isLeader {
 		g.orderObserve(g.ctx.ID(), f)
 		return
@@ -66,7 +72,7 @@ func (g *Gateway) maybeOrderCommit() {
 	if g.orderTracker == nil {
 		return
 	}
-	floor := g.orderTracker.Floor(g.commit.AssignFrontier())
+	floor := g.orderTracker.Floor(g.ackableFrontier())
 	if floor <= g.lastFloor {
 		return
 	}

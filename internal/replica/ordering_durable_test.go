@@ -1,0 +1,357 @@
+package replica
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"aqua/internal/apps"
+	"aqua/internal/consistency"
+	"aqua/internal/group"
+	"aqua/internal/netsim"
+	"aqua/internal/node"
+	"aqua/internal/sim"
+	"aqua/internal/wal"
+)
+
+// lossSwitch is a mutable LossModel: tests arm and disarm a partition
+// between RunFor windows.
+type lossSwitch struct{ m netsim.LossModel }
+
+func (l *lossSwitch) Drop(r *rand.Rand, from, to node.ID) bool {
+	return l.m != nil && l.m.Drop(r, from, to)
+}
+
+// durableTestbed is the replicated-assignment + WAL variant of testbed:
+// every primary runs with ReplicatedAssign and a durable store whose media
+// survives restarts (the registry outlives gateway incarnations), and every
+// restore is recorded per node.
+type durableTestbed struct {
+	*testbed
+	reg      *wal.Registry
+	loss     *lossSwitch
+	restores map[node.ID][]uint64
+}
+
+func newDurableTestbed(seed int64, lazy time.Duration) *durableTestbed {
+	s := sim.NewScheduler(seed)
+	loss := &lossSwitch{}
+	rt := sim.NewRuntime(s, sim.WithDelay(netsim.ConstantDelay(ms)), sim.WithLoss(loss))
+	dtb := &durableTestbed{
+		testbed:  &testbed{s: s, rt: rt, replicas: make(map[node.ID]*Gateway), cli: &probe{}},
+		reg:      wal.NewRegistry(),
+		loss:     loss,
+		restores: make(map[node.ID][]uint64),
+	}
+	primGroup := []node.ID{"p0", "p1", "p2"}
+	secs := []node.ID{"s1", "s2"}
+	for _, id := range primGroup {
+		g := New(dtb.config(id, true, lazy))
+		dtb.replicas[id] = g
+		rt.Register(id, g)
+	}
+	for _, id := range secs {
+		g := New(dtb.config(id, false, lazy))
+		dtb.replicas[id] = g
+		rt.Register(id, g)
+	}
+	rt.Register("cli", dtb.cli)
+	return dtb
+}
+
+func (dtb *durableTestbed) config(id node.ID, primary bool, lazy time.Duration) Config {
+	cfg := Config{
+		Primary:      primary,
+		PrimaryGroup: []node.ID{"p0", "p1", "p2"},
+		Secondaries:  []node.ID{"s1", "s2"},
+		Clients:      []node.ID{"cli"},
+		Group:        group.DefaultConfig(),
+		LazyInterval: lazy,
+		App:          apps.NewKVStore(),
+		OnRestore: func(csn uint64) {
+			dtb.restores[id] = append(dtb.restores[id], csn)
+		},
+	}
+	if primary {
+		cfg.Durable = wal.NewStore(dtb.reg.Get(id))
+		cfg.ReplicatedAssign = true
+	}
+	return cfg
+}
+
+// restartRecover replaces a crashed primary with an incarnation that
+// recovers from the same durable media.
+func (dtb *durableTestbed) restartRecover(id node.ID, lazy time.Duration) *Gateway {
+	g := New(dtb.config(id, true, lazy))
+	dtb.replicas[id] = g
+	dtb.rt.Restart(id, g)
+	return g
+}
+
+// TestDurableAckedFrontierSurvivesRecovery is the high-severity regression:
+// a follower that acknowledged assignment frontier F to the sequencer, then
+// crash-recovered before the commits released, must still hold every
+// assignment at or below F — in its commit buffer, in its GSNReport, and
+// usable to commit at the original GSNs. Before the fix, assignments were
+// WAL-logged only at release, so the recovered incarnation came back empty
+// and the acked frontier was a broken promise.
+func TestDurableAckedFrontierSurvivesRecovery(t *testing.T) {
+	const lazy = 30 * time.Second
+	dtb := newDurableTestbed(40, lazy)
+	dtb.rt.Start()
+	dtb.s.RunFor(200 * ms)
+
+	// Feed p2 three bodies and their assignments directly, bypassing the
+	// sequencer, so no majority floor ever rises: the commits stay staged
+	// behind the release gate — exactly the acked-but-unreleased window.
+	p2 := dtb.replicas["p2"]
+	dtb.s.After(0, func() {
+		for i := uint64(1); i <= 3; i++ {
+			p2.onRequest("cli", req(i, false, "Set", fmt.Sprintf("k%d=%d", i, i), 0))
+			p2.onAssign(consistency.GSNAssign{
+				ID: consistency.RequestID{Client: "cli", Seq: i}, GSN: i, Update: true,
+			})
+		}
+	})
+	dtb.s.RunFor(300 * ms)
+
+	if got := p2.commit.AssignFrontier(); got != 3 {
+		t.Fatalf("pre-crash assignment frontier = %d, want 3", got)
+	}
+	if got := p2.CSN(); got != 0 {
+		t.Fatalf("pre-crash CSN = %d, want 0 (no floor released)", got)
+	}
+	if got := p2.cfg.Durable.AssignFrontier(); got != 3 {
+		t.Fatalf("pre-crash durable assign frontier = %d, want 3 (acks must be logged first)", got)
+	}
+
+	// Crash and recover from the same media.
+	dtb.rt.Crash("p2")
+	dtb.s.RunFor(100 * ms)
+	p2r := dtb.restartRecover("p2", lazy)
+	dtb.s.RunFor(300 * ms)
+
+	if got := p2r.commit.AssignFrontier(); got != 3 {
+		t.Fatalf("recovered assignment frontier = %d, want 3 (acked frontier lost in crash)", got)
+	}
+	r := p2r.buildGSNReport(7)
+	if len(r.Assigns) != 3 {
+		t.Fatalf("recovered GSNReport carries %d assigns, want 3: %+v", len(r.Assigns), r.Assigns)
+	}
+
+	// The recovered assignments commit at their original GSNs once the
+	// bodies return and the floor releases them.
+	dtb.s.After(0, func() {
+		for i := uint64(1); i <= 3; i++ {
+			p2r.onRequest("cli", req(i, false, "Set", fmt.Sprintf("k%d=%d", i, i), 0))
+		}
+		p2r.onOrderCommit(consistency.OrderCommit{Floor: 3})
+	})
+	dtb.s.RunFor(500 * ms)
+	if got := p2r.Applied(); got != 3 {
+		t.Fatalf("recovered replica applied %d, want 3", got)
+	}
+	if v, err := p2r.App().Read("Get", []byte("k2")); err != nil || string(v) != "2" {
+		t.Fatalf("recovered replica k2 = %q (%v)", v, err)
+	}
+}
+
+// TestTakeoverWaitsForMajorityReports is the finding-2 regression: a
+// replicated-assign takeover must not finish below a majority of the full
+// primary group. With every peer dead the new leader waits — re-querying as
+// peers recover — instead of resuming with holes behind a released floor.
+func TestTakeoverWaitsForMajorityReports(t *testing.T) {
+	const lazy = 30 * time.Second
+	dtb := newDurableTestbed(41, lazy)
+	dtb.rt.Start()
+	dtb.s.RunFor(200 * ms)
+
+	for i := uint64(1); i <= 2; i++ {
+		dtb.update(i, fmt.Sprintf("k%d=%d", i, i))
+	}
+	dtb.s.RunFor(time.Second)
+	if got := dtb.replicas["p1"].Applied(); got != 2 {
+		t.Fatalf("pre-fault p1 applied = %d, want 2", got)
+	}
+
+	// Kill a follower and the sequencer: p1 is the lone survivor of a
+	// three-member group — below majority with self alone.
+	dtb.rt.Crash("p2")
+	dtb.rt.Crash("p0")
+	dtb.s.RunFor(3 * time.Second)
+
+	p1 := dtb.replicas["p1"]
+	if !p1.IsLeader() {
+		t.Fatal("p1 did not take leadership")
+	}
+	if p1.seqReady {
+		t.Fatal("takeover finished without a majority of reports (quorum intersection voided)")
+	}
+
+	// p2 recovers with its durable state; its report completes the quorum.
+	dtb.restartRecover("p2", lazy)
+	dtb.s.RunFor(3 * time.Second)
+	if !p1.seqReady {
+		t.Fatal("takeover did not complete after a majority became reachable")
+	}
+
+	// Sequencing resumes: the two-member majority releases new commits.
+	dtb.update(3, "k3=3")
+	dtb.s.RunFor(2 * time.Second)
+	if got := p1.Applied(); got != 3 {
+		t.Fatalf("p1 applied %d after takeover, want 3", got)
+	}
+	if got := dtb.replicas["p2"].Applied(); got != 3 {
+		t.Fatalf("recovered p2 applied %d, want 3", got)
+	}
+	if p1.OrderCommits() == 0 {
+		t.Fatal("replicated ordering never engaged after takeover")
+	}
+}
+
+// TestFloorRebroadcastAfterLostOrderCommit is the finding-3 regression: a
+// follower whose OrderCommit was lost (and whose traffic then stopped) must
+// still release its fully-assigned commits through the leader's periodic
+// floor retransmission — via the commit stream, not the stuck-detection
+// snapshot fallback.
+func TestFloorRebroadcastAfterLostOrderCommit(t *testing.T) {
+	const lazy = 30 * time.Second
+	dtb := newDurableTestbed(42, lazy)
+	dtb.rt.Start()
+	dtb.s.RunFor(200 * ms)
+
+	for i := uint64(1); i <= 2; i++ {
+		dtb.update(i, fmt.Sprintf("k%d=%d", i, i))
+	}
+	dtb.s.RunFor(400 * ms)
+	p2 := dtb.replicas["p2"]
+	if got := p2.CSN(); got != 2 {
+		t.Fatalf("pre-partition p2 CSN = %d, want 2", got)
+	}
+
+	// Isolate p2 from the sequencer (only): update 3's assignment and its
+	// OrderCommit both die on the p0→p2 link, while p0+p1 form a majority
+	// and release it. The window stays under the failure detector's
+	// timeout, so no view change masks the loss.
+	dtb.loss.m = netsim.NewPartition([]node.ID{"p0"}, []node.ID{"p2"})
+	dtb.update(3, "k3=3")
+	dtb.s.RunFor(600 * ms)
+	if got := dtb.replicas["p1"].CSN(); got != 3 {
+		t.Fatalf("majority did not release during partition: p1 CSN = %d", got)
+	}
+	if got := p2.CSN(); got != 2 {
+		t.Fatalf("partitioned p2 CSN = %d, want 2", got)
+	}
+	dtb.loss.m = nil // heal
+
+	// p2's chase recovers the assignment; the leader's floor rebroadcast
+	// must then release it. Well before the stuck-detection snapshot path
+	// (2×ChaseInterval of no progress) could paper over a missing
+	// retransmission.
+	dtb.s.RunFor(1500 * ms)
+	if got := p2.CSN(); got != 3 {
+		t.Fatalf("p2 CSN = %d after heal, want 3 (floor never retransmitted?)", got)
+	}
+	if got := p2.Applied(); got != 3 {
+		t.Fatalf("p2 applied = %d, want 3", got)
+	}
+	for _, csn := range dtb.restores["p2"] {
+		if csn > 0 {
+			t.Fatalf("p2 converged via snapshot restore at %d, not the commit stream: floor rebroadcast missing", csn)
+		}
+	}
+}
+
+// errMedia wraps a Media and fails appends on demand — the real-media
+// failure (e.g. a full or dying disk) the simulator's MemMedia never
+// produces.
+type errMedia struct {
+	wal.Media
+	fail bool
+}
+
+func (m *errMedia) AppendLog(b []byte) error {
+	if m.fail {
+		return fmt.Errorf("media: injected append failure")
+	}
+	return m.Media.AppendLog(b)
+}
+
+// TestWALFailureWedgesReplica is the finding-4 regression: a durable
+// replica whose WAL append fails must fail stop — no further applies, no
+// acks, no participation — rather than keep serving with a permanently
+// stale durable frontier.
+func TestWALFailureWedgesReplica(t *testing.T) {
+	s := sim.NewScheduler(43)
+	rt := sim.NewRuntime(s, sim.WithDelay(netsim.ConstantDelay(ms)))
+	tb := &testbed{s: s, rt: rt, replicas: make(map[node.ID]*Gateway), cli: &probe{}}
+	em := &errMedia{Media: wal.NewMemMedia()}
+	mk := func(id node.ID) *Gateway {
+		cfg := Config{
+			Primary:      true,
+			PrimaryGroup: []node.ID{"p0", "p1", "p2"},
+			Secondaries:  nil,
+			Clients:      []node.ID{"cli"},
+			Group:        group.DefaultConfig(),
+			LazyInterval: 30 * time.Second,
+			App:          apps.NewKVStore(),
+		}
+		if id == "p2" {
+			cfg.Durable = wal.NewStore(em)
+		}
+		g := New(cfg)
+		tb.replicas[id] = g
+		rt.Register(id, g)
+		return g
+	}
+	for _, id := range []node.ID{"p0", "p1", "p2"} {
+		mk(id)
+	}
+	rt.Register("cli", tb.cli)
+	rt.Start()
+	s.RunFor(200 * ms)
+
+	for i := uint64(1); i <= 2; i++ {
+		for _, id := range []node.ID{"p0", "p1", "p2"} {
+			tb.cli.send(id, req(i, false, "Set", fmt.Sprintf("k%d=%d", i, i), 0))
+		}
+	}
+	s.RunFor(time.Second)
+	p2 := tb.replicas["p2"]
+	if got := p2.Applied(); got != 2 {
+		t.Fatalf("pre-fault p2 applied = %d, want 2", got)
+	}
+
+	// The disk dies. The next release must wedge p2, not silently skip
+	// durability while still acking.
+	em.fail = true
+	for _, id := range []node.ID{"p0", "p1", "p2"} {
+		tb.cli.send(id, req(3, false, "Set", "k3=3", 0))
+	}
+	s.RunFor(time.Second)
+
+	if !p2.Wedged() {
+		t.Fatal("WAL append failure did not wedge the replica")
+	}
+	if got := p2.Applied(); got != 2 {
+		t.Fatalf("wedged p2 applied = %d, want 2 (nothing after the failure may apply)", got)
+	}
+	if got := tb.replicas["p1"].Applied(); got != 3 {
+		t.Fatalf("healthy p1 applied = %d, want 3", got)
+	}
+
+	// A wedged replica is silent: no replies to later requests.
+	for _, id := range []node.ID{"p0", "p1", "p2"} {
+		tb.cli.send(id, req(4, false, "Set", "k4=4", 0))
+	}
+	s.RunFor(2 * time.Second)
+	for _, r := range tb.cli.replies {
+		if r.Replica == "p2" && r.ID.Seq >= 3 {
+			t.Fatalf("wedged p2 replied to seq %d", r.ID.Seq)
+		}
+	}
+	if got := tb.replicas["p1"].Applied(); got != 4 {
+		t.Fatalf("group did not heal around the wedged replica: p1 applied %d, want 4", got)
+	}
+}

@@ -72,25 +72,26 @@ func (g *Gateway) becomeSequencer() {
 	g.seqReady = false
 	g.orderTracker = nil // fresh ack quorum per sequencer era
 	g.takeoverMax = g.commit.MyGSN()
+	g.takeoverReported = nil
 	peers := g.livePrimaryPeers()
-	if len(peers) == 0 {
-		g.finishTakeover()
-		return
-	}
 	await := len(peers)
 	if g.cfg.ReplicatedAssign {
-		// A majority of the full primary group (self included) suffices:
-		// it intersects the ack quorum behind every released floor, so the
-		// report merge re-covers everything the application could have
-		// observed. Waiting for more only lengthens the takeover gap; any
-		// straggler's report still folds in via the late-report path.
-		if q := len(g.cfg.PrimaryGroup)/2 + 1 - 1; q < await {
-			await = q
-		}
-		if await <= 0 {
-			g.finishTakeover()
-			return
-		}
+		// Safety requires reports from a genuine majority of the full
+		// primary group (self included): that set intersects the ack quorum
+		// behind every released floor, so the report merge re-covers
+		// everything the application could have observed. The requirement
+		// does not shrink when peers are down — proceeding with fewer
+		// reports than majority-1 would void the intersection argument and
+		// let assignments vanish behind a released floor. With too few live
+		// peers the takeover waits, re-querying on the timeout and chase
+		// ticks until enough members recover (the fault schedules repair
+		// every crash, so this blocks only while a majority is genuinely
+		// unreachable — exactly when resuming would be unsafe).
+		await = len(g.cfg.PrimaryGroup) / 2
+	}
+	if await == 0 {
+		g.finishTakeover()
+		return
 	}
 	g.takeoverAwait = await
 	epoch := g.epoch
@@ -100,14 +101,26 @@ func (g *Gateway) becomeSequencer() {
 	if g.takeoverDone != nil {
 		g.takeoverDone()
 	}
-	g.takeoverDone = g.ctx.SetTimer(g.cfg.TakeoverTimeout, func() {
-		if g.isLeader && !g.seqReady && epoch == g.epoch {
-			g.finishTakeover()
+	var onTimeout func()
+	onTimeout = func() {
+		if !g.isLeader || g.seqReady || epoch != g.epoch {
+			return
 		}
-	})
+		if g.cfg.ReplicatedAssign && g.takeoverAwait > 0 {
+			// Short of a majority: re-query whoever is reachable and keep
+			// waiting. Never finish below quorum.
+			for _, id := range g.livePrimaryPeers() {
+				g.stack.Send(id, consistency.GSNQuery{Epoch: epoch})
+			}
+			g.takeoverDone = g.ctx.SetTimer(g.cfg.TakeoverTimeout, onTimeout)
+			return
+		}
+		g.finishTakeover()
+	}
+	g.takeoverDone = g.ctx.SetTimer(g.cfg.TakeoverTimeout, onTimeout)
 }
 
-func (g *Gateway) onGSNReport(r consistency.GSNReport) {
+func (g *Gateway) onGSNReport(from node.ID, r consistency.GSNReport) {
 	if !g.isLeader || r.Epoch != g.epoch {
 		return
 	}
@@ -131,6 +144,13 @@ func (g *Gateway) onGSNReport(r consistency.GSNReport) {
 	if r.GSN > g.takeoverMax {
 		g.takeoverMax = r.GSN
 	}
+	if g.takeoverReported[from] {
+		return // duplicate (a re-queried peer answers again): one vote each
+	}
+	if g.takeoverReported == nil {
+		g.takeoverReported = make(map[node.ID]bool)
+	}
+	g.takeoverReported[from] = true
 	g.takeoverAwait--
 	if g.takeoverAwait <= 0 {
 		if g.takeoverDone != nil {
@@ -297,9 +317,9 @@ func (g *Gateway) flushAssignBatch() {
 	if len(g.batchUpdates)+len(g.batchReads) == 0 {
 		return
 	}
-	if !g.isLeader || !g.seqReady {
-		// Deposed mid-window: drop the batch. The replicas holding these
-		// requests chase the new sequencer with GSNRequests.
+	if !g.isLeader || !g.seqReady || g.wedged {
+		// Deposed mid-window (or fail-stopped): drop the batch. The replicas
+		// holding these requests chase the new sequencer with GSNRequests.
 		g.batchUpdates = g.batchUpdates[:0]
 		g.batchReads = g.batchReads[:0]
 		return
@@ -437,6 +457,9 @@ const maxChasePerTick = 128
 // chaseTick periodically re-requests GSN assignments for requests that have
 // been buffered longer than the chase interval.
 func (g *Gateway) chaseTick() {
+	if g.wedged {
+		return // fail-stopped: go silent, and stop re-arming the tick
+	}
 	cutoff := g.ctx.Now().Add(-g.cfg.ChaseInterval)
 	if !g.isLeader && g.sequencerID != g.ctx.ID() && g.sequencerID != "" {
 		budget := maxChasePerTick
@@ -479,22 +502,36 @@ func (g *Gateway) chaseTick() {
 		}
 	}
 	// A leader also re-queries peers periodically until it has heard from
-	// everyone once: takeover rounds can complete on the timeout while a
-	// recovering peer's higher GSN is still in flight.
-	if g.isLeader && g.seqReady && g.takeoverAwait > 0 {
+	// everyone it still awaits: takeover rounds can complete on the timeout
+	// while a recovering peer's higher GSN is still in flight, and a
+	// replicated-assign takeover blocked below quorum needs the queries to
+	// reach peers as they come back.
+	if g.isLeader && g.takeoverAwait > 0 {
 		for _, id := range g.livePrimaryPeers() {
 			g.stack.Send(id, consistency.GSNQuery{Epoch: g.epoch})
 		}
 	}
 	// Replicated assignment: re-send the current frontier each tick (acks
 	// ride an unreliable path — a lost ack must not stall the floor), and
-	// the leader re-evaluates its own frontier's contribution.
+	// the leader re-evaluates its own frontier's contribution and
+	// retransmits the current floor (a lost OrderCommit must not leave
+	// followers holding fully-assigned commits below it forever — floors
+	// are only otherwise sent when they rise).
 	if g.cfg.ReplicatedAssign && g.cfg.Primary {
 		if g.isLeader {
 			g.maybeAckAssigns()
-		} else if f := g.commit.AssignFrontier(); f > 0 {
-			g.lastAckedFrontier = f
-			g.sendAssignAck(f)
+			if g.seqReady && g.lastFloor > 0 {
+				oc := consistency.OrderCommit{Epoch: g.epoch, Floor: g.lastFloor}
+				for _, id := range g.otherPrimaries() {
+					g.stack.Send(id, oc)
+				}
+			}
+		} else {
+			g.walLogAssigns()
+			if f := g.ackableFrontier(); f > 0 {
+				g.lastAckedFrontier = f
+				g.sendAssignAck(f)
+			}
 		}
 	}
 	// Anti-entropy beacon: the sequencer publishes its state digest so a

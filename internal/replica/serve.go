@@ -128,8 +128,12 @@ func (g *Gateway) enqueueCommits(commits []consistency.Request) {
 		}
 		gsn := base + uint64(i) + 1
 		// Durability barrier: the record hits the log before the job (and
-		// with it the apply and the ack) exists.
-		g.walAppend(gsn, &req, dup)
+		// with it the apply and the ack) exists. A failed append wedges the
+		// replica — this commit and everything after it must not become
+		// visible.
+		if !g.walAppend(gsn, &req, dup) {
+			break
+		}
 		g.enqueue(job{
 			kind:      jobUpdate,
 			req:       req,
@@ -507,8 +511,11 @@ func (g *Gateway) onStateUpdate(su consistency.StateUpdate) {
 	}
 	// The installed snapshot subsumes the log: persist it as the new
 	// durable baseline (the cell is written before the log reset, so a
-	// crash between the two leaves only subsumed records behind).
-	g.walSaveSnapshot(su.CSN, su.Snapshot, su.RecentIDs)
+	// crash between the two leaves only subsumed records behind). Failure
+	// wedges the replica: nothing past this point may become visible.
+	if !g.walSaveSnapshot(su.CSN, su.Snapshot, su.RecentIDs) {
+		return
+	}
 	if g.isLeader && g.seqState != nil {
 		// A snapshot proves history at least this deep exists; never
 		// assign below it.
@@ -519,7 +526,9 @@ func (g *Gateway) onStateUpdate(su consistency.StateUpdate) {
 		// Updates staged above the snapshot become sequential: queue them
 		// (the apply guard in complete() keeps ordering safe).
 		g.rememberBody(req)
-		g.walAppend(base+uint64(i)+1, &req, false)
+		if !g.walAppend(base+uint64(i)+1, &req, false) {
+			return
+		}
 		g.enqueue(job{kind: jobUpdate, req: req, from: req.ID.Client,
 			gsn: base + uint64(i) + 1, arrivedAt: g.ctx.Now()})
 	}
@@ -556,7 +565,7 @@ func (g *Gateway) scheduleLazyTick() {
 // refreshes the clients' staleness inputs with a stats-only broadcast.
 func (g *Gateway) lazyTick() {
 	g.lazyTimerSet = false
-	if !g.isPublisher {
+	if !g.isPublisher || g.wedged {
 		return // role moved on; the new publisher has its own timer
 	}
 	g.ins.lazyTicks.Inc()

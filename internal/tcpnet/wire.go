@@ -610,8 +610,10 @@ func (r *wireReader) gsnAssigns() []consistency.GSNAssign {
 	if r.err != nil {
 		return nil
 	}
-	// Every GSNAssign costs >= 4 bytes on the wire (id >= 2, gsn, update).
-	if n > uint64(len(r.b)) {
+	// Every GSNAssign costs >= 4 bytes on the wire (id >= 2, gsn, update),
+	// so a count above len/4 cannot decode — reject it before it sizes the
+	// allocation.
+	if n > uint64(len(r.b))/4 {
 		r.fail(errTruncated)
 		return nil
 	}
@@ -635,8 +637,9 @@ func (r *wireReader) requestIDs() []consistency.RequestID {
 	if r.err != nil {
 		return nil
 	}
-	// Every RequestID costs >= 2 bytes on the wire.
-	if n > uint64(len(r.b)) {
+	// Every RequestID costs >= 2 bytes on the wire, so a count above len/2
+	// cannot decode — reject it before it sizes the allocation.
+	if n > uint64(len(r.b))/2 {
 		r.fail(errTruncated)
 		return nil
 	}

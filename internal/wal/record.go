@@ -29,7 +29,20 @@ import (
 
 // Version is the current record format version. Decoders reject anything
 // else outright — a frame is never misdecoded into the wrong shape.
-const Version = 1
+// Version 2 added the record kind byte (assignment records) and the
+// snapshot's outstanding-assignment table.
+const Version = 2
+
+// Record kinds. A commit record carries a released update (GSN, body,
+// dup marker); an assign record carries only a durable assignment-table
+// entry (GSN, request ID) — the promise a primary acknowledged to the
+// sequencer before the commit was released. Assignment durability is what
+// lets an AssignAck survive the acker's crash (DESIGN.md §14): a frontier
+// is acknowledged only after every assignment at or below it is on media.
+const (
+	KindCommit byte = 0
+	KindAssign byte = 1
+)
 
 // maxRecordBytes bounds one record/snapshot body; larger length prefixes
 // indicate a corrupt or hostile log.
@@ -44,11 +57,14 @@ var (
 	ErrTorn = errors.New("wal: torn record")
 )
 
-// Record is one committed update as the replica's commit stream released
-// it: the paired (GSN, body) plus the duplicate marker. Records in a log
-// carry strictly ascending GSNs (each commit advances the frontier by one),
-// which replay verifies.
+// Record is one log entry. A KindCommit record is one committed update as
+// the replica's commit stream released it: the paired (GSN, body) plus the
+// duplicate marker. A KindAssign record is a durable assignment-table
+// entry: only GSN and ID are meaningful. Each kind's GSNs are strictly
+// ascending in a log (commits advance the commit frontier by one, assigns
+// the assignment frontier), which replay verifies.
 type Record struct {
+	Kind    byte
 	GSN     uint64
 	ID      consistency.RequestID
 	Method  string
@@ -58,6 +74,13 @@ type Record struct {
 	Dup bool
 }
 
+// Assign is one durable assignment-table entry: a GSN promised to a
+// request whose commit had not yet been released when it was persisted.
+type Assign struct {
+	GSN uint64
+	ID  consistency.RequestID
+}
+
 // Snapshot is the compaction cell: the application state at a commit
 // frontier plus the commit-dedup memo seed, mirroring what a StateUpdate
 // carries on the wire.
@@ -65,6 +88,12 @@ type Snapshot struct {
 	CSN       uint64
 	App       []byte
 	RecentIDs []consistency.RequestID
+	// Assigns is the outstanding assignment table above CSN, contiguous
+	// from it (Assigns[i].GSN == CSN+i+1). Compaction folds the log into
+	// the cell atomically; without this table a snapshot would silently
+	// drop the assign records above its CSN and regress the durable
+	// assignment frontier behind an acknowledged one.
+	Assigns []Assign
 }
 
 // Frame layout (shared by records and the snapshot cell):
@@ -72,19 +101,23 @@ type Snapshot struct {
 //	uint32  length of what follows (big-endian, excludes these 4 bytes)
 //	uint32  CRC32 (IEEE) of the body
 //	body:
-//	  byte  version (currently 1)
+//	  byte  version (currently 2)
+//	  byte  kind (records only)
 //	  ...   fields, uvarint/length-prefixed as in tcpnet/wire.go
 
-// AppendRecord appends one encoded record frame to b.
+// AppendRecord appends one encoded record frame to b. Assign records carry
+// only (GSN, ID); the body fields are commit-only.
 func AppendRecord(b []byte, r *Record) []byte {
 	b, start := beginFrame(b)
-	b = append(b, Version)
+	b = append(b, Version, r.Kind)
 	b = binary.AppendUvarint(b, r.GSN)
 	b = appendString(b, string(r.ID.Client))
 	b = binary.AppendUvarint(b, r.ID.Seq)
-	b = appendString(b, r.Method)
-	b = appendBytes(b, r.Payload)
-	b = appendBool(b, r.Dup)
+	if r.Kind == KindCommit {
+		b = appendString(b, r.Method)
+		b = appendBytes(b, r.Payload)
+		b = appendBool(b, r.Dup)
+	}
 	return endFrame(b, start)
 }
 
@@ -98,6 +131,12 @@ func AppendSnapshot(b []byte, s *Snapshot) []byte {
 	for _, id := range s.RecentIDs {
 		b = appendString(b, string(id.Client))
 		b = binary.AppendUvarint(b, id.Seq)
+	}
+	b = binary.AppendUvarint(b, uint64(len(s.Assigns)))
+	for _, a := range s.Assigns {
+		b = binary.AppendUvarint(b, a.GSN)
+		b = appendString(b, string(a.ID.Client))
+		b = binary.AppendUvarint(b, a.ID.Seq)
 	}
 	return endFrame(b, start)
 }
@@ -130,12 +169,18 @@ func DecodeRecord(b []byte) (r Record, n int, err error) {
 	if v := d.byte_(); v != Version {
 		return Record{}, 0, fmt.Errorf("%w: record version %d", ErrCorrupt, v)
 	}
+	r.Kind = d.byte_()
+	if d.err == nil && r.Kind != KindCommit && r.Kind != KindAssign {
+		return Record{}, 0, fmt.Errorf("%w: record kind %d", ErrCorrupt, r.Kind)
+	}
 	r.GSN = d.uvarint()
 	r.ID.Client = node.ID(d.str())
 	r.ID.Seq = d.uvarint()
-	r.Method = d.str()
-	r.Payload = d.bytes()
-	r.Dup = d.bool_()
+	if r.Kind == KindCommit {
+		r.Method = d.str()
+		r.Payload = d.bytes()
+		r.Dup = d.bool_()
+	}
 	if d.err != nil || len(d.b) != 0 {
 		return Record{}, 0, ErrCorrupt
 	}
@@ -168,6 +213,21 @@ func DecodeSnapshot(b []byte) (s Snapshot, n int, err error) {
 			id.Client = node.ID(d.str())
 			id.Seq = d.uvarint()
 			s.RecentIDs = append(s.RecentIDs, id)
+		}
+	}
+	acount := d.uvarint()
+	if d.err == nil && acount > uint64(len(d.b))/3 {
+		// Each assign needs at least three bytes (gsn, client length, seq).
+		return Snapshot{}, 0, ErrCorrupt
+	}
+	if d.err == nil && acount > 0 {
+		s.Assigns = make([]Assign, 0, acount)
+		for i := uint64(0); i < acount; i++ {
+			var a Assign
+			a.GSN = d.uvarint()
+			a.ID.Client = node.ID(d.str())
+			a.ID.Seq = d.uvarint()
+			s.Assigns = append(s.Assigns, a)
 		}
 	}
 	if d.err != nil || len(d.b) != 0 {

@@ -1,6 +1,10 @@
 package wal
 
-import "fmt"
+import (
+	"fmt"
+
+	"aqua/internal/consistency"
+)
 
 // Store is one replica's durable state: a snapshot cell plus the log of
 // commits released since that snapshot. The owning gateway appends a record
@@ -12,9 +16,16 @@ type Store struct {
 	media Media
 
 	// records counts log records since the last snapshot; frontier is the
-	// GSN of the last appended record (the durable commit frontier).
+	// GSN of the last appended commit record (the durable commit frontier).
 	records  int
 	frontier uint64
+
+	// assignFrontier is the durable assignment frontier: every assignment
+	// at or below it is held by an assign record, a commit record, or the
+	// snapshot cell. Invariant: assignFrontier >= frontier (a released
+	// commit subsumes its assignment). The gateway acknowledges only up to
+	// this frontier, so an AssignAck survives the acker's crash.
+	assignFrontier uint64
 
 	// scratch backs record encoding between appends.
 	scratch []byte
@@ -38,11 +49,15 @@ func NewStore(m Media) *Store { return &Store{media: m} }
 type Recovered struct {
 	// Snapshot is the compaction cell (zero value when never written).
 	Snapshot Snapshot
-	// Records is the replayable log suffix above the snapshot, in commit
-	// order with strictly ascending GSNs.
+	// Records is the replayable commit-record suffix above the snapshot,
+	// in commit order with strictly ascending GSNs.
 	Records []Record
-	// CSN is the recovered commit frontier: the last record's GSN, or the
-	// snapshot's CSN when the log is empty.
+	// Assigns is the recovered assignment table above CSN, contiguous from
+	// it: entries from the snapshot cell plus replayed assign records whose
+	// commits had not been released at the crash.
+	Assigns []Assign
+	// CSN is the recovered commit frontier: the last commit record's GSN,
+	// or the snapshot's CSN when the log holds no commits.
 	CSN uint64
 	// Torn reports that the log ended in an incomplete record (crash
 	// mid-append) which recovery truncated.
@@ -64,11 +79,11 @@ func (s *Store) Recover() (Recovered, error) {
 	}
 	if len(cell) > 0 {
 		snap, n, err := DecodeSnapshot(cell)
-		if err != nil || n != len(cell) {
+		if err != nil || n != len(cell) || !assignsContiguous(snap.CSN, snap.Assigns) {
 			// An unreadable snapshot cell means no provable baseline: treat
 			// the whole store as empty rather than replay a log whose
 			// starting state is unknown.
-			s.frontier, s.records = 0, 0
+			s.frontier, s.assignFrontier, s.records = 0, 0, 0
 			return Recovered{}, fmt.Errorf("wal: snapshot cell unreadable: %w", errOr(err, ErrCorrupt))
 		}
 		out.Snapshot = snap
@@ -80,12 +95,30 @@ func (s *Store) Recover() (Recovered, error) {
 		return out, fmt.Errorf("wal: load log: %w", err)
 	}
 	next := out.CSN
+	assignNext := out.CSN + uint64(len(out.Snapshot.Assigns))
+	out.Assigns = append(out.Assigns, out.Snapshot.Assigns...)
+	replayed := 0
 	stop := fmt.Errorf("wal: stop") // sentinel: replay prefix ends here
 	_, torn, _ := Replay(log, func(r Record) error {
+		if r.Kind == KindAssign {
+			if r.GSN != assignNext+1 {
+				return stop
+			}
+			assignNext++
+			replayed++
+			out.Assigns = append(out.Assigns, Assign{GSN: r.GSN, ID: r.ID})
+			return nil
+		}
 		if r.GSN != next+1 {
 			return stop
 		}
 		next++
+		if next > assignNext {
+			// A commit subsumes its assignment; contiguity of the commit
+			// chain keeps this a one-step extension at most.
+			assignNext = next
+		}
+		replayed++
 		out.Records = append(out.Records, r)
 		return nil
 	})
@@ -104,14 +137,44 @@ func (s *Store) Recover() (Recovered, error) {
 		}
 	}
 	out.CSN = next
+	// Commits released during replay subsume their table entries.
+	if len(out.Assigns) > 0 {
+		keep := out.Assigns[:0]
+		for _, a := range out.Assigns {
+			if a.GSN > out.CSN {
+				keep = append(keep, a)
+			}
+		}
+		if out.Assigns = keep; len(keep) == 0 {
+			out.Assigns = nil
+		}
+	}
 	s.frontier = next
-	s.records = len(out.Records)
+	s.assignFrontier = assignNext
+	if s.assignFrontier < s.frontier {
+		s.assignFrontier = s.frontier
+	}
+	s.records = replayed
 	return out, nil
+}
+
+// assignsContiguous verifies an assignment table extends csn one GSN at a
+// time — the shape every writer produces and every reader depends on.
+func assignsContiguous(csn uint64, assigns []Assign) bool {
+	for i, a := range assigns {
+		if a.GSN != csn+uint64(i)+1 {
+			return false
+		}
+	}
+	return true
 }
 
 // Append durably logs one released commit. Records must arrive in commit
 // order (GSN = frontier+1); anything else is a caller bug.
 func (s *Store) Append(r *Record) error {
+	if r.Kind != KindCommit {
+		return fmt.Errorf("wal: append record kind %d; use AppendAssign", r.Kind)
+	}
 	if s.frontier != 0 || s.records > 0 || s.snapshots > 0 {
 		if r.GSN != s.frontier+1 {
 			return fmt.Errorf("wal: append gsn %d does not extend frontier %d", r.GSN, s.frontier)
@@ -125,6 +188,30 @@ func (s *Store) Append(r *Record) error {
 		return err
 	}
 	s.frontier = r.GSN
+	if s.assignFrontier < r.GSN {
+		// A released commit subsumes its assignment.
+		s.assignFrontier = r.GSN
+	}
+	s.records++
+	s.appends++
+	s.appendBytes += uint64(len(s.scratch))
+	return nil
+}
+
+// AppendAssign durably logs one assignment-table entry. Assignments must
+// extend the assignment frontier one GSN at a time (the gateway logs the
+// contiguous frontier extension before acknowledging it); anything else is
+// a caller bug.
+func (s *Store) AppendAssign(gsn uint64, id consistency.RequestID) error {
+	if gsn != s.assignFrontier+1 {
+		return fmt.Errorf("wal: assign gsn %d does not extend assignment frontier %d", gsn, s.assignFrontier)
+	}
+	rec := Record{Kind: KindAssign, GSN: gsn, ID: id}
+	s.scratch = AppendRecord(s.scratch[:0], &rec)
+	if err := s.media.AppendLog(s.scratch); err != nil {
+		return err
+	}
+	s.assignFrontier = gsn
 	s.records++
 	s.appends++
 	s.appendBytes += uint64(len(s.scratch))
@@ -141,6 +228,14 @@ func (s *Store) SaveSnapshot(snap *Snapshot) error {
 	if snap.CSN < s.frontier {
 		return fmt.Errorf("wal: snapshot csn %d below frontier %d", snap.CSN, s.frontier)
 	}
+	if !assignsContiguous(snap.CSN, snap.Assigns) {
+		return fmt.Errorf("wal: snapshot assigns not contiguous from csn %d", snap.CSN)
+	}
+	if covered := snap.CSN + uint64(len(snap.Assigns)); covered < s.assignFrontier {
+		// Resetting the log would drop assign records the snapshot does not
+		// carry — regressing the durable frontier behind an acknowledged one.
+		return fmt.Errorf("wal: snapshot covers assignments to %d, below frontier %d", covered, s.assignFrontier)
+	}
 	s.scratch = AppendSnapshot(s.scratch[:0], snap)
 	if err := s.media.StoreSnapshot(s.scratch); err != nil {
 		return err
@@ -149,6 +244,7 @@ func (s *Store) SaveSnapshot(snap *Snapshot) error {
 		return err
 	}
 	s.frontier = snap.CSN
+	s.assignFrontier = snap.CSN + uint64(len(snap.Assigns))
 	s.records = 0
 	s.snapshots++
 	return nil
@@ -157,6 +253,12 @@ func (s *Store) SaveSnapshot(snap *Snapshot) error {
 // Frontier returns the durable commit frontier: the highest GSN whose
 // record (or covering snapshot) the media holds.
 func (s *Store) Frontier() uint64 { return s.frontier }
+
+// AssignFrontier returns the durable assignment frontier: the highest GSN
+// such that every assignment at or below it is on media (as an assign
+// record, a commit record, or in the snapshot cell). Always at or above
+// Frontier.
+func (s *Store) AssignFrontier() uint64 { return s.assignFrontier }
 
 // LogRecords returns how many records the log holds since the last
 // snapshot — the compaction trigger's input.
